@@ -1,0 +1,86 @@
+// Shared plumbing for the figure/table reproduction benches.
+//
+// Every bench binary reruns the paper's scenarios at full scale (500 nodes,
+// 1000 jobs, 41h40m of simulated time) and prints the rows/series the paper
+// reports. Environment knobs:
+//   ARIA_BENCH_RUNS   repetitions per scenario (default 2; paper used 10)
+//   ARIA_BENCH_SEED   base seed (default 1)
+//   ARIA_BENCH_SCALE  workload scale factor in (0, 1] (default 1.0); values
+//                     below 1 shrink nodes/jobs proportionally for smoke runs
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "metrics/report.hpp"
+#include "workload/aggregate.hpp"
+#include "workload/scenario.hpp"
+
+namespace aria::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const long long parsed = std::atoll(v);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const double parsed = std::atof(v);
+  return parsed > 0.0 ? parsed : fallback;
+}
+
+inline std::size_t bench_runs() { return env_size("ARIA_BENCH_RUNS", 2); }
+inline std::uint64_t bench_seed() {
+  return env_size("ARIA_BENCH_SEED", 1);
+}
+
+/// Scenario by name, with the optional ARIA_BENCH_SCALE shrink applied.
+inline workload::ScenarioConfig bench_scenario(const std::string& name) {
+  workload::ScenarioConfig c = workload::scenario_by_name(name);
+  const double scale = env_double("ARIA_BENCH_SCALE", 1.0);
+  if (scale < 1.0) {
+    c.node_count = std::max<std::size_t>(
+        20, static_cast<std::size_t>(static_cast<double>(c.node_count) * scale));
+    c.job_count = std::max<std::size_t>(
+        20, static_cast<std::size_t>(static_cast<double>(c.job_count) * scale));
+    if (c.expansion) {
+      c.expansion->target_node_count = std::max(
+          c.node_count + 10,
+          static_cast<std::size_t>(
+              static_cast<double>(c.expansion->target_node_count) * scale));
+    }
+  }
+  return c;
+}
+
+inline workload::ScenarioSummary run(const std::string& name,
+                                     Duration curve_bucket =
+                                         Duration::minutes(30)) {
+  const auto cfg = bench_scenario(name);
+  std::fprintf(stderr, "[bench] running %s x%zu ...\n", name.c_str(),
+               bench_runs());
+  return workload::run_and_summarize(cfg, bench_runs(), bench_seed(),
+                                     curve_bucket);
+}
+
+inline void header(const std::string& id, const std::string& title) {
+  std::cout << "\n================================================================\n"
+            << id << " — " << title << "\n"
+            << "scenarios at scale "
+            << env_double("ARIA_BENCH_SCALE", 1.0) << ", "
+            << bench_runs() << " run(s) each, base seed " << bench_seed()
+            << "\n================================================================\n";
+}
+
+/// One "did the paper's shape reproduce?" verdict line.
+inline void shape(const std::string& what, bool ok) {
+  std::cout << (ok ? "  [shape OK]   " : "  [shape MISS] ") << what << "\n";
+}
+
+}  // namespace aria::bench

@@ -1,0 +1,48 @@
+// Figure 4: deadline scheduling performance — missed deadlines, average
+// lateness over met deadlines, average missed time over failed ones.
+// Paper numbers: misses 187 -> 4 (Deadline -> iDeadline) and 236 -> 59
+// (DeadlineH -> iDeadlineH); missed time roughly halves with rescheduling.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace aria;
+  using namespace aria::bench;
+
+  header("Figure 4", "Deadline Scheduling Performance");
+  const char* names[] = {"Deadline", "iDeadline", "DeadlineH", "iDeadlineH"};
+  std::vector<workload::ScenarioSummary> summaries;
+  for (const char* n : names) summaries.push_back(run(n));
+
+  metrics::Table table{{"scenario", "missed deadlines", "met slack[min]",
+                        "missed time[min]", "completion[min]"}};
+  for (const auto& s : summaries) {
+    table.add_row({s.name, metrics::Table::num(s.missed_deadlines.mean(), 1),
+                   metrics::Table::num(s.met_slack_minutes.mean()),
+                   metrics::Table::num(s.missed_time_minutes.mean()),
+                   metrics::Table::num(s.completion_minutes.mean())});
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\npaper reference (10 runs, authors' testbed): Deadline 187 -> "
+               "iDeadline 4 misses; DeadlineH 236 -> iDeadlineH 59 misses\n\n";
+
+  auto by = [&](const char* n) -> const workload::ScenarioSummary& {
+    for (const auto& s : summaries) {
+      if (s.name == n) return s;
+    }
+    std::abort();
+  };
+  shape("rescheduling collapses missed deadlines (iDeadline << Deadline)",
+        by("iDeadline").missed_deadlines.mean() <
+            by("Deadline").missed_deadlines.mean() * 0.5);
+  shape("same under tight deadlines (iDeadlineH << DeadlineH)",
+        by("iDeadlineH").missed_deadlines.mean() <
+            by("DeadlineH").missed_deadlines.mean() * 0.6);
+  shape("tight deadlines miss more than loose ones (DeadlineH > Deadline)",
+        by("DeadlineH").missed_deadlines.mean() >
+            by("Deadline").missed_deadlines.mean() * 0.8);
+  shape("met-deadline slack does not degrade with rescheduling",
+        by("iDeadline").met_slack_minutes.mean() >
+            by("Deadline").met_slack_minutes.mean() * 0.9);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 7: average job completion time under different load levels.
+// Paper reading: iHighLoad performs comparably to LowLoad even though jobs
+// arrive four times faster.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace aria;
+  using namespace aria::bench;
+
+  header("Figure 7", "Job Completion Time under Load (minutes)");
+  const char* names[] = {"LowLoad",  "Mixed",  "HighLoad",
+                         "iLowLoad", "iMixed", "iHighLoad"};
+  std::vector<workload::ScenarioSummary> summaries;
+  for (const char* n : names) summaries.push_back(run(n));
+
+  metrics::Table table{{"scenario", "waiting[min]", "execution[min]",
+                        "completion[min]", "reschedules"}};
+  for (const auto& s : summaries) {
+    table.add_row({s.name, metrics::Table::num(s.waiting_minutes.mean()),
+                   metrics::Table::num(s.execution_minutes.mean()),
+                   metrics::Table::num(s.completion_minutes.mean()),
+                   metrics::Table::num(s.reschedules.mean(), 0)});
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\n";
+
+  auto by = [&](const char* n) -> const workload::ScenarioSummary& {
+    for (const auto& s : summaries) {
+      if (s.name == n) return s;
+    }
+    std::abort();
+  };
+  shape("rescheduling helps at every load level",
+        by("iLowLoad").completion_minutes.mean() <
+                by("LowLoad").completion_minutes.mean() &&
+            by("iMixed").completion_minutes.mean() <
+                by("Mixed").completion_minutes.mean() &&
+            by("iHighLoad").completion_minutes.mean() <
+                by("HighLoad").completion_minutes.mean());
+  shape("iHighLoad is comparable to LowLoad (4x the submission rate)",
+        by("iHighLoad").completion_minutes.mean() <
+            by("LowLoad").completion_minutes.mean() * 1.35);
+  shape("without rescheduling, high load is clearly worse than low load",
+        by("HighLoad").completion_minutes.mean() >
+            by("LowLoad").completion_minutes.mean() * 1.2);
+  return 0;
+}

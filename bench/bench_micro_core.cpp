@@ -1,0 +1,141 @@
+// Microbenchmarks of the hot paths a protocol round exercises: cost
+// functions over realistic queue depths, scheduler queue operations, flood
+// target selection, and raw simulator event throughput.
+#include <benchmark/benchmark.h>
+
+#include "overlay/bootstrap.hpp"
+#include "overlay/flooding.hpp"
+#include "sched/policies.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace aria;
+using namespace aria::literals;
+
+grid::JobSpec make_job(Rng& rng, Duration ert,
+                       std::optional<TimePoint> deadline = {}) {
+  grid::JobSpec j;
+  j.id = JobId::generate(rng);
+  j.ert = ert;
+  j.deadline = deadline;
+  return j;
+}
+
+template <typename Sched>
+void fill_queue(Sched& s, Rng& rng, std::size_t depth, bool deadlines) {
+  for (std::size_t i = 0; i < depth; ++i) {
+    const Duration ert = Duration::minutes(rng.uniform_int(60, 240));
+    auto spec = make_job(
+        rng, ert,
+        deadlines ? std::optional<TimePoint>{TimePoint::origin() + 10_h}
+                  : std::nullopt);
+    s.enqueue({spec, ert, TimePoint::origin(), 0});
+  }
+}
+
+void BM_EttcCostOfAdding(benchmark::State& state) {
+  Rng rng{1};
+  sched::SjfScheduler s;
+  fill_queue(s, rng, static_cast<std::size_t>(state.range(0)), false);
+  const auto job = make_job(rng, 2_h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        s.cost_of_adding(job, 90_min, 30_min, TimePoint::origin()));
+  }
+}
+BENCHMARK(BM_EttcCostOfAdding)->Arg(0)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_NalCostOfAdding(benchmark::State& state) {
+  Rng rng{2};
+  sched::EdfScheduler s;
+  fill_queue(s, rng, static_cast<std::size_t>(state.range(0)), true);
+  const auto job = make_job(rng, 2_h, TimePoint::origin() + 8_h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        s.cost_of_adding(job, 90_min, 30_min, TimePoint::origin()));
+  }
+}
+BENCHMARK(BM_NalCostOfAdding)->Arg(0)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SchedulerEnqueuePop(benchmark::State& state) {
+  Rng rng{3};
+  sched::SjfScheduler s;
+  for (auto _ : state) {
+    auto spec = make_job(rng, Duration::minutes(rng.uniform_int(60, 240)));
+    s.enqueue({spec, spec.ert, TimePoint::origin(), 0});
+    if (s.size() > 32) benchmark::DoNotOptimize(s.pop_next());
+  }
+}
+BENCHMARK(BM_SchedulerEnqueuePop);
+
+void BM_ReschedulingCandidates(benchmark::State& state) {
+  Rng rng{4};
+  sched::FcfsScheduler s;
+  fill_queue(s, rng, 32, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        s.rescheduling_candidates(2, 30_min, TimePoint::origin()));
+  }
+}
+BENCHMARK(BM_ReschedulingCandidates);
+
+void BM_FloodPickTargets(benchmark::State& state) {
+  Rng rng{5};
+  overlay::Topology topo = overlay::bootstrap_random(500, 4.0, rng);
+  overlay::FloodRelay relay{topo, rng.fork(1)};
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(relay.pick_targets(NodeId{i++ % 500}, 4));
+  }
+}
+BENCHMARK(BM_FloodPickTargets);
+
+void BM_FloodMarkSeen(benchmark::State& state) {
+  Rng rng{6};
+  overlay::Topology topo;
+  overlay::FloodRelay relay{topo, rng.fork(1)};
+  const Uuid flood = Uuid::generate(rng);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(relay.mark_seen(NodeId{i++}, flood));
+  }
+}
+BENCHMARK(BM_FloodMarkSeen);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator simulator;
+    Rng rng{7};
+    for (int i = 0; i < 10000; ++i) {
+      simulator.schedule_after(rng.uniform_duration(0_s, 1_h), [] {});
+    }
+    state.ResumeTiming();
+    simulator.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_TopologyBfsDistance(benchmark::State& state) {
+  Rng rng{8};
+  overlay::Topology topo = overlay::bootstrap_random(500, 4.0, rng);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        topo.distance(NodeId{i % 500}, NodeId{(i * 13 + 7) % 500}));
+    ++i;
+  }
+}
+BENCHMARK(BM_TopologyBfsDistance);
+
+void BM_RngNormal(benchmark::State& state) {
+  Rng rng{9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.normal(150.0, 75.0));
+  }
+}
+BENCHMARK(BM_RngNormal);
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Table I: protocol messages and fields — dumps the message model and
+// microbenchmarks message construction, polymorphic dispatch, and transport
+// (the per-message costs every flood pays).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/messages.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace aria;
+using namespace aria::literals;
+
+grid::JobSpec sample_job(Rng& rng) {
+  grid::JobSpec j;
+  j.id = JobId::generate(rng);
+  j.requirements.min_memory_gb = 4;
+  j.ert = 2_h;
+  return j;
+}
+
+// Printed once so the bench output documents Table I.
+struct TableOneDump {
+  TableOneDump() {
+    std::cout << "Table I — protocol messages and fields\n"
+              << "  REQUEST: initiator address | job UUID | job profile      ("
+              << proto::kRequestWireBytes << " B)\n"
+              << "  ACCEPT:  node address      | job UUID | cost             ("
+              << proto::kAcceptWireBytes << " B)\n"
+              << "  INFORM:  assignee address  | job UUID | job profile | cost ("
+              << proto::kInformWireBytes << " B)\n"
+              << "  ASSIGN:  initiator address | job UUID | job profile      ("
+              << proto::kAssignWireBytes << " B)\n\n";
+  }
+} dump;
+
+void BM_MessageConstructRequest(benchmark::State& state) {
+  Rng rng{1};
+  const auto job = sample_job(rng);
+  const proto::FloodMeta meta{Uuid::generate(rng), 8, NodeId{1}};
+  for (auto _ : state) {
+    auto m = std::make_unique<proto::RequestMsg>(NodeId{1}, job, meta);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_MessageConstructRequest);
+
+void BM_MessageConstructAccept(benchmark::State& state) {
+  Rng rng{2};
+  const auto id = JobId::generate(rng);
+  for (auto _ : state) {
+    auto m = std::make_unique<proto::AcceptMsg>(NodeId{1}, id, 42.0);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_MessageConstructAccept);
+
+void BM_MessageDynamicDispatch(benchmark::State& state) {
+  Rng rng{3};
+  std::vector<std::unique_ptr<sim::Message>> msgs;
+  const auto job = sample_job(rng);
+  const proto::FloodMeta meta{Uuid::generate(rng), 8, NodeId{1}};
+  msgs.push_back(std::make_unique<proto::RequestMsg>(NodeId{1}, job, meta));
+  msgs.push_back(std::make_unique<proto::AcceptMsg>(NodeId{1}, job.id, 1.0));
+  msgs.push_back(std::make_unique<proto::InformMsg>(NodeId{1}, job, 1.0, meta));
+  msgs.push_back(std::make_unique<proto::AssignMsg>(NodeId{1}, job));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const sim::Message* m = msgs[i++ & 3].get();
+    int kind = 0;
+    if (dynamic_cast<const proto::RequestMsg*>(m) != nullptr) kind = 1;
+    else if (dynamic_cast<const proto::AcceptMsg*>(m) != nullptr) kind = 2;
+    else if (dynamic_cast<const proto::InformMsg*>(m) != nullptr) kind = 3;
+    else if (dynamic_cast<const proto::AssignMsg*>(m) != nullptr) kind = 4;
+    benchmark::DoNotOptimize(kind);
+  }
+}
+BENCHMARK(BM_MessageDynamicDispatch);
+
+void BM_NetworkSendDeliver(benchmark::State& state) {
+  sim::Simulator simulator;
+  sim::Network net{simulator,
+                   std::make_unique<sim::FixedLatencyModel>(1_ms), Rng{4}};
+  net.attach(NodeId{2}, [](sim::Envelope) {});
+  Rng rng{5};
+  const auto job = sample_job(rng);
+  const proto::FloodMeta meta{Uuid::generate(rng), 8, NodeId{1}};
+  for (auto _ : state) {
+    net.send(NodeId{1}, NodeId{2},
+             std::make_unique<proto::RequestMsg>(NodeId{1}, job, meta));
+    simulator.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NetworkSendDeliver);
+
+void BM_UuidGenerate(benchmark::State& state) {
+  Rng rng{6};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Uuid::generate(rng));
+  }
+}
+BENCHMARK(BM_UuidGenerate);
+
+void BM_UuidToString(benchmark::State& state) {
+  Rng rng{7};
+  const Uuid u = Uuid::generate(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(u.to_string());
+  }
+}
+BENCHMARK(BM_UuidToString);
+
+}  // namespace

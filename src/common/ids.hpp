@@ -1,0 +1,43 @@
+// Strong identifier types.
+//
+// NodeId identifies a grid node (also its overlay address); it is a dense
+// index assigned by the simulation engine so it can double as a vector
+// index. Invalid ids are represented by kInvalidNode.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace aria {
+
+/// Identifier/address of a grid node on the overlay.
+class NodeId {
+ public:
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(std::uint32_t v) : v_{v} {}
+
+  constexpr std::uint32_t value() const { return v_; }
+  constexpr std::size_t index() const { return v_; }
+  constexpr bool valid() const { return v_ != UINT32_MAX; }
+
+  constexpr auto operator<=>(const NodeId&) const = default;
+
+  std::string to_string() const { return "n" + std::to_string(v_); }
+
+ private:
+  std::uint32_t v_{UINT32_MAX};
+};
+
+inline constexpr NodeId kInvalidNode{};
+
+}  // namespace aria
+
+template <>
+struct std::hash<aria::NodeId> {
+  std::size_t operator()(const aria::NodeId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

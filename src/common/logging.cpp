@@ -1,0 +1,50 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <mutex>
+
+namespace aria {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_write_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+
+void Log::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void Log::set_level_from_string(const std::string& name) {
+  std::string low;
+  low.reserve(name.size());
+  for (char c : name) low.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (low == "trace") set_level(LogLevel::kTrace);
+  else if (low == "debug") set_level(LogLevel::kDebug);
+  else if (low == "info") set_level(LogLevel::kInfo);
+  else if (low == "warn") set_level(LogLevel::kWarn);
+  else if (low == "error") set_level(LogLevel::kError);
+  else if (low == "off") set_level(LogLevel::kOff);
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  const std::lock_guard<std::mutex> lock{g_write_mutex};
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace aria

@@ -1,0 +1,58 @@
+// Minimal leveled logger.
+//
+// Simulations are hot loops, so the macros check the level before the
+// message is formatted. Output goes to stderr; the default level is WARN so
+// library users see problems but benches stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace aria {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /// Parses "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive);
+  /// unknown names leave the level unchanged.
+  static void set_level_from_string(const std::string& name);
+
+  static void write(LogLevel level, const std::string& message);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_{level} {}
+  ~LogLine() { Log::write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace aria
+
+#define ARIA_LOG(lvl)                         \
+  if (::aria::Log::level() > (lvl)) {         \
+  } else                                      \
+    ::aria::detail::LogLine { lvl }
+
+#define ARIA_TRACE ARIA_LOG(::aria::LogLevel::kTrace)
+#define ARIA_DEBUG ARIA_LOG(::aria::LogLevel::kDebug)
+#define ARIA_INFO ARIA_LOG(::aria::LogLevel::kInfo)
+#define ARIA_WARN ARIA_LOG(::aria::LogLevel::kWarn)
+#define ARIA_ERROR ARIA_LOG(::aria::LogLevel::kError)

@@ -1,0 +1,38 @@
+// Small statistics helpers used by the metrics layer and the benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace aria {
+
+/// Streaming accumulator (Welford) for mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  /// Pools another accumulator into this one (parallel-run aggregation).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Percentile over a copy of the samples; q in [0,1], linear interpolation.
+double percentile(std::vector<double> samples, double q);
+
+}  // namespace aria

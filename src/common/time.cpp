@@ -1,0 +1,36 @@
+#include "common/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace aria {
+
+namespace {
+
+std::string render(std::int64_t us) {
+  const bool neg = us < 0;
+  if (neg) us = -us;
+  const std::int64_t total_seconds = us / 1'000'000;
+  const std::int64_t h = total_seconds / 3600;
+  const std::int64_t m = (total_seconds % 3600) / 60;
+  const double s = static_cast<double>(us % 60'000'000) / 1e6;
+
+  char buf[64];
+  if (h > 0) {
+    std::snprintf(buf, sizeof(buf), "%s%lldh%02lldm", neg ? "-" : "",
+                  static_cast<long long>(h), static_cast<long long>(m));
+  } else if (m > 0) {
+    std::snprintf(buf, sizeof(buf), "%s%lldm%02llds", neg ? "-" : "",
+                  static_cast<long long>(m), static_cast<long long>(s));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%.3gs", neg ? "-" : "", s);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::to_string() const { return render(us_); }
+std::string TimePoint::to_string() const { return render(us_); }
+
+}  // namespace aria

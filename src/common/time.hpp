@@ -1,0 +1,101 @@
+// Simulated-time types.
+//
+// The simulator measures time in integer microseconds so that event ordering
+// is exact and runs are bit-reproducible across platforms (no floating-point
+// accumulation). `Duration` is a signed span; `TimePoint` is an absolute
+// instant on the simulation clock (t = 0 is the start of a run).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace aria {
+
+/// A signed span of simulated time with microsecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  /// Named constructors; fractional inputs are truncated toward zero
+  /// at microsecond granularity.
+  static constexpr Duration micros(std::int64_t us) { return Duration{us}; }
+  static constexpr Duration millis(std::int64_t ms) { return Duration{ms * 1'000}; }
+  static constexpr Duration seconds(std::int64_t s) { return Duration{s * 1'000'000}; }
+  static constexpr Duration minutes(std::int64_t m) { return seconds(m * 60); }
+  static constexpr Duration hours(std::int64_t h) { return seconds(h * 3600); }
+  static constexpr Duration seconds_f(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e6)};
+  }
+
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration max() { return Duration{INT64_MAX}; }
+
+  constexpr std::int64_t count_micros() const { return us_; }
+  constexpr double to_seconds() const { return static_cast<double>(us_) / 1e6; }
+  constexpr double to_minutes() const { return to_seconds() / 60.0; }
+  constexpr double to_hours() const { return to_seconds() / 3600.0; }
+
+  constexpr bool is_zero() const { return us_ == 0; }
+  constexpr bool is_negative() const { return us_ < 0; }
+
+  constexpr Duration operator+(Duration o) const { return Duration{us_ + o.us_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{us_ - o.us_}; }
+  constexpr Duration operator-() const { return Duration{-us_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{us_ * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{us_ / k}; }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(us_) / static_cast<double>(o.us_);
+  }
+  constexpr Duration& operator+=(Duration o) { us_ += o.us_; return *this; }
+  constexpr Duration& operator-=(Duration o) { us_ -= o.us_; return *this; }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  /// Scale by a real factor (used by the performance-index model);
+  /// truncates to microseconds.
+  constexpr Duration scaled(double factor) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(us_) * factor)};
+  }
+
+  /// Human-readable rendering, e.g. "2h30m", "45m", "12.5s".
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t us) : us_{us} {}
+  std::int64_t us_{0};
+};
+
+/// An absolute instant on the simulation clock.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint from_micros(std::int64_t us) { return TimePoint{us}; }
+  static constexpr TimePoint origin() { return TimePoint{0}; }
+  static constexpr TimePoint max() { return TimePoint{INT64_MAX}; }
+
+  constexpr std::int64_t count_micros() const { return us_; }
+  constexpr double to_seconds() const { return static_cast<double>(us_) / 1e6; }
+  constexpr double to_hours() const { return to_seconds() / 3600.0; }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{us_ + d.count_micros()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{us_ - d.count_micros()}; }
+  constexpr Duration operator-(TimePoint o) const { return Duration::micros(us_ - o.us_); }
+  constexpr TimePoint& operator+=(Duration d) { us_ += d.count_micros(); return *this; }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t us) : us_{us} {}
+  std::int64_t us_{0};
+};
+
+namespace literals {
+constexpr Duration operator""_us(unsigned long long v) { return Duration::micros(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_ms(unsigned long long v) { return Duration::millis(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_s(unsigned long long v) { return Duration::seconds(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_min(unsigned long long v) { return Duration::minutes(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_h(unsigned long long v) { return Duration::hours(static_cast<std::int64_t>(v)); }
+}  // namespace literals
+
+}  // namespace aria

@@ -1,0 +1,54 @@
+#include "common/uuid.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+#include "common/rng.hpp"
+
+namespace aria {
+
+Uuid Uuid::generate(Rng& rng) {
+  std::uint64_t hi = rng.next_u64();
+  std::uint64_t lo = rng.next_u64();
+  // Version 4, variant 10xx (RFC 4122 §4.4).
+  hi = (hi & ~0xF000ULL) | 0x4000ULL;
+  lo = (lo & ~(0xC0ULL << 56)) | (0x80ULL << 56);
+  if (hi == 0 && lo == 0) hi = 1;  // never collide with the nil uuid
+  return Uuid{hi, lo};
+}
+
+std::string Uuid::to_string() const {
+  char buf[37];
+  std::snprintf(buf, sizeof(buf), "%08x-%04x-%04x-%04x-%012llx",
+                static_cast<unsigned>(hi_ >> 32),
+                static_cast<unsigned>((hi_ >> 16) & 0xFFFF),
+                static_cast<unsigned>(hi_ & 0xFFFF),
+                static_cast<unsigned>(lo_ >> 48),
+                static_cast<unsigned long long>(lo_ & 0xFFFFFFFFFFFFULL));
+  return buf;
+}
+
+std::optional<Uuid> Uuid::parse(const std::string& text) {
+  if (text.size() != 36) return std::nullopt;
+  static constexpr int kDashPositions[] = {8, 13, 18, 23};
+  for (int p : kDashPositions) {
+    if (text[static_cast<std::size_t>(p)] != '-') return std::nullopt;
+  }
+  std::uint64_t hi = 0, lo = 0;
+  int nibbles = 0;
+  for (char c : text) {
+    if (c == '-') continue;
+    int v;
+    if (c >= '0' && c <= '9') v = c - '0';
+    else if (c >= 'a' && c <= 'f') v = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') v = c - 'A' + 10;
+    else return std::nullopt;
+    if (nibbles < 16) hi = (hi << 4) | static_cast<std::uint64_t>(v);
+    else lo = (lo << 4) | static_cast<std::uint64_t>(v);
+    ++nibbles;
+  }
+  if (nibbles != 32) return std::nullopt;
+  return Uuid{hi, lo};
+}
+
+}  // namespace aria

@@ -1,0 +1,54 @@
+// RFC-4122 style version-4 UUIDs, generated from the simulation RNG so runs
+// stay deterministic. Used to track jobs univocally across the grid
+// (paper §III-B).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace aria {
+
+class Rng;
+
+class Uuid {
+ public:
+  /// The nil UUID (all zero); never produced by generate().
+  constexpr Uuid() = default;
+
+  /// Draws a version-4 UUID from `rng`.
+  static Uuid generate(Rng& rng);
+
+  /// Parses the canonical 8-4-4-4-12 hex form; nullopt on malformed input.
+  static std::optional<Uuid> parse(const std::string& text);
+
+  constexpr bool is_nil() const { return hi_ == 0 && lo_ == 0; }
+  constexpr std::uint64_t hi() const { return hi_; }
+  constexpr std::uint64_t lo() const { return lo_; }
+
+  constexpr auto operator<=>(const Uuid&) const = default;
+
+  /// Canonical lowercase 8-4-4-4-12 rendering.
+  std::string to_string() const;
+
+ private:
+  constexpr Uuid(std::uint64_t hi, std::uint64_t lo) : hi_{hi}, lo_{lo} {}
+  std::uint64_t hi_{0};
+  std::uint64_t lo_{0};
+};
+
+/// Jobs are identified by UUIDs across the whole grid.
+using JobId = Uuid;
+
+}  // namespace aria
+
+template <>
+struct std::hash<aria::Uuid> {
+  std::size_t operator()(const aria::Uuid& u) const noexcept {
+    // hi/lo are already uniformly random for generated uuids.
+    return static_cast<std::size_t>(u.hi() ^ (u.lo() * 0x9e3779b97f4a7c15ULL));
+  }
+};

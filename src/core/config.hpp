@@ -1,0 +1,71 @@
+// ARiA protocol parameters. Defaults reproduce the paper's baseline
+// configuration (§IV-E): REQUEST floods of 9 hops / fanout 4, INFORM floods
+// of 8 hops / fanout 2, at most 2 jobs advertised every 5 minutes, and a
+// 3-minute improvement threshold for rescheduling.
+#pragma once
+
+#include <cstddef>
+
+#include "common/time.hpp"
+
+namespace aria::proto {
+
+struct AriaConfig {
+  // --- submission phase -----------------------------------------------
+  std::size_t request_hops{9};
+  std::size_t request_fanout{4};
+  /// How long an initiator collects ACCEPT offers before deciding.
+  Duration accept_timeout{Duration::seconds(5)};
+  /// Backoff before re-flooding a REQUEST that drew no offers; doubles per
+  /// attempt (capped at 8x).
+  Duration request_retry_backoff{Duration::seconds(10)};
+  /// Attempts before a job is declared unschedulable (0 = retry forever).
+  std::size_t max_request_attempts{25};
+  /// May the initiator offer itself as a candidate when it matches?
+  bool initiator_self_candidate{true};
+
+  // --- dynamic rescheduling phase --------------------------------------
+  /// Master switch: the plain scenarios in Table II run with this off, the
+  /// i-scenarios with it on.
+  bool dynamic_rescheduling{true};
+  std::size_t inform_hops{8};
+  std::size_t inform_fanout{2};
+  Duration inform_period{Duration::minutes(5)};
+  /// Jobs advertised per period ("at most 2 scheduled jobs every 5
+  /// minutes"; iInform1/iInform4 vary this).
+  std::size_t inform_jobs_per_period{2};
+  /// Minimum cost improvement a remote node must guarantee before proposing
+  /// itself (iInform15m/iInform30m vary this). Interpreted in cost units,
+  /// i.e. seconds of ETTC for batch schedulers and NAL seconds for EDF.
+  Duration reschedule_threshold{Duration::minutes(3)};
+  /// Notify the initiator when its job moves (paper: "may be notified").
+  /// Off by default so the traffic breakdown matches Fig. 10's four types.
+  bool notify_initiator{false};
+
+  // --- failsafe extension (paper §III-D mentions "failsafe mechanisms in
+  // the event of an assignee's crash" as the purpose of initiator
+  // notifications; this implements one) ----------------------------------
+  /// When on, the initiator tracks each job it submitted: assignees report
+  /// rescheduling, execution start, and completion via NOTIFY messages. If
+  /// no completion arrives by the watchdog deadline, the initiator assumes
+  /// the assignee crashed and re-floods the REQUEST. Implies NOTIFY
+  /// traffic (metered separately from Fig. 10's four types).
+  bool failsafe{false};
+  /// Watchdog deadline = job ERT * factor + margin, re-armed on every
+  /// assignment/start notification.
+  double failsafe_factor{3.0};
+  Duration failsafe_margin{Duration::minutes(30)};
+  /// After this many recovery re-floods the initiator stops watching the
+  /// job (prevents an unbounded retry loop for unschedulable work).
+  std::size_t failsafe_max_recoveries{8};
+
+  // --- flood mechanics --------------------------------------------------
+  /// Paper-literal: a node that satisfies a REQUEST/INFORM replies and does
+  /// not forward. Enabling this makes matching nodes forward too.
+  bool forward_on_match{false};
+  /// When a flood can no longer be in flight its dedup state is dropped
+  /// after this long (memory bound; must exceed hops * max latency).
+  Duration flood_gc_delay{Duration::seconds(60)};
+};
+
+}  // namespace aria::proto

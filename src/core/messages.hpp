@@ -1,0 +1,111 @@
+// The four ARiA message types (paper Table I) plus the optional
+// housekeeping notifications the paper mentions in passing.
+//
+// Wire sizes follow the traffic evaluation (§V-E): REQUEST, INFORM and
+// ASSIGN carry a full job profile and are metered at 1 KiB; ACCEPT is a
+// compact (address, uuid, cost) triple metered at 128 bytes.
+//
+// REQUEST and INFORM are flooded: they carry a FloodMeta with a per-emission
+// flood id (for duplicate suppression), the remaining hop budget, and the
+// flood origin.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/ids.hpp"
+#include "common/uuid.hpp"
+#include "grid/job.hpp"
+#include "sim/network.hpp"
+
+namespace aria::proto {
+
+inline constexpr std::size_t kRequestWireBytes = 1024;
+inline constexpr std::size_t kInformWireBytes = 1024;
+inline constexpr std::size_t kAssignWireBytes = 1024;
+inline constexpr std::size_t kAcceptWireBytes = 128;
+inline constexpr std::size_t kNotifyWireBytes = 128;
+
+inline constexpr const char* kRequestType = "REQUEST";
+inline constexpr const char* kAcceptType = "ACCEPT";
+inline constexpr const char* kInformType = "INFORM";
+inline constexpr const char* kAssignType = "ASSIGN";
+inline constexpr const char* kNotifyType = "NOTIFY";
+
+/// Flood bookkeeping carried by REQUEST and INFORM.
+struct FloodMeta {
+  Uuid flood_id{};           // one per emission (re-floods get fresh ids)
+  std::uint32_t hops_left{0};  // remaining hop budget after this delivery
+  NodeId origin{};           // who started the flood
+};
+
+/// Resource discovery query: "Initiator's address | Job UUID | Job Profile".
+struct RequestMsg final : sim::Message {
+  NodeId initiator;
+  grid::JobSpec job;  // carries the UUID and the profile
+  FloodMeta flood;
+
+  RequestMsg(NodeId initiator_, grid::JobSpec job_, FloodMeta flood_)
+      : initiator{initiator_}, job{std::move(job_)}, flood{flood_} {}
+  std::size_t wire_size() const override { return kRequestWireBytes; }
+  std::string type_name() const override { return kRequestType; }
+};
+
+/// Offer: "Node's address | Job UUID | Cost". Sent to the initiator in the
+/// submission phase, or to the current assignee in the rescheduling phase.
+struct AcceptMsg final : sim::Message {
+  NodeId node;
+  JobId job_id;
+  double cost;
+
+  AcceptMsg(NodeId node_, JobId job_id_, double cost_)
+      : node{node_}, job_id{job_id_}, cost{cost_} {}
+  std::size_t wire_size() const override { return kAcceptWireBytes; }
+  std::string type_name() const override { return kAcceptType; }
+};
+
+/// Rescheduling advertisement:
+/// "Assignee's address | Job UUID | Job Profile | Cost".
+struct InformMsg final : sim::Message {
+  NodeId assignee;
+  grid::JobSpec job;
+  double cost;  // the assignee's current cost for this job
+  FloodMeta flood;
+
+  InformMsg(NodeId assignee_, grid::JobSpec job_, double cost_, FloodMeta flood_)
+      : assignee{assignee_}, job{std::move(job_)}, cost{cost_}, flood{flood_} {}
+  std::size_t wire_size() const override { return kInformWireBytes; }
+  std::string type_name() const override { return kInformType; }
+};
+
+/// Delegation: "Initiator's address | Job UUID | Job Profile". Sent by the
+/// initiator on first assignment, or by the departing assignee on a
+/// reschedule (the initiator address lets the new assignee keep notifying).
+struct AssignMsg final : sim::Message {
+  NodeId initiator;
+  grid::JobSpec job;
+  /// True when this delegation moves an already-assigned job (set by the
+  /// departing assignee; a single flag, does not change the metered size).
+  bool reschedule{false};
+
+  AssignMsg(NodeId initiator_, grid::JobSpec job_, bool reschedule_ = false)
+      : initiator{initiator_}, job{std::move(job_)}, reschedule{reschedule_} {}
+  std::size_t wire_size() const override { return kAssignWireBytes; }
+  std::string type_name() const override { return kAssignType; }
+};
+
+/// Optional tracking notification to the initiator (paper §III-D:
+/// "rescheduling actions may be notified to the job's initiator").
+struct NotifyMsg final : sim::Message {
+  enum class Kind { kQueued, kRescheduled, kStarted, kCompleted };
+  Kind kind;
+  JobId job_id;
+  NodeId current_assignee;
+
+  NotifyMsg(Kind kind_, JobId job_id_, NodeId current_assignee_)
+      : kind{kind_}, job_id{job_id_}, current_assignee{current_assignee_} {}
+  std::size_t wire_size() const override { return kNotifyWireBytes; }
+  std::string type_name() const override { return kNotifyType; }
+};
+
+}  // namespace aria::proto

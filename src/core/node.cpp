@@ -1,0 +1,515 @@
+#include "core/node.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.hpp"
+
+namespace aria::proto {
+
+namespace {
+constexpr std::size_t kMaxBackoffFactor = 8;
+}
+
+AriaNode::AriaNode(NodeContext ctx, NodeId self, grid::NodeProfile profile,
+                   std::unique_ptr<sched::LocalScheduler> scheduler, Rng rng,
+                   std::string virtual_org)
+    : ctx_{ctx},
+      self_{self},
+      profile_{std::move(profile)},
+      sched_{std::move(scheduler)},
+      rng_{rng},
+      vo_{std::move(virtual_org)} {
+  assert(ctx_.sim && ctx_.net && ctx_.topo && ctx_.relay && ctx_.config &&
+         ctx_.ert_error);
+  assert(sched_);
+}
+
+AriaNode::~AriaNode() {
+  if (started_) stop();
+}
+
+void AriaNode::start() {
+  assert(!started_);
+  started_ = true;
+  ctx_.net->attach(self_, [this](sim::Envelope env) { handle(std::move(env)); });
+  // Random phase decorrelates the per-node INFORM timers (a deployment has
+  // no synchronized clocks either).
+  const Duration phase =
+      rng_.uniform_duration(Duration::zero(), ctx_.config->inform_period);
+  inform_timer_ = ctx_.sim->schedule_periodic(
+      phase, ctx_.config->inform_period, [this] { inform_tick(); });
+}
+
+void AriaNode::stop() {
+  started_ = false;
+  inform_timer_.cancel();
+  reservation_wake_.cancel();
+  if (running_) running_->completion.cancel();
+  for (auto& [id, pending] : pending_requests_) pending.timeout.cancel();
+  for (auto& [id, w] : watched_) w.timer.cancel();
+  ctx_.net->detach(self_);
+}
+
+Duration AriaNode::running_remaining() const {
+  if (!running_) return Duration::zero();
+  const TimePoint eta = running_->started + running_->job.ertp;
+  const Duration left = eta - ctx_.sim->now();
+  return left.is_negative() ? Duration::zero() : left;
+}
+
+bool AriaNode::can_bid(const grid::JobSpec& job) const {
+  if (!grid::satisfies(profile_, job.requirements, vo_)) return false;
+  // Deadline offers are never mixed with batch ones (paper §III-C).
+  const bool deadline_node =
+      sched_->cost_family() == sched::CostFamily::kDeadline;
+  return job.has_deadline() == deadline_node;
+}
+
+double AriaNode::my_cost(const grid::JobSpec& job) const {
+  return sched_->cost_of_adding(job, job.ert_on(profile_.performance_index),
+                                running_remaining(), ctx_.sim->now());
+}
+
+// ---------------------------------------------------------------------------
+// Submission phase
+// ---------------------------------------------------------------------------
+
+void AriaNode::submit(grid::JobSpec job) {
+  assert(!job.id.is_nil());
+  if (ctx_.observer) {
+    ctx_.observer->on_submitted(job, self_, ctx_.sim->now());
+  }
+  auto [it, inserted] = pending_requests_.try_emplace(job.id);
+  assert(inserted && "duplicate submission of the same job UUID");
+  it->second.spec = std::move(job);
+  it->second.attempt = 1;
+  if (ctx_.config->failsafe) {
+    Watchdog& w = watched_[it->second.spec.id];
+    w.spec = it->second.spec;
+    arm_watchdog(it->second.spec.id);
+  }
+  flood_request(it->second.spec, 1);
+}
+
+void AriaNode::flood_request(const grid::JobSpec& spec, std::size_t attempt) {
+  auto it = pending_requests_.find(spec.id);
+  assert(it != pending_requests_.end());
+  it->second.attempt = attempt;
+  it->second.offers.clear();
+
+  const Uuid flood_id = Uuid::generate(rng_);
+  ctx_.relay->mark_seen(self_, flood_id);
+  schedule_flood_gc(flood_id);
+
+  // The initiator may compete for its own job (no wire traffic involved).
+  if (ctx_.config->initiator_self_candidate && can_bid(spec)) {
+    it->second.offers.emplace_back(self_, spec.id, my_cost(spec));
+  }
+
+  const auto targets = ctx_.relay->pick_targets(
+      self_, ctx_.config->request_fanout);
+  const FloodMeta meta{flood_id,
+                       static_cast<std::uint32_t>(ctx_.config->request_hops - 1),
+                       self_};
+  for (NodeId t : targets) {
+    ctx_.net->send(self_, t, std::make_unique<RequestMsg>(self_, spec, meta));
+  }
+  ++counters_.requests_initiated;
+
+  const JobId id = spec.id;
+  it->second.timeout = ctx_.sim->schedule_after(
+      ctx_.config->accept_timeout, [this, id] { decide_assignment(id); });
+}
+
+void AriaNode::decide_assignment(const JobId& id) {
+  auto it = pending_requests_.find(id);
+  if (it == pending_requests_.end()) return;  // already decided
+  PendingRequest& pending = it->second;
+
+  if (pending.offers.empty()) {
+    const std::size_t next_attempt = pending.attempt + 1;
+    if (ctx_.config->max_request_attempts != 0 &&
+        pending.attempt >= ctx_.config->max_request_attempts) {
+      ARIA_WARN << self_.to_string() << ": job " << id.to_string()
+                << " unschedulable after " << pending.attempt << " attempts";
+      if (ctx_.observer) ctx_.observer->on_unschedulable(id, ctx_.sim->now());
+      pending_requests_.erase(it);
+      return;
+    }
+    if (ctx_.observer) {
+      ctx_.observer->on_request_retry(id, next_attempt, ctx_.sim->now());
+    }
+    const auto factor = std::min<std::size_t>(
+        kMaxBackoffFactor, std::size_t{1} << (pending.attempt - 1));
+    const Duration backoff =
+        ctx_.config->request_retry_backoff * static_cast<std::int64_t>(factor);
+    ctx_.sim->schedule_after(backoff, [this, id, next_attempt] {
+      auto again = pending_requests_.find(id);
+      if (again == pending_requests_.end()) return;
+      flood_request(again->second.spec, next_attempt);
+    });
+    return;
+  }
+
+  // Lowest cost wins; arrival order breaks ties (deterministic).
+  const auto best = std::min_element(
+      pending.offers.begin(), pending.offers.end(),
+      [](const AcceptMsg& a, const AcceptMsg& b) { return a.cost < b.cost; });
+  const grid::JobSpec spec = std::move(pending.spec);
+  const NodeId winner = best->node;
+  const bool reschedule = pending.recovery_reschedule;
+  pending_requests_.erase(it);
+  send_assign(winner, spec, self_, reschedule);
+}
+
+void AriaNode::deliver_assignment(const grid::JobSpec& job, NodeId initiator,
+                                  bool reschedule) {
+  accept_job(job, initiator, reschedule);
+}
+
+void AriaNode::send_assign(NodeId target, const grid::JobSpec& spec,
+                           NodeId initiator, bool reschedule) {
+  if (target == self_) {
+    // Local delegation needs no wire message.
+    accept_job(spec, initiator, reschedule);
+    return;
+  }
+  ++counters_.assigns_sent;
+  ctx_.net->send(self_, target,
+                 std::make_unique<AssignMsg>(initiator, spec, reschedule));
+}
+
+void AriaNode::accept_job(const grid::JobSpec& spec, NodeId initiator,
+                          bool reschedule) {
+  // Nodes may not decline jobs they offered to take (paper §III-A).
+  initiator_of_[spec.id] = initiator;
+  sched_->enqueue(sched::QueuedJob{
+      spec, spec.ert_on(profile_.performance_index), ctx_.sim->now(), 0});
+  if (reschedule) ++counters_.reschedules_in;
+  if (ctx_.observer) {
+    ctx_.observer->on_assigned(spec, self_, ctx_.sim->now(), reschedule);
+  }
+  if (ctx_.config->failsafe) {
+    notify_initiator_of(spec.id, NotifyMsg::Kind::kQueued);
+  }
+  kick_executor();
+}
+
+// ---------------------------------------------------------------------------
+// Message handling
+// ---------------------------------------------------------------------------
+
+void AriaNode::handle(sim::Envelope env) {
+  if (auto* req = dynamic_cast<const RequestMsg*>(env.message.get())) {
+    on_request(env.from, *req);
+  } else if (auto* acc = dynamic_cast<const AcceptMsg*>(env.message.get())) {
+    on_accept(*acc);
+  } else if (auto* inf = dynamic_cast<const InformMsg*>(env.message.get())) {
+    on_inform(env.from, *inf);
+  } else if (auto* asg = dynamic_cast<const AssignMsg*>(env.message.get())) {
+    on_assign(*asg);
+  } else if (auto* ntf = dynamic_cast<const NotifyMsg*>(env.message.get())) {
+    on_notify(*ntf);
+  }
+  // Unknown message types are ignored.
+}
+
+void AriaNode::on_request(NodeId from, const RequestMsg& msg) {
+  if (!ctx_.relay->mark_seen(self_, msg.flood.flood_id)) return;  // duplicate
+
+  bool replied = false;
+  if (can_bid(msg.job)) {
+    ++counters_.accepts_sent;
+    ctx_.net->send(self_, msg.initiator,
+                   std::make_unique<AcceptMsg>(self_, msg.job.id,
+                                               my_cost(msg.job)));
+    replied = true;
+  }
+  // Paper-literal forwarding rule: satisfied requests stop here.
+  if (replied && !ctx_.config->forward_on_match) return;
+  if (msg.flood.hops_left == 0) return;
+
+  FloodMeta next = msg.flood;
+  --next.hops_left;
+  const auto targets = ctx_.relay->pick_targets(
+      self_, ctx_.config->request_fanout, from, msg.flood.origin);
+  for (NodeId t : targets) {
+    ++counters_.requests_forwarded;
+    ctx_.net->send(self_, t,
+                   std::make_unique<RequestMsg>(msg.initiator, msg.job, next));
+  }
+}
+
+void AriaNode::on_inform(NodeId from, const InformMsg& msg) {
+  if (!ctx_.relay->mark_seen(self_, msg.flood.flood_id)) return;
+
+  bool replied = false;
+  if (msg.assignee != self_ && can_bid(msg.job)) {
+    const double cost = my_cost(msg.job);
+    // Reply only when the improvement clears the threshold (paper §III-D).
+    if (cost < msg.cost - ctx_.config->reschedule_threshold.to_seconds()) {
+      ++counters_.accepts_sent;
+      ctx_.net->send(self_, msg.assignee,
+                     std::make_unique<AcceptMsg>(self_, msg.job.id, cost));
+      replied = true;
+    }
+  }
+  if (replied && !ctx_.config->forward_on_match) return;
+  if (msg.flood.hops_left == 0) return;
+
+  FloodMeta next = msg.flood;
+  --next.hops_left;
+  const auto targets = ctx_.relay->pick_targets(
+      self_, ctx_.config->inform_fanout, from, msg.flood.origin);
+  for (NodeId t : targets) {
+    ++counters_.informs_forwarded;
+    ctx_.net->send(self_, t,
+                   std::make_unique<InformMsg>(msg.assignee, msg.job, msg.cost,
+                                               next));
+  }
+}
+
+void AriaNode::on_accept(const AcceptMsg& msg) {
+  // Case 1: an offer for a REQUEST this node initiated.
+  if (auto it = pending_requests_.find(msg.job_id);
+      it != pending_requests_.end()) {
+    it->second.offers.push_back(msg);
+    return;
+  }
+
+  // Case 2: a rescheduling proposal for a job this node currently holds.
+  const auto pi = pending_informs_.find(msg.job_id);
+  if (pi == pending_informs_.end()) return;  // stale or unsolicited
+  const sched::QueuedJob* held = sched_->find(msg.job_id);
+  if (held == nullptr) {
+    // Started executing or already moved elsewhere meanwhile.
+    pending_informs_.erase(pi);
+    return;
+  }
+  // Re-verify against the *current* local cost — the queue may have changed
+  // since the INFORM went out.
+  const double current = sched_->current_cost(msg.job_id, running_remaining(),
+                                              ctx_.sim->now());
+  if (!(msg.cost < current)) return;  // keep waiting; other offers may come
+
+  const grid::JobSpec spec = held->spec;
+  const NodeId initiator = initiator_of_[msg.job_id];
+  sched_->remove(msg.job_id);
+  initiator_of_.erase(msg.job_id);
+  pending_informs_.erase(pi);
+  ++counters_.reschedules_out;
+
+  // Keep the initiator's picture fresh: announce where the job went. The
+  // plain flag is the paper's optional notification; failsafe requires it.
+  if ((ctx_.config->notify_initiator || ctx_.config->failsafe) &&
+      initiator.valid()) {
+    if (initiator == self_) {
+      on_notify(NotifyMsg{NotifyMsg::Kind::kRescheduled, spec.id, msg.node});
+    } else {
+      ctx_.net->send(self_, initiator,
+                     std::make_unique<NotifyMsg>(NotifyMsg::Kind::kRescheduled,
+                                                 spec.id, msg.node));
+    }
+  }
+  send_assign(msg.node, spec, initiator, /*reschedule=*/true);
+}
+
+void AriaNode::on_assign(const AssignMsg& msg) {
+  accept_job(msg.job, msg.initiator, msg.reschedule);
+}
+
+// ---------------------------------------------------------------------------
+// Failsafe (initiator-side job tracking and crash recovery)
+// ---------------------------------------------------------------------------
+
+void AriaNode::notify_initiator_of(const JobId& id, NotifyMsg::Kind kind) {
+  const auto it = initiator_of_.find(id);
+  if (it == initiator_of_.end() || !it->second.valid()) return;
+  const NodeId initiator = it->second;
+  if (initiator == self_) {
+    on_notify(NotifyMsg{kind, id, self_});
+    return;
+  }
+  ctx_.net->send(self_, initiator,
+                 std::make_unique<NotifyMsg>(kind, id, self_));
+}
+
+void AriaNode::on_notify(const NotifyMsg& msg) {
+  const auto it = watched_.find(msg.job_id);
+  if (it == watched_.end()) return;  // not failsafe-tracking this job
+  Watchdog& w = it->second;
+  w.last_known = msg.current_assignee;
+  switch (msg.kind) {
+    case NotifyMsg::Kind::kQueued:
+      w.assign_confirmed = true;
+      arm_watchdog(msg.job_id);
+      break;
+    case NotifyMsg::Kind::kRescheduled:
+    case NotifyMsg::Kind::kStarted:
+      arm_watchdog(msg.job_id);
+      break;
+    case NotifyMsg::Kind::kCompleted:
+      w.timer.cancel();
+      watched_.erase(it);
+      break;
+  }
+}
+
+void AriaNode::arm_watchdog(const JobId& id) {
+  const auto it = watched_.find(id);
+  if (it == watched_.end()) return;
+  Watchdog& w = it->second;
+  w.timer.cancel();
+  const Duration deadline = w.spec.ert.scaled(ctx_.config->failsafe_factor) +
+                            ctx_.config->failsafe_margin +
+                            ctx_.config->accept_timeout;
+  w.timer =
+      ctx_.sim->schedule_after(deadline, [this, id] { watchdog_expired(id); });
+}
+
+void AriaNode::watchdog_expired(const JobId& id) {
+  const auto it = watched_.find(id);
+  if (it == watched_.end()) return;
+  Watchdog& w = it->second;
+  // Alive here (queued or executing locally): just keep watching.
+  if (sched_->contains(id) || (running_ && running_->job.spec.id == id)) {
+    arm_watchdog(id);
+    return;
+  }
+  // A discovery round for it is already in flight: keep watching.
+  if (pending_requests_.contains(id)) {
+    arm_watchdog(id);
+    return;
+  }
+  if (w.recoveries >= ctx_.config->failsafe_max_recoveries) {
+    ARIA_WARN << self_.to_string() << ": giving up on recovering job "
+              << id.to_string() << " after " << w.recoveries << " attempts";
+    watched_.erase(it);
+    return;
+  }
+  ++w.recoveries;
+  ++counters_.recoveries;
+  if (ctx_.observer) {
+    ctx_.observer->on_recovery(id, w.recoveries, ctx_.sim->now());
+  }
+  auto [pending, inserted] = pending_requests_.try_emplace(id);
+  assert(inserted);
+  pending->second.spec = w.spec;
+  pending->second.recovery_reschedule = w.assign_confirmed;
+  arm_watchdog(id);
+  flood_request(pending->second.spec, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic rescheduling phase
+// ---------------------------------------------------------------------------
+
+void AriaNode::inform_tick() {
+  // Failsafe heartbeats: while a node holds a job, it keeps refreshing the
+  // initiator's watchdog — queue waits are unbounded, so a one-shot
+  // kQueued notification would not prevent false recoveries.
+  if (ctx_.config->failsafe) {
+    for (const auto& q : sched_->queue()) {
+      notify_initiator_of(q.spec.id, NotifyMsg::Kind::kQueued);
+    }
+    if (running_) {
+      notify_initiator_of(running_->job.spec.id, NotifyMsg::Kind::kStarted);
+    }
+  }
+
+  if (!ctx_.config->dynamic_rescheduling) return;
+  if (sched_->empty()) return;
+
+  const auto candidates = sched_->rescheduling_candidates(
+      ctx_.config->inform_jobs_per_period, running_remaining(),
+      ctx_.sim->now());
+  for (const JobId& id : candidates) {
+    const sched::QueuedJob* held = sched_->find(id);
+    if (held == nullptr) continue;
+    const double cost =
+        sched_->current_cost(id, running_remaining(), ctx_.sim->now());
+
+    const Uuid flood_id = Uuid::generate(rng_);
+    ctx_.relay->mark_seen(self_, flood_id);
+    schedule_flood_gc(flood_id);
+    const FloodMeta meta{
+        flood_id, static_cast<std::uint32_t>(ctx_.config->inform_hops - 1),
+        self_};
+    const auto targets =
+        ctx_.relay->pick_targets(self_, ctx_.config->inform_fanout);
+    for (NodeId t : targets) {
+      ctx_.net->send(self_, t, std::make_unique<InformMsg>(self_, held->spec,
+                                                           cost, meta));
+    }
+    if (!targets.empty()) ++counters_.informs_initiated;
+    pending_informs_[id] = PendingInform{cost};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+void AriaNode::kick_executor() {
+  if (running_) return;
+  if (sched_->empty()) return;
+
+  // Advance reservation: a head job whose reservation has not opened yet
+  // blocks the queue (no backfilling past a reservation); wake up when it
+  // opens. Queue mutations re-enter here and re-arm as needed.
+  const sched::QueuedJob& head = sched_->queue().front();
+  if (head.spec.earliest_start && *head.spec.earliest_start > ctx_.sim->now()) {
+    reservation_wake_.cancel();
+    reservation_wake_ = ctx_.sim->schedule_at(*head.spec.earliest_start,
+                                              [this] { kick_executor(); });
+    return;
+  }
+
+  auto next = sched_->pop_next();
+  if (!next) return;
+
+  // Once execution starts the job can no longer move (no preemption or
+  // migration, paper §III-A): drop any outstanding advertisement.
+  pending_informs_.erase(next->spec.id);
+
+  const Duration art = ctx_.ert_error->actual_running_time(
+      next->spec.ert, profile_.performance_index, rng_);
+  const JobId id = next->spec.id;
+  Running run{std::move(*next), ctx_.sim->now(), art, {}};
+  run.completion =
+      ctx_.sim->schedule_after(art, [this] { complete_running(); });
+  running_ = std::move(run);
+  if (ctx_.observer) ctx_.observer->on_started(id, self_, ctx_.sim->now());
+  if (ctx_.config->failsafe) {
+    notify_initiator_of(id, NotifyMsg::Kind::kStarted);
+  }
+}
+
+void AriaNode::complete_running() {
+  assert(running_);
+  const JobId id = running_->job.spec.id;
+  const Duration art = running_->art;
+  if (ctx_.config->failsafe) {
+    notify_initiator_of(id, NotifyMsg::Kind::kCompleted);
+  }
+  initiator_of_.erase(id);
+  ++counters_.jobs_executed;
+  running_.reset();
+  if (ctx_.observer) {
+    ctx_.observer->on_completed(id, self_, ctx_.sim->now(), art);
+  }
+  kick_executor();
+}
+
+// ---------------------------------------------------------------------------
+// Flood state GC
+// ---------------------------------------------------------------------------
+
+void AriaNode::schedule_flood_gc(const Uuid& flood_id) {
+  overlay::FloodRelay* relay = ctx_.relay;
+  ctx_.sim->schedule_after(ctx_.config->flood_gc_delay,
+                           [relay, flood_id] { relay->forget(flood_id); });
+}
+
+}  // namespace aria::proto

@@ -1,0 +1,183 @@
+// Per-node ARiA protocol engine (paper §III).
+//
+// One AriaNode = one grid machine: its resource profile, its local
+// scheduler (any policy), a single-slot executor, and the protocol state
+// machine for all four message types. Nodes interact only through the
+// Network (messages) and read only their own overlay neighbor list, so the
+// implementation is faithful to a fully distributed deployment even though
+// it runs in one process.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/uuid.hpp"
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "core/observer.hpp"
+#include "grid/job.hpp"
+#include "grid/resources.hpp"
+#include "overlay/flooding.hpp"
+#include "overlay/topology.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace aria::proto {
+
+/// Everything a node needs from its environment; all pointers are non-owning
+/// and must outlive the node.
+struct NodeContext {
+  sim::Simulator* sim{nullptr};
+  sim::Network* net{nullptr};
+  const overlay::Topology* topo{nullptr};
+  overlay::FloodRelay* relay{nullptr};
+  const AriaConfig* config{nullptr};
+  const grid::ErtErrorModel* ert_error{nullptr};
+  ProtocolObserver* observer{nullptr};  // may be null
+};
+
+class AriaNode {
+ public:
+  AriaNode(NodeContext ctx, NodeId self, grid::NodeProfile profile,
+           std::unique_ptr<sched::LocalScheduler> scheduler, Rng rng,
+           std::string virtual_org = {});
+  ~AriaNode();
+  AriaNode(const AriaNode&) = delete;
+  AriaNode& operator=(const AriaNode&) = delete;
+
+  /// Attaches to the network and starts the INFORM timer. Call once.
+  void start();
+
+  /// Detaches from the network and cancels timers (node departure).
+  void stop();
+
+  /// User entry point: this node becomes the initiator of `job`.
+  void submit(grid::JobSpec job);
+
+  /// Places `job` directly into this node's queue, bypassing the discovery
+  /// protocol. Used by the centralized baseline and by tests; fires the same
+  /// on_assigned observer event as a protocol delegation.
+  void deliver_assignment(const grid::JobSpec& job, NodeId initiator,
+                          bool reschedule = false);
+
+  /// Cost this node would quote for `job` right now (the ACCEPT value).
+  double quote(const grid::JobSpec& job) const { return my_cost(job); }
+
+  // --- introspection (metrics, tests) ----------------------------------
+  NodeId id() const { return self_; }
+  const grid::NodeProfile& profile() const { return profile_; }
+  const std::string& virtual_org() const { return vo_; }
+  sched::LocalScheduler& scheduler() { return *sched_; }
+  const sched::LocalScheduler& scheduler() const { return *sched_; }
+
+  bool executing() const { return running_.has_value(); }
+  std::size_t queue_length() const { return sched_->size(); }
+  /// Idle = not executing and nothing queued (Fig. 3's utilization metric).
+  bool idle() const { return !executing() && sched_->empty(); }
+
+  /// Estimated remaining runtime of the executing job (>= 0; based on ERTp,
+  /// since the actual running time is unknown until completion).
+  Duration running_remaining() const;
+
+  /// Can this node, by profile and cost-family, bid on `job` at all?
+  bool can_bid(const grid::JobSpec& job) const;
+
+  struct Counters {
+    std::uint64_t requests_initiated{0};
+    std::uint64_t requests_forwarded{0};
+    std::uint64_t accepts_sent{0};
+    std::uint64_t informs_initiated{0};
+    std::uint64_t informs_forwarded{0};
+    std::uint64_t assigns_sent{0};
+    std::uint64_t jobs_executed{0};
+    std::uint64_t reschedules_out{0};  // jobs this node gave away
+    std::uint64_t reschedules_in{0};   // jobs this node won via INFORM
+    std::uint64_t recoveries{0};       // failsafe re-submissions issued
+  };
+  const Counters& counters() const { return counters_; }
+
+  /// Failsafe: number of initiated jobs still being watched (not yet
+  /// known-completed). Always 0 when config.failsafe is off.
+  std::size_t watched_jobs() const { return watched_.size(); }
+
+ private:
+  struct PendingRequest {
+    grid::JobSpec spec;
+    std::vector<proto::AcceptMsg> offers;  // reusing the message as a record
+    sim::EventHandle timeout;
+    std::size_t attempt{1};
+    /// Failsafe recovery of a job whose earlier ASSIGN was confirmed: the
+    /// eventual re-assignment is a reschedule, not a first delegation.
+    bool recovery_reschedule{false};
+  };
+  struct PendingInform {
+    double advertised_cost{0.0};
+  };
+  /// Failsafe bookkeeping for a job this node initiated (config.failsafe).
+  struct Watchdog {
+    grid::JobSpec spec;
+    sim::EventHandle timer;
+    NodeId last_known{};       // most recent assignee we heard from
+    bool assign_confirmed{false};  // some node confirmed queueing the job
+    std::size_t recoveries{0};
+  };
+  struct Running {
+    sched::QueuedJob job;
+    TimePoint started;
+    Duration art;
+    sim::EventHandle completion;
+  };
+
+  void handle(sim::Envelope env);
+  void on_request(NodeId from, const RequestMsg& msg);
+  void on_accept(const AcceptMsg& msg);
+  void on_inform(NodeId from, const InformMsg& msg);
+  void on_assign(const AssignMsg& msg);
+  void on_notify(const NotifyMsg& msg);
+
+  /// Failsafe: sends (or locally applies) a lifecycle NOTIFY to the job's
+  /// initiator.
+  void notify_initiator_of(const JobId& id, NotifyMsg::Kind kind);
+  void arm_watchdog(const JobId& id);
+  void watchdog_expired(const JobId& id);
+
+  void flood_request(const grid::JobSpec& spec, std::size_t attempt);
+  void decide_assignment(const JobId& id);
+  void send_assign(NodeId target, const grid::JobSpec& spec, NodeId initiator,
+                   bool reschedule);
+  void accept_job(const grid::JobSpec& spec, NodeId initiator, bool reschedule);
+  void inform_tick();
+  void kick_executor();
+  void complete_running();
+  void schedule_flood_gc(const Uuid& flood_id);
+
+  double my_cost(const grid::JobSpec& job) const;
+
+  NodeContext ctx_;
+  NodeId self_;
+  grid::NodeProfile profile_;
+  std::unique_ptr<sched::LocalScheduler> sched_;
+  Rng rng_;
+  std::string vo_;
+
+  std::optional<Running> running_;
+  std::unordered_map<JobId, PendingRequest> pending_requests_;
+  std::unordered_map<JobId, PendingInform> pending_informs_;
+  std::unordered_map<JobId, Watchdog> watched_;
+  /// Initiator address for every job currently queued or running here.
+  std::unordered_map<JobId, NodeId> initiator_of_;
+
+  sim::EventHandle inform_timer_;
+  sim::EventHandle reservation_wake_;
+  bool started_{false};
+  Counters counters_;
+};
+
+}  // namespace aria::proto

@@ -1,0 +1,59 @@
+// Protocol lifecycle observer: the seam between the protocol engine and
+// metrics/trackers/tests. All callbacks are optional.
+#pragma once
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "common/uuid.hpp"
+#include "grid/job.hpp"
+
+namespace aria::proto {
+
+class ProtocolObserver {
+ public:
+  virtual ~ProtocolObserver() = default;
+
+  /// A user handed `job` to `initiator`.
+  virtual void on_submitted(const grid::JobSpec& job, NodeId initiator,
+                            TimePoint at) {
+    (void)job; (void)initiator; (void)at;
+  }
+
+  /// A REQUEST flood drew no offers; attempt `attempt` (1-based) upcoming.
+  virtual void on_request_retry(const JobId& id, std::size_t attempt,
+                                TimePoint at) {
+    (void)id; (void)attempt; (void)at;
+  }
+
+  /// The initiator gave up on the job (max_request_attempts exhausted).
+  virtual void on_unschedulable(const JobId& id, TimePoint at) {
+    (void)id; (void)at;
+  }
+
+  /// The job entered `node`'s queue. `reschedule` is false for the initial
+  /// delegation, true when it moved from a previous assignee.
+  virtual void on_assigned(const grid::JobSpec& job, NodeId node, TimePoint at,
+                           bool reschedule) {
+    (void)job; (void)node; (void)at; (void)reschedule;
+  }
+
+  /// Execution began on `node`.
+  virtual void on_started(const JobId& id, NodeId node, TimePoint at) {
+    (void)id; (void)node; (void)at;
+  }
+
+  /// Execution finished; `art` is the actual running time.
+  virtual void on_completed(const JobId& id, NodeId node, TimePoint at,
+                            Duration art) {
+    (void)id; (void)node; (void)at; (void)art;
+  }
+
+  /// The initiator's failsafe watchdog expired and the job is being
+  /// re-flooded (recovery `attempt` is 1-based).
+  virtual void on_recovery(const JobId& id, std::size_t attempt,
+                           TimePoint at) {
+    (void)id; (void)attempt; (void)at;
+  }
+};
+
+}  // namespace aria::proto

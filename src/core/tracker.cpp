@@ -1,0 +1,106 @@
+#include "core/tracker.hpp"
+
+namespace aria::proto {
+
+JobRecord* JobTracker::must_find(const JobId& id, const char* context) {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    violations_.push_back(std::string{context} + " for unknown job " +
+                          id.to_string());
+    return nullptr;
+  }
+  return &it->second;
+}
+
+void JobTracker::on_submitted(const grid::JobSpec& job, NodeId initiator,
+                              TimePoint at) {
+  auto [it, inserted] = records_.try_emplace(job.id);
+  if (!inserted) {
+    violations_.push_back("job " + job.id.to_string() + " submitted twice");
+    return;
+  }
+  it->second.spec = job;
+  it->second.initiator = initiator;
+  it->second.submitted = at;
+}
+
+void JobTracker::on_request_retry(const JobId& id, std::size_t, TimePoint) {
+  if (JobRecord* r = must_find(id, "retry")) ++r->retries;
+}
+
+void JobTracker::on_unschedulable(const JobId& id, TimePoint) {
+  if (JobRecord* r = must_find(id, "unschedulable")) {
+    r->unschedulable = true;
+    ++unschedulable_;
+  }
+}
+
+void JobTracker::on_assigned(const grid::JobSpec& job, NodeId node,
+                             TimePoint at, bool reschedule) {
+  JobRecord* r = must_find(job.id, "assignment");
+  if (r == nullptr) return;
+  if (r->started && !r->recovering) {
+    violations_.push_back("job " + job.id.to_string() +
+                          " assigned after execution started");
+  }
+  if (!r->recovering && reschedule != !r->assignments.empty()) {
+    violations_.push_back("job " + job.id.to_string() +
+                          " reschedule flag inconsistent with history");
+  }
+  if (reschedule) ++reschedules_;
+  r->assignments.emplace_back(node, at);
+}
+
+void JobTracker::on_started(const JobId& id, NodeId node, TimePoint at) {
+  JobRecord* r = must_find(id, "start");
+  if (r == nullptr) return;
+  if (r->started && !r->recovering) {
+    violations_.push_back("job " + id.to_string() + " started twice");
+    return;
+  }
+  if (r->assignments.empty() || r->assignments.back().first != node) {
+    violations_.push_back("job " + id.to_string() +
+                          " started on a node it was not assigned to");
+  }
+  r->started = at;
+  r->executor = node;
+  r->recovering = false;
+  ++r->executions;
+}
+
+void JobTracker::on_completed(const JobId& id, NodeId node, TimePoint at,
+                              Duration art) {
+  JobRecord* r = must_find(id, "completion");
+  if (r == nullptr) return;
+  if (!r->started) {
+    violations_.push_back("job " + id.to_string() +
+                          " completed without starting");
+    return;
+  }
+  if (r->completed) {
+    violations_.push_back("job " + id.to_string() + " completed twice");
+    return;
+  }
+  if (r->executor != node) {
+    violations_.push_back("job " + id.to_string() +
+                          " completed on a different node than it started");
+  }
+  r->completed = at;
+  r->art = art;
+  ++completed_;
+}
+
+void JobTracker::on_recovery(const JobId& id, std::size_t, TimePoint) {
+  if (JobRecord* r = must_find(id, "recovery")) {
+    ++r->recoveries;
+    r->recovering = true;
+    ++recoveries_;
+  }
+}
+
+const JobRecord* JobTracker::find(const JobId& id) const {
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+}  // namespace aria::proto

@@ -1,0 +1,99 @@
+// Grid-wide job lifecycle tracking.
+//
+// JobTracker observes every protocol event and maintains one record per
+// job: submission, the full assignment chain, execution start/end, retries.
+// It doubles as the reproduction's safety net: lifecycle violations (a job
+// started twice, completed without starting, ...) are collected as strings
+// and asserted empty by the test suite after every simulated run.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/observer.hpp"
+
+namespace aria::proto {
+
+struct JobRecord {
+  grid::JobSpec spec;
+  NodeId initiator{};
+  TimePoint submitted{};
+  /// Every node the job was queued on, in order (first = initial assignee).
+  std::vector<std::pair<NodeId, TimePoint>> assignments;
+  std::optional<TimePoint> started;
+  NodeId executor{};
+  std::optional<TimePoint> completed;
+  Duration art{};
+  std::size_t retries{0};
+  std::size_t recoveries{0};  // failsafe re-submissions
+  bool unschedulable{false};
+  /// Set between a failsafe recovery and the next execution start; while
+  /// true, re-assignment and restart are legitimate (at-least-once
+  /// semantics) instead of lifecycle violations.
+  bool recovering{false};
+  /// Number of times execution began (> 1 only after crash recoveries).
+  std::size_t executions{0};
+
+  bool done() const { return completed.has_value(); }
+  std::size_t reschedule_count() const {
+    return assignments.empty() ? 0 : assignments.size() - 1;
+  }
+  /// Submission -> execution start.
+  Duration waiting_time() const { return *started - submitted; }
+  /// Execution start -> completion (== actual running time).
+  Duration execution_time() const { return *completed - *started; }
+  /// Submission -> completion.
+  Duration completion_time() const { return *completed - submitted; }
+
+  bool has_deadline() const { return spec.deadline.has_value(); }
+  bool missed_deadline() const {
+    return done() && has_deadline() && *completed > *spec.deadline;
+  }
+  /// deadline - completion; positive = met with slack, negative = missed.
+  Duration deadline_slack() const { return *spec.deadline - *completed; }
+};
+
+class JobTracker final : public ProtocolObserver {
+ public:
+  void on_submitted(const grid::JobSpec& job, NodeId initiator,
+                    TimePoint at) override;
+  void on_request_retry(const JobId& id, std::size_t attempt,
+                        TimePoint at) override;
+  void on_unschedulable(const JobId& id, TimePoint at) override;
+  void on_assigned(const grid::JobSpec& job, NodeId node, TimePoint at,
+                   bool reschedule) override;
+  void on_started(const JobId& id, NodeId node, TimePoint at) override;
+  void on_completed(const JobId& id, NodeId node, TimePoint at,
+                    Duration art) override;
+  void on_recovery(const JobId& id, std::size_t attempt,
+                   TimePoint at) override;
+
+  const std::unordered_map<JobId, JobRecord>& records() const {
+    return records_;
+  }
+  const JobRecord* find(const JobId& id) const;
+
+  std::size_t submitted_count() const { return records_.size(); }
+  std::size_t completed_count() const { return completed_; }
+  std::size_t unschedulable_count() const { return unschedulable_; }
+  std::uint64_t total_reschedules() const { return reschedules_; }
+  std::uint64_t total_recoveries() const { return recoveries_; }
+
+  /// Lifecycle violations seen so far; empty on a healthy run.
+  const std::vector<std::string>& violations() const { return violations_; }
+
+ private:
+  JobRecord* must_find(const JobId& id, const char* context);
+
+  std::unordered_map<JobId, JobRecord> records_;
+  std::vector<std::string> violations_;
+  std::size_t completed_{0};
+  std::size_t unschedulable_{0};
+  std::uint64_t reschedules_{0};
+  std::uint64_t recoveries_{0};
+};
+
+}  // namespace aria::proto

@@ -1,0 +1,37 @@
+#include "grid/job.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace aria::grid {
+
+Duration ErtErrorModel::actual_running_time(Duration ert, double perf_index,
+                                            Rng& rng) const {
+  const Duration ertp = ert.scaled(1.0 / perf_index);
+  Duration drift = Duration::zero();
+  switch (mode) {
+    case ErtErrorMode::kExact:
+      break;
+    case ErtErrorMode::kSymmetric:
+      drift = ert.scaled(rng.uniform(-1.0, 1.0) * epsilon);
+      break;
+    case ErtErrorMode::kOptimistic: {
+      const double m = std::abs(rng.uniform(-1.0, 1.0));
+      drift = ert.scaled(m * epsilon);
+      break;
+    }
+  }
+  return std::max(ertp + drift, Duration::seconds(1));
+}
+
+std::string JobSpec::to_string() const {
+  std::ostringstream out;
+  out << "job{" << id.to_string().substr(0, 8) << " " << requirements.to_string()
+      << " ert=" << ert.to_string();
+  if (deadline) out << " deadline=" << deadline->to_string();
+  out << "}";
+  return out.str();
+}
+
+}  // namespace aria::grid

@@ -1,0 +1,66 @@
+// Job model (paper §III-B, §IV-D).
+//
+// A job carries a grid-wide UUID, its resource requirements, and an
+// Estimated Running Time (ERT) expressed against the baseline machine.
+// On a node with performance index p the estimate becomes ERTp = ERT / p.
+// The Actual Running Time (ART) — unknown until execution completes — is
+// ERTp plus a drift term controlled by the scenario's error model:
+//   symmetric:   drift = U[-1,1] * ERT * epsilon     (baseline, ±10%)
+//   optimistic:  drift = |U[-1,1] * ERT * epsilon|   (ERT always too low)
+//   exact:       drift = 0                            (Precise scenarios)
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/uuid.hpp"
+#include "grid/resources.hpp"
+
+namespace aria::grid {
+
+/// How simulated reality deviates from the ERT.
+enum class ErtErrorMode {
+  kExact,       // ART == ERTp
+  kSymmetric,   // drift uniform in ±ERT*epsilon
+  kOptimistic,  // drift uniform in [0, ERT*epsilon]: estimates always low
+};
+
+struct ErtErrorModel {
+  ErtErrorMode mode{ErtErrorMode::kSymmetric};
+  double epsilon{0.1};
+
+  /// Draws the Actual Running Time for a job of estimate `ert` on a node of
+  /// performance index `perf_index`. Result is clamped to at least 1s so a
+  /// pessimal drift can never produce a non-positive runtime.
+  Duration actual_running_time(Duration ert, double perf_index, Rng& rng) const;
+};
+
+/// Immutable description of a submitted job; travels inside REQUEST,
+/// INFORM, and ASSIGN messages ("Job Profile" in Table I).
+struct JobSpec {
+  JobId id{};
+  JobRequirements requirements{};
+  Duration ert{};
+  /// Absolute completion deadline; only set in deadline scenarios.
+  std::optional<TimePoint> deadline{};
+  /// Advance reservation (local-scheduling extension, paper future work):
+  /// execution must not begin before this instant. The job may be queued
+  /// and rescheduled freely; only its start is gated.
+  std::optional<TimePoint> earliest_start{};
+  /// User priority (higher runs earlier); only the kPriority local-scheduler
+  /// extension reads it.
+  int priority{0};
+
+  /// ERTp on a node of performance index p (paper §IV-B).
+  Duration ert_on(double perf_index) const {
+    return ert.scaled(1.0 / perf_index);
+  }
+
+  bool has_deadline() const { return deadline.has_value(); }
+
+  std::string to_string() const;
+};
+
+}  // namespace aria::grid

@@ -1,0 +1,46 @@
+#include "grid/profile_gen.hpp"
+
+#include <array>
+#include <vector>
+
+namespace aria::grid {
+
+namespace {
+const std::vector<double> kArchWeights{87.2, 11.0, 1.2, 0.2, 0.2, 0.2};
+const std::vector<double> kOsWeights{88.6, 5.8, 4.4, 1.0, 0.2};
+constexpr std::array<int, 5> kCapacities{1, 2, 4, 8, 16};
+}  // namespace
+
+Architecture random_architecture(Rng& rng) {
+  return static_cast<Architecture>(rng.weighted_index(kArchWeights));
+}
+
+OperatingSystem random_os(Rng& rng) {
+  return static_cast<OperatingSystem>(rng.weighted_index(kOsWeights));
+}
+
+int random_capacity_gb(Rng& rng) {
+  return kCapacities[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(kCapacities.size()) - 1))];
+}
+
+NodeProfile random_node_profile(Rng& rng) {
+  NodeProfile p;
+  p.arch = random_architecture(rng);
+  p.os = random_os(rng);
+  p.memory_gb = random_capacity_gb(rng);
+  p.disk_gb = random_capacity_gb(rng);
+  p.performance_index = rng.uniform(1.0, 2.0);
+  return p;
+}
+
+JobRequirements random_job_requirements(Rng& rng) {
+  JobRequirements r;
+  r.arch = random_architecture(rng);
+  r.os = random_os(rng);
+  r.min_memory_gb = random_capacity_gb(rng);
+  r.min_disk_gb = random_capacity_gb(rng);
+  return r;
+}
+
+}  // namespace aria::grid

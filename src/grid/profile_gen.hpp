@@ -1,0 +1,27 @@
+// Random node-profile and job-requirement generation with the paper's exact
+// probability tables (§IV-B: TOP500 snapshot for architectures and operating
+// systems, uniform {1,2,4,8,16} GB for memory/disk, perf index U[1,2]).
+#pragma once
+
+#include "common/rng.hpp"
+#include "grid/resources.hpp"
+
+namespace aria::grid {
+
+/// Architecture shares: AMD64 87.2%, POWER 11%, IA-64 1.2%, SPARC 0.2%,
+/// MIPS 0.2%, NEC 0.2%.
+Architecture random_architecture(Rng& rng);
+
+/// OS shares: LINUX 88.6%, SOLARIS 5.8%, UNIX 4.4%, WINDOWS 1%, BSD 0.2%.
+OperatingSystem random_os(Rng& rng);
+
+/// One of {1, 2, 4, 8, 16} GB, uniformly.
+int random_capacity_gb(Rng& rng);
+
+NodeProfile random_node_profile(Rng& rng);
+
+/// Job requirements are drawn from the same distributions as node profiles
+/// (paper §IV-D).
+JobRequirements random_job_requirements(Rng& rng);
+
+}  // namespace aria::grid

@@ -1,0 +1,55 @@
+#include "grid/resources.hpp"
+
+#include <sstream>
+
+namespace aria::grid {
+
+std::string to_string(Architecture a) {
+  switch (a) {
+    case Architecture::kAmd64: return "AMD64";
+    case Architecture::kPower: return "POWER";
+    case Architecture::kIa64: return "IA-64";
+    case Architecture::kSparc: return "SPARC";
+    case Architecture::kMips: return "MIPS";
+    case Architecture::kNec: return "NEC";
+  }
+  return "?";
+}
+
+std::string to_string(OperatingSystem os) {
+  switch (os) {
+    case OperatingSystem::kLinux: return "LINUX";
+    case OperatingSystem::kSolaris: return "SOLARIS";
+    case OperatingSystem::kUnix: return "UNIX";
+    case OperatingSystem::kWindows: return "WINDOWS";
+    case OperatingSystem::kBsd: return "BSD";
+  }
+  return "?";
+}
+
+std::string NodeProfile::to_string() const {
+  std::ostringstream out;
+  out << grid::to_string(arch) << "/" << grid::to_string(os) << " mem="
+      << memory_gb << "G disk=" << disk_gb << "G p=" << performance_index;
+  return out.str();
+}
+
+std::string JobRequirements::to_string() const {
+  std::ostringstream out;
+  out << grid::to_string(arch) << "/" << grid::to_string(os) << " mem>="
+      << min_memory_gb << "G disk>=" << min_disk_gb << "G";
+  if (!virtual_org.empty()) out << " vo=" << virtual_org;
+  return out.str();
+}
+
+bool satisfies(const NodeProfile& profile, const JobRequirements& req,
+               const std::string& node_vo) {
+  if (profile.arch != req.arch) return false;
+  if (profile.os != req.os) return false;
+  if (profile.memory_gb < req.min_memory_gb) return false;
+  if (profile.disk_gb < req.min_disk_gb) return false;
+  if (!req.virtual_org.empty() && req.virtual_org != node_vo) return false;
+  return true;
+}
+
+}  // namespace aria::grid

@@ -1,0 +1,68 @@
+// Hardware/software resource model (paper §IV-B).
+//
+// A node profile describes a machine (architecture, memory, disk, OS) plus
+// its performance index p in [1, 2], which relates its speed to the
+// grid-wide baseline used for Estimated Running Times. Job requirements are
+// the same fields from the demand side; `satisfies` is the matching logic a
+// node applies to REQUEST/INFORM messages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aria::grid {
+
+enum class Architecture : std::uint8_t {
+  kAmd64,
+  kPower,
+  kIa64,
+  kSparc,
+  kMips,
+  kNec,
+};
+
+enum class OperatingSystem : std::uint8_t {
+  kLinux,
+  kSolaris,
+  kUnix,
+  kWindows,
+  kBsd,
+};
+
+std::string to_string(Architecture a);
+std::string to_string(OperatingSystem os);
+
+/// What a machine offers.
+struct NodeProfile {
+  Architecture arch{Architecture::kAmd64};
+  OperatingSystem os{OperatingSystem::kLinux};
+  int memory_gb{1};
+  int disk_gb{1};
+  /// Speed relative to the ERT baseline machine; in [1, 2] per the paper,
+  /// so every node is at least as fast as the baseline.
+  double performance_index{1.0};
+
+  std::string to_string() const;
+};
+
+/// What a job demands. Architecture and OS must match exactly; memory and
+/// disk are minimums. `virtual_org` is the paper's example of an additional
+/// execution constraint ("prevent execution of a job outside the boundaries
+/// of a virtual organization"): empty means unconstrained, otherwise the
+/// node's VO tag must match.
+struct JobRequirements {
+  Architecture arch{Architecture::kAmd64};
+  OperatingSystem os{OperatingSystem::kLinux};
+  int min_memory_gb{1};
+  int min_disk_gb{1};
+  std::string virtual_org{};
+
+  std::string to_string() const;
+};
+
+/// Matching logic: can a machine with `profile` (tagged `node_vo`) run a job
+/// with `req`?
+bool satisfies(const NodeProfile& profile, const JobRequirements& req,
+               const std::string& node_vo = {});
+
+}  // namespace aria::grid

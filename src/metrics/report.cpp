@@ -1,0 +1,81 @@
+#include "metrics/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace aria::metrics {
+
+Table::Table(std::vector<std::string> header) : header_{std::move(header)} {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out << "\n";
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void print_series_matrix(std::ostream& out, const std::vector<Series>& series,
+                         std::size_t max_rows) {
+  if (series.empty()) return;
+  const Series& grid = series.front();
+  std::size_t stride = 1;
+  if (max_rows > 0 && grid.size() > max_rows) {
+    stride = (grid.size() + max_rows - 1) / max_rows;
+  }
+  std::vector<std::string> header{"t[h]"};
+  for (const Series& s : series) header.push_back(s.label());
+  Table table{header};
+  for (std::size_t i = 0; i < grid.size(); i += stride) {
+    const double t = grid.points()[i].t_hours;
+    std::vector<std::string> row{Table::num(t, 2)};
+    for (const Series& s : series) row.push_back(Table::num(s.value_at(t), 1));
+    table.add_row(std::move(row));
+  }
+  table.print(out);
+}
+
+void write_series_csv(std::ostream& out, const std::vector<Series>& series) {
+  if (series.empty()) return;
+  out << "t_hours";
+  for (const Series& s : series) out << "," << s.label();
+  out << "\n";
+  const Series& grid = series.front();
+  for (const Point& p : grid.points()) {
+    out << p.t_hours;
+    for (const Series& s : series) out << "," << s.value_at(p.t_hours);
+    out << "\n";
+  }
+}
+
+}  // namespace aria::metrics

@@ -1,0 +1,38 @@
+// Console reporting: fixed-width tables and series matrices in the style of
+// the paper's figures, plus CSV export for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/timeseries.hpp"
+
+namespace aria::metrics {
+
+/// A simple left-aligned fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double v, int precision = 1);
+
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints several series (sharing a time grid) side by side:
+///   t_hours  <label1>  <label2> ...
+/// Series are aligned on the first one's grid via value_at().
+void print_series_matrix(std::ostream& out, const std::vector<Series>& series,
+                         std::size_t max_rows = 60);
+
+/// Writes the same matrix as CSV ("t_hours,label1,label2,...").
+void write_series_csv(std::ostream& out, const std::vector<Series>& series);
+
+}  // namespace aria::metrics

@@ -1,0 +1,90 @@
+#include "metrics/timeseries.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace aria::metrics {
+
+double Series::value_at(double t_hours) const {
+  double v = 0.0;
+  for (const Point& p : points_) {
+    if (p.t_hours > t_hours) break;
+    v = p.value;
+  }
+  return v;
+}
+
+Series Series::downsampled(std::size_t every_nth) const {
+  if (every_nth <= 1 || points_.size() <= 2) return *this;
+  Series out{label_};
+  for (std::size_t i = 0; i < points_.size(); i += every_nth) {
+    out.points_.push_back(points_[i]);
+  }
+  if (out.points_.back().t_hours != points_.back().t_hours) {
+    out.points_.push_back(points_.back());
+  }
+  return out;
+}
+
+Series average(const std::vector<Series>& runs) {
+  Series out;
+  if (runs.empty()) return out;
+  out.set_label(runs.front().label());
+  std::size_t n = runs.front().size();
+  for (const Series& s : runs) n = std::min(n, s.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (const Series& s : runs) sum += s.points()[i].value;
+    out.add(runs.front().points()[i].t_hours,
+            sum / static_cast<double>(runs.size()));
+  }
+  return out;
+}
+
+LoadBalance load_balance(const std::vector<double>& per_node_work) {
+  LoadBalance lb;
+  if (per_node_work.empty()) return lb;
+  const auto n = static_cast<double>(per_node_work.size());
+  double sum = 0.0;
+  for (double w : per_node_work) {
+    sum += w;
+    lb.max = std::max(lb.max, w);
+  }
+  lb.mean = sum / n;
+  double var = 0.0;
+  for (double w : per_node_work) var += (w - lb.mean) * (w - lb.mean);
+  var /= n;
+  lb.stddev = std::sqrt(var);
+  lb.cv = lb.mean > 0.0 ? lb.stddev / lb.mean : 0.0;
+
+  // Gini via the sorted formula: G = (2*sum_i i*x_i) / (n*sum x) - (n+1)/n,
+  // with i being 1-based ranks of ascending values.
+  if (sum > 0.0) {
+    std::vector<double> sorted = per_node_work;
+    std::sort(sorted.begin(), sorted.end());
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      weighted += static_cast<double>(i + 1) * sorted[i];
+    }
+    lb.gini = 2.0 * weighted / (n * sum) - (n + 1.0) / n;
+    if (lb.gini < 0.0) lb.gini = 0.0;
+  }
+  return lb;
+}
+
+Series cumulative_count(const std::vector<TimePoint>& events, Duration bucket,
+                        TimePoint horizon, std::string label) {
+  assert(bucket > Duration::zero());
+  std::vector<TimePoint> sorted = events;
+  std::sort(sorted.begin(), sorted.end());
+  Series out{std::move(label)};
+  std::size_t i = 0;
+  for (TimePoint t = TimePoint::origin(); t <= horizon; t += bucket) {
+    while (i < sorted.size() && sorted[i] <= t) ++i;
+    out.add(t, static_cast<double>(i));
+  }
+  return out;
+}
+
+}  // namespace aria::metrics

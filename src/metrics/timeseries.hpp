@@ -1,0 +1,72 @@
+// Sampled time series and multi-run averaging.
+//
+// Every series is a list of (t, value) points with t in simulated hours.
+// Runs of the same scenario sample on identical deterministic grids, so
+// averaging across runs is element-wise.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace aria::metrics {
+
+struct Point {
+  double t_hours{0.0};
+  double value{0.0};
+};
+
+class Series {
+ public:
+  Series() = default;
+  explicit Series(std::string label) : label_{std::move(label)} {}
+
+  void add(TimePoint t, double value) {
+    points_.push_back({t.to_hours(), value});
+  }
+  void add(double t_hours, double value) { points_.push_back({t_hours, value}); }
+
+  const std::vector<Point>& points() const { return points_; }
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const std::string& label() const { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+
+  /// Value at the last sample <= t_hours (0 before the first sample).
+  double value_at(double t_hours) const;
+
+  /// Keeps roughly every n-th point (plus the last); for compact printing.
+  Series downsampled(std::size_t every_nth) const;
+
+ private:
+  std::string label_;
+  std::vector<Point> points_;
+};
+
+/// Element-wise mean of several runs of the same series. All inputs must
+/// share the sample grid of the shortest one (extra tail points ignored).
+Series average(const std::vector<Series>& runs);
+
+/// Builds a cumulative step series from raw event instants (e.g. completion
+/// times -> "completed jobs vs time", Fig. 1), sampled every `bucket`.
+Series cumulative_count(const std::vector<TimePoint>& events, Duration bucket,
+                        TimePoint horizon, std::string label = {});
+
+/// Load-balance metrics over a per-node work distribution (e.g. executed
+/// jobs or busy seconds per node).
+struct LoadBalance {
+  double mean{0.0};
+  double stddev{0.0};
+  /// Coefficient of variation: stddev / mean (0 = perfectly even).
+  double cv{0.0};
+  /// Gini coefficient in [0, 1): 0 = perfectly even, ->1 = one node does
+  /// everything.
+  double gini{0.0};
+  double max{0.0};
+};
+
+LoadBalance load_balance(const std::vector<double>& per_node_work);
+
+}  // namespace aria::metrics

@@ -1,0 +1,86 @@
+#include "overlay/blatant.hpp"
+
+#include <cassert>
+
+namespace aria::overlay {
+
+BlatantMaintainer::BlatantMaintainer(Topology& topo, BlatantParams params,
+                                     Rng rng)
+    : topo_{topo}, params_{params}, rng_{rng} {
+  assert(params_.beta <= params_.alpha);
+}
+
+NodeId BlatantMaintainer::random_walk(NodeId origin) const {
+  NodeId prev = kInvalidNode;
+  NodeId cur = origin;
+  for (std::size_t step = 0; step < params_.walk_length; ++step) {
+    const auto& ns = topo_.neighbors(cur);
+    if (ns.empty()) break;
+    // Avoid immediate backtracking when another option exists.
+    NodeId next = kInvalidNode;
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const auto pick = ns[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(ns.size()) - 1))];
+      next = pick;
+      if (pick != prev || ns.size() == 1) break;
+    }
+    prev = cur;
+    cur = next;
+  }
+  return cur;
+}
+
+void BlatantMaintainer::discovery_ant(NodeId origin) {
+  ++stats_.discovery_ants;
+  const NodeId target = random_walk(origin);
+  if (target == origin || !target.valid()) return;
+  if (topo_.has_link(origin, target)) return;
+  const auto d = topo_.distance(origin, target);
+  if (d && *d > params_.alpha) {
+    topo_.add_link(origin, target);
+    ++stats_.links_added;
+  }
+}
+
+void BlatantMaintainer::pruning_ant(NodeId origin) {
+  ++stats_.pruning_ants;
+  const auto& ns = topo_.neighbors(origin);
+  if (ns.size() <= params_.min_degree) return;
+  const NodeId victim = ns[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(ns.size()) - 1))];
+  // Both endpoints must stay above the degree floor...
+  if (topo_.degree(victim) <= params_.min_degree) return;
+  // ...and an alternative path of length <= beta must exist, which both
+  // preserves connectivity and keeps the alpha bound intact.
+  const auto detour =
+      topo_.distance_without_link(origin, victim, origin, victim);
+  if (detour && *detour <= params_.beta) {
+    topo_.remove_link(origin, victim);
+    ++stats_.links_removed;
+  }
+}
+
+void BlatantMaintainer::tick() {
+  // Snapshot the node set: ants may mutate the topology while iterating.
+  const auto nodes = topo_.nodes();
+  for (NodeId n : nodes) {
+    if (rng_.bernoulli(params_.discovery_rate)) discovery_ant(n);
+    if (rng_.bernoulli(params_.pruning_rate)) pruning_ant(n);
+  }
+}
+
+void BlatantMaintainer::converge(std::size_t max_rounds,
+                                 std::size_t quiet_rounds) {
+  std::size_t quiet = 0;
+  for (std::size_t round = 0; round < max_rounds && quiet < quiet_rounds;
+       ++round) {
+    const auto added = stats_.links_added;
+    const auto removed = stats_.links_removed;
+    tick();
+    const bool changed =
+        stats_.links_added != added || stats_.links_removed != removed;
+    quiet = changed ? 0 : quiet + 1;
+  }
+}
+
+}  // namespace aria::overlay

@@ -1,0 +1,116 @@
+#include "overlay/bootstrap.hpp"
+
+#include <cassert>
+
+namespace aria::overlay {
+
+Topology bootstrap_random(std::size_t count, double target_avg_degree, Rng& rng,
+                          std::uint32_t first_id) {
+  Topology topo;
+  if (count == 0) return topo;
+  for (std::size_t i = 0; i < count; ++i) {
+    topo.add_node(NodeId{first_id + static_cast<std::uint32_t>(i)});
+  }
+  if (count == 1) return topo;
+
+  // Ring for guaranteed connectivity (average degree 2).
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId a{first_id + static_cast<std::uint32_t>(i)};
+    const NodeId b{first_id + static_cast<std::uint32_t>((i + 1) % count)};
+    topo.add_link(a, b);
+  }
+
+  // Random chords up to the requested average degree.
+  const auto target_links =
+      static_cast<std::size_t>(target_avg_degree * static_cast<double>(count) / 2.0);
+  std::size_t guard = 0;
+  while (topo.link_count() < target_links && guard < 50 * count) {
+    const auto i = static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(count) - 1));
+    const auto j = static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(count) - 1));
+    topo.add_link(NodeId{first_id + i}, NodeId{first_id + j});
+    ++guard;
+  }
+  return topo;
+}
+
+Topology bootstrap_regular(std::size_t count, std::size_t k, Rng& rng,
+                           std::uint32_t first_id) {
+  Topology topo;
+  for (std::size_t i = 0; i < count; ++i) {
+    topo.add_node(NodeId{first_id + static_cast<std::uint32_t>(i)});
+  }
+  if (count < 2) return topo;
+
+  // Random stub matching: k stubs per node, shuffled and paired.
+  std::vector<NodeId> stubs;
+  stubs.reserve(count * k);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      stubs.push_back(NodeId{first_id + static_cast<std::uint32_t>(i)});
+    }
+  }
+  rng.shuffle(stubs);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    topo.add_link(stubs[i], stubs[i + 1]);  // self/duplicate pairs ignored
+  }
+
+  // Patch connectivity: walk the id ring and link consecutive nodes that
+  // ended up in different components.
+  for (std::size_t i = 0; i + 1 < count; ++i) {
+    const NodeId a{first_id + static_cast<std::uint32_t>(i)};
+    const NodeId b{first_id + static_cast<std::uint32_t>(i + 1)};
+    if (!topo.distance(a, b)) topo.add_link(a, b);
+  }
+  return topo;
+}
+
+Topology bootstrap_small_world(std::size_t count, std::size_t k, double beta,
+                               Rng& rng, std::uint32_t first_id) {
+  Topology topo;
+  for (std::size_t i = 0; i < count; ++i) {
+    topo.add_node(NodeId{first_id + static_cast<std::uint32_t>(i)});
+  }
+  if (count < 2) return topo;
+
+  const std::size_t half = std::max<std::size_t>(1, k / 2);
+  // Ring lattice.
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t j = 1; j <= half; ++j) {
+      topo.add_link(NodeId{first_id + static_cast<std::uint32_t>(i)},
+                    NodeId{first_id +
+                           static_cast<std::uint32_t>((i + j) % count)});
+    }
+  }
+  // Rewire each lattice link with probability beta (keep one endpoint).
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId a{first_id + static_cast<std::uint32_t>(i)};
+    for (std::size_t j = 1; j <= half; ++j) {
+      const NodeId b{first_id + static_cast<std::uint32_t>((i + j) % count)};
+      if (!rng.bernoulli(beta)) continue;
+      const NodeId c{first_id + static_cast<std::uint32_t>(rng.uniform_int(
+                         0, static_cast<std::int64_t>(count) - 1))};
+      if (c == a || topo.has_link(a, c)) continue;
+      // Never disconnect: only rewire if (a, b) is not a bridge.
+      if (!topo.remove_link(a, b)) continue;
+      if (!topo.distance(a, b)) {
+        topo.add_link(a, b);  // was a bridge; undo
+        continue;
+      }
+      topo.add_link(a, c);
+    }
+  }
+  return topo;
+}
+
+void join_node(Topology& topo, NodeId node, std::size_t contacts, Rng& rng) {
+  assert(!topo.has_node(node));
+  const std::vector<NodeId> existing = topo.nodes();
+  topo.add_node(node);
+  if (existing.empty()) return;
+  const auto picks = rng.sample(existing, contacts == 0 ? 1 : contacts);
+  for (NodeId c : picks) topo.add_link(node, c);
+}
+
+}  // namespace aria::overlay

@@ -1,0 +1,37 @@
+// Initial topology construction and node join.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "overlay/topology.hpp"
+
+namespace aria::overlay {
+
+/// Builds a connected random topology over nodes n0..n0+count-1: a ring
+/// (guarantees connectivity) plus random chords until `target_avg_degree`
+/// is reached. This seeds the BLATANT-S maintenance loop, which then
+/// reshapes it toward the bounded-path-length / minimal-links profile.
+Topology bootstrap_random(std::size_t count, double target_avg_degree, Rng& rng,
+                          std::uint32_t first_id = 0);
+
+/// Joins `node` to an existing topology by linking it to `contacts` random
+/// alive nodes (grid node arrival in the Expanding scenarios).
+void join_node(Topology& topo, NodeId node, std::size_t contacts, Rng& rng);
+
+// --- alternative overlay families (paper future work: "different types of
+// peer-to-peer overlay networks") -------------------------------------------
+
+/// k-regular-ish random graph: every node gets k link stubs paired randomly
+/// (self-loops/duplicates dropped, connectivity patched via a ring sweep).
+/// Approximates an unstructured Gnutella-style overlay.
+Topology bootstrap_regular(std::size_t count, std::size_t k, Rng& rng,
+                           std::uint32_t first_id = 0);
+
+/// Watts–Strogatz small world: a ring lattice where each node links to its
+/// `k/2` nearest neighbors per side, then every link is rewired to a random
+/// endpoint with probability `beta`.
+Topology bootstrap_small_world(std::size_t count, std::size_t k, double beta,
+                               Rng& rng, std::uint32_t first_id = 0);
+
+}  // namespace aria::overlay

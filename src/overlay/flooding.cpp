@@ -1,0 +1,26 @@
+#include "overlay/flooding.hpp"
+
+namespace aria::overlay {
+
+bool FloodRelay::mark_seen(NodeId node, const Uuid& id) {
+  return seen_[id].insert(node).second;
+}
+
+bool FloodRelay::has_seen(NodeId node, const Uuid& id) const {
+  auto it = seen_.find(id);
+  return it != seen_.end() && it->second.contains(node);
+}
+
+std::vector<NodeId> FloodRelay::pick_targets(NodeId node, std::size_t fanout,
+                                             NodeId exclude_a,
+                                             NodeId exclude_b) {
+  std::vector<NodeId> candidates;
+  for (NodeId n : topo_->neighbors(node)) {
+    if (n == exclude_a || n == exclude_b) continue;
+    candidates.push_back(n);
+  }
+  if (candidates.size() <= fanout) return candidates;
+  return rng_.sample(candidates, fanout);
+}
+
+}  // namespace aria::overlay

@@ -1,0 +1,51 @@
+// Selective-flooding support (paper §III-B/D and [28]).
+//
+// REQUEST and INFORM messages travel by bounded flooding: every hop picks at
+// most `fanout` random neighbors (excluding where the message came from) and
+// each node relays a given flood instance at most once. FloodRelay provides
+// the two pieces of per-node state/logic that implement this: duplicate
+// suppression keyed by flood id, and randomized target selection.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/uuid.hpp"
+#include "overlay/topology.hpp"
+
+namespace aria::overlay {
+
+class FloodRelay {
+ public:
+  FloodRelay(const Topology& topo, Rng rng) : topo_{&topo}, rng_{rng} {}
+
+  /// Records that `node` has seen flood `id`. Returns true the first time
+  /// (i.e., the node should process/relay), false on duplicates.
+  bool mark_seen(NodeId node, const Uuid& id);
+
+  bool has_seen(NodeId node, const Uuid& id) const;
+
+  /// Picks up to `fanout` distinct random neighbors of `node`, never
+  /// `exclude_a`/`exclude_b` (typically the previous hop and the flood
+  /// originator).
+  std::vector<NodeId> pick_targets(NodeId node, std::size_t fanout,
+                                   NodeId exclude_a = kInvalidNode,
+                                   NodeId exclude_b = kInvalidNode);
+
+  /// Drops dedup state for a finished flood (the protocol schedules this
+  /// once a flood can no longer be in flight, bounding memory).
+  void forget(const Uuid& id) { seen_.erase(id); }
+
+  std::size_t tracked_floods() const { return seen_.size(); }
+
+ private:
+  const Topology* topo_;
+  Rng rng_;
+  std::unordered_map<Uuid, std::unordered_set<NodeId>> seen_;
+};
+
+}  // namespace aria::overlay

@@ -1,0 +1,167 @@
+#include "overlay/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace aria::overlay {
+
+const std::vector<NodeId> Topology::kEmpty{};
+
+void Topology::add_node(NodeId n) { adj_.try_emplace(n); }
+
+void Topology::remove_node(NodeId n) {
+  auto it = adj_.find(n);
+  if (it == adj_.end()) return;
+  for (NodeId m : it->second) {
+    auto& back = adj_[m];
+    back.erase(std::remove(back.begin(), back.end(), n), back.end());
+    --links_;
+  }
+  adj_.erase(it);
+}
+
+bool Topology::add_link(NodeId a, NodeId b) {
+  if (a == b) return false;
+  add_node(a);
+  add_node(b);
+  auto& na = adj_[a];
+  if (std::find(na.begin(), na.end(), b) != na.end()) return false;
+  na.push_back(b);
+  adj_[b].push_back(a);
+  ++links_;
+  return true;
+}
+
+bool Topology::remove_link(NodeId a, NodeId b) {
+  auto ia = adj_.find(a);
+  auto ib = adj_.find(b);
+  if (ia == adj_.end() || ib == adj_.end()) return false;
+  auto pa = std::find(ia->second.begin(), ia->second.end(), b);
+  if (pa == ia->second.end()) return false;
+  ia->second.erase(pa);
+  auto& nb = ib->second;
+  nb.erase(std::remove(nb.begin(), nb.end(), a), nb.end());
+  --links_;
+  return true;
+}
+
+bool Topology::has_link(NodeId a, NodeId b) const {
+  auto it = adj_.find(a);
+  if (it == adj_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), b) != it->second.end();
+}
+
+const std::vector<NodeId>& Topology::neighbors(NodeId n) const {
+  auto it = adj_.find(n);
+  return it == adj_.end() ? kEmpty : it->second;
+}
+
+double Topology::average_degree() const {
+  if (adj_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(links_) / static_cast<double>(adj_.size());
+}
+
+std::vector<NodeId> Topology::nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(adj_.size());
+  for (const auto& [n, _] : adj_) out.push_back(n);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<std::size_t> Topology::bfs(NodeId a, NodeId b, NodeId skip_x,
+                                         NodeId skip_y) const {
+  if (!adj_.contains(a) || !adj_.contains(b)) return std::nullopt;
+  if (a == b) return 0;
+  std::unordered_map<NodeId, std::size_t> dist;
+  dist.emplace(a, 0);
+  std::deque<NodeId> frontier{a};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    const std::size_t du = dist[u];
+    for (NodeId v : neighbors(u)) {
+      if ((u == skip_x && v == skip_y) || (u == skip_y && v == skip_x)) continue;
+      if (dist.contains(v)) continue;
+      if (v == b) return du + 1;
+      dist.emplace(v, du + 1);
+      frontier.push_back(v);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> Topology::distance(NodeId a, NodeId b) const {
+  return bfs(a, b, kInvalidNode, kInvalidNode);
+}
+
+std::optional<std::size_t> Topology::distance_without_link(NodeId a, NodeId b,
+                                                           NodeId x,
+                                                           NodeId y) const {
+  return bfs(a, b, x, y);
+}
+
+bool Topology::connected() const {
+  if (adj_.size() <= 1) return true;
+  const NodeId start = adj_.begin()->first;
+  std::unordered_set<NodeId> seen{start};
+  std::deque<NodeId> frontier{start};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (NodeId v : neighbors(u)) {
+      if (seen.insert(v).second) frontier.push_back(v);
+    }
+  }
+  return seen.size() == adj_.size();
+}
+
+double Topology::average_path_length() const {
+  if (adj_.size() < 2) return 0.0;
+  std::uint64_t total = 0;
+  std::uint64_t pairs = 0;
+  for (const auto& [src, _] : adj_) {
+    // Single-source BFS accumulating all distances.
+    std::unordered_map<NodeId, std::size_t> dist;
+    dist.emplace(src, 0);
+    std::deque<NodeId> frontier{src};
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      const std::size_t du = dist[u];
+      for (NodeId v : neighbors(u)) {
+        if (dist.contains(v)) continue;
+        dist.emplace(v, du + 1);
+        frontier.push_back(v);
+        total += du + 1;
+        ++pairs;
+      }
+    }
+  }
+  if (pairs == 0) return 0.0;
+  return static_cast<double>(total) / static_cast<double>(pairs);
+}
+
+std::size_t Topology::diameter() const {
+  std::size_t best = 0;
+  for (const auto& [src, _] : adj_) {
+    std::unordered_map<NodeId, std::size_t> dist;
+    dist.emplace(src, 0);
+    std::deque<NodeId> frontier{src};
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      const std::size_t du = dist[u];
+      best = std::max(best, du);
+      for (NodeId v : neighbors(u)) {
+        if (dist.contains(v)) continue;
+        dist.emplace(v, du + 1);
+        frontier.push_back(v);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace aria::overlay

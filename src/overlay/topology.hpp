@@ -1,0 +1,74 @@
+// Undirected overlay topology.
+//
+// In a deployment every node stores only its own neighbor set; the
+// simulation keeps the union of those sets in one structure — the two views
+// are equivalent because protocol code only ever reads `neighbors(self)`.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace aria::overlay {
+
+class Topology {
+ public:
+  /// Adds an isolated node; no-op if present.
+  void add_node(NodeId n);
+
+  /// Removes a node and all incident links; no-op if absent.
+  void remove_node(NodeId n);
+
+  bool has_node(NodeId n) const { return adj_.contains(n); }
+
+  /// Adds an undirected link; inserts missing endpoints. Returns false if
+  /// the link already existed or a == b.
+  bool add_link(NodeId a, NodeId b);
+
+  /// Removes an undirected link; returns false if it did not exist.
+  bool remove_link(NodeId a, NodeId b);
+
+  bool has_link(NodeId a, NodeId b) const;
+
+  /// Neighbor list of `n` (empty for unknown nodes). The reference is
+  /// invalidated by any mutation.
+  const std::vector<NodeId>& neighbors(NodeId n) const;
+
+  std::size_t degree(NodeId n) const { return neighbors(n).size(); }
+  std::size_t node_count() const { return adj_.size(); }
+  std::size_t link_count() const { return links_; }
+  double average_degree() const;
+
+  std::vector<NodeId> nodes() const;
+
+  /// BFS hop distance; nullopt if unreachable or either node is unknown.
+  std::optional<std::size_t> distance(NodeId a, NodeId b) const;
+
+  /// BFS distance with one link (x, y) treated as absent — used by the
+  /// maintenance layer to test whether a link is safely removable.
+  std::optional<std::size_t> distance_without_link(NodeId a, NodeId b, NodeId x,
+                                                   NodeId y) const;
+
+  /// True when every node can reach every other (vacuously true when empty).
+  bool connected() const;
+
+  /// Exact mean shortest-path length over all reachable ordered pairs;
+  /// 0 for fewer than two nodes.
+  double average_path_length() const;
+
+  /// Longest shortest path over reachable pairs.
+  std::size_t diameter() const;
+
+ private:
+  std::optional<std::size_t> bfs(NodeId a, NodeId b, NodeId skip_x,
+                                 NodeId skip_y) const;
+
+  std::unordered_map<NodeId, std::vector<NodeId>> adj_;
+  std::size_t links_{0};
+  static const std::vector<NodeId> kEmpty;
+};
+
+}  // namespace aria::overlay

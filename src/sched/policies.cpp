@@ -1,0 +1,49 @@
+#include "sched/policies.hpp"
+
+namespace aria::sched {
+
+bool FcfsScheduler::before(const QueuedJob& a, const QueuedJob& b) const {
+  return a.seq < b.seq;
+}
+
+bool SjfScheduler::before(const QueuedJob& a, const QueuedJob& b) const {
+  // Order on the grid-baseline ERT, not ERTp: the paper keys SJF on the
+  // job's ERT, and doing so keeps the order independent of the node that
+  // happens to hold the job.
+  if (a.spec.ert != b.spec.ert) return a.spec.ert < b.spec.ert;
+  return a.seq < b.seq;
+}
+
+bool EdfScheduler::before(const QueuedJob& a, const QueuedJob& b) const {
+  const TimePoint da = a.spec.deadline.value_or(TimePoint::max());
+  const TimePoint db = b.spec.deadline.value_or(TimePoint::max());
+  if (da != db) return da < db;
+  return a.seq < b.seq;
+}
+
+bool PriorityScheduler::before(const QueuedJob& a, const QueuedJob& b) const {
+  if (a.spec.priority != b.spec.priority) return a.spec.priority > b.spec.priority;
+  return a.seq < b.seq;
+}
+
+bool FairSjfScheduler::before(const QueuedJob& a, const QueuedJob& b) const {
+  const double ka =
+      a.ertp.to_seconds() + aging_factor_ * a.enqueued_at.to_seconds();
+  const double kb =
+      b.ertp.to_seconds() + aging_factor_ * b.enqueued_at.to_seconds();
+  if (ka != kb) return ka < kb;
+  return a.seq < b.seq;
+}
+
+std::unique_ptr<LocalScheduler> make_scheduler(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFcfs: return std::make_unique<FcfsScheduler>();
+    case SchedulerKind::kSjf: return std::make_unique<SjfScheduler>();
+    case SchedulerKind::kEdf: return std::make_unique<EdfScheduler>();
+    case SchedulerKind::kPriority: return std::make_unique<PriorityScheduler>();
+    case SchedulerKind::kFairSjf: return std::make_unique<FairSjfScheduler>();
+  }
+  return nullptr;
+}
+
+}  // namespace aria::sched

@@ -1,0 +1,72 @@
+// Concrete local scheduling policies (paper §IV-C plus two extensions the
+// paper lists as future work).
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace aria::sched {
+
+/// First-Come-First-Served: execution order == local arrival order.
+class FcfsScheduler final : public LocalScheduler {
+ public:
+  SchedulerKind kind() const override { return SchedulerKind::kFcfs; }
+  CostFamily cost_family() const override { return CostFamily::kBatch; }
+
+ protected:
+  bool before(const QueuedJob& a, const QueuedJob& b) const override;
+};
+
+/// Shortest-Job-First: ordered by ERT (paper: "the scheduling order depends
+/// on the jobs' ERT"), arrival order for ties.
+class SjfScheduler final : public LocalScheduler {
+ public:
+  SchedulerKind kind() const override { return SchedulerKind::kSjf; }
+  CostFamily cost_family() const override { return CostFamily::kBatch; }
+
+ protected:
+  bool before(const QueuedJob& a, const QueuedJob& b) const override;
+};
+
+/// Earliest-Deadline-First; jobs without a deadline sort last.
+class EdfScheduler final : public LocalScheduler {
+ public:
+  SchedulerKind kind() const override { return SchedulerKind::kEdf; }
+  CostFamily cost_family() const override { return CostFamily::kDeadline; }
+
+ protected:
+  bool before(const QueuedJob& a, const QueuedJob& b) const override;
+};
+
+/// Extension: explicit user priority (higher first), FCFS within a level.
+class PriorityScheduler final : public LocalScheduler {
+ public:
+  SchedulerKind kind() const override { return SchedulerKind::kPriority; }
+  CostFamily cost_family() const override { return CostFamily::kBatch; }
+
+ protected:
+  bool before(const QueuedJob& a, const QueuedJob& b) const override;
+};
+
+/// Extension: SJF with linear aging — effective key is
+/// ertp + aging_factor * enqueued_at, which preserves SJF locally while
+/// guaranteeing that sufficiently old jobs reach the head (no starvation).
+/// The relative order of two queued jobs is time-invariant, so the queue
+/// stays sorted without re-sorting.
+class FairSjfScheduler final : public LocalScheduler {
+ public:
+  /// `aging_factor`: seconds of ERT discounted per second of waiting.
+  explicit FairSjfScheduler(double aging_factor = 0.5)
+      : aging_factor_{aging_factor} {}
+
+  SchedulerKind kind() const override { return SchedulerKind::kFairSjf; }
+  CostFamily cost_family() const override { return CostFamily::kBatch; }
+  double aging_factor() const { return aging_factor_; }
+
+ protected:
+  bool before(const QueuedJob& a, const QueuedJob& b) const override;
+
+ private:
+  double aging_factor_;
+};
+
+}  // namespace aria::sched

@@ -1,0 +1,173 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace aria::sched {
+
+std::string to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFcfs: return "FCFS";
+    case SchedulerKind::kSjf: return "SJF";
+    case SchedulerKind::kEdf: return "EDF";
+    case SchedulerKind::kPriority: return "PRIORITY";
+    case SchedulerKind::kFairSjf: return "FAIR-SJF";
+  }
+  return "?";
+}
+
+void LocalScheduler::enqueue(QueuedJob job) {
+  job.seq = next_seq_++;
+  const auto pos = std::upper_bound(
+      queue_.begin(), queue_.end(), job,
+      [this](const QueuedJob& a, const QueuedJob& b) { return before(a, b); });
+  queue_.insert(pos, std::move(job));
+}
+
+std::optional<QueuedJob> LocalScheduler::pop_next() {
+  if (queue_.empty()) return std::nullopt;
+  QueuedJob head = std::move(queue_.front());
+  queue_.erase(queue_.begin());
+  return head;
+}
+
+bool LocalScheduler::remove(const JobId& id) {
+  const auto it = std::find_if(queue_.begin(), queue_.end(),
+                               [&](const QueuedJob& q) { return q.spec.id == id; });
+  if (it == queue_.end()) return false;
+  queue_.erase(it);
+  return true;
+}
+
+bool LocalScheduler::contains(const JobId& id) const { return find(id) != nullptr; }
+
+const QueuedJob* LocalScheduler::find(const JobId& id) const {
+  const auto it = std::find_if(queue_.begin(), queue_.end(),
+                               [&](const QueuedJob& q) { return q.spec.id == id; });
+  return it == queue_.end() ? nullptr : &*it;
+}
+
+void LocalScheduler::resort() {
+  std::stable_sort(
+      queue_.begin(), queue_.end(),
+      [this](const QueuedJob& a, const QueuedJob& b) { return before(a, b); });
+}
+
+Duration LocalScheduler::ettc_of(const JobId& id,
+                                 Duration running_remaining) const {
+  Duration t = running_remaining;
+  for (const QueuedJob& q : queue_) {
+    t += q.ertp;
+    if (q.spec.id == id) return t;
+  }
+  return Duration::max();  // not queued here
+}
+
+double LocalScheduler::nal_of_sequence(
+    const std::vector<const QueuedJob*>& order, Duration running_remaining,
+    TimePoint now) const {
+  // Completion instants follow the queue order; gamma = deadline - ETC
+  // (paper §III-C). Jobs without a deadline never occur in the deadline
+  // family by construction; treat a missing one as "always on time".
+  Duration t = running_remaining;
+  double sum_abs_on_time = 0.0;
+  double sum_abs_late = 0.0;
+  bool any_late = false;
+  for (const QueuedJob* q : order) {
+    t += q->ertp;
+    const TimePoint etc = now + t;
+    const Duration gamma =
+        q->spec.deadline ? (*q->spec.deadline - etc) : Duration::max();
+    if (gamma.is_negative()) {
+      any_late = true;
+      sum_abs_late += -gamma.to_seconds();
+    } else if (q->spec.deadline) {
+      sum_abs_on_time += gamma.to_seconds();
+    }
+  }
+  // delta = -1 for every job when all are on time; otherwise on-time jobs
+  // contribute 0 and late jobs contribute +|gamma|.
+  if (!any_late) return -sum_abs_on_time;
+  return sum_abs_late;
+}
+
+double LocalScheduler::cost_of_adding(const grid::JobSpec& job, Duration ertp,
+                                      Duration running_remaining,
+                                      TimePoint now) const {
+  QueuedJob hypothetical{job, ertp, now, next_seq_};
+  if (cost_family() == CostFamily::kBatch) {
+    // ETTC: everything ordered before the new job, plus the job itself.
+    Duration t = running_remaining + ertp;
+    for (const QueuedJob& q : queue_) {
+      if (before(q, hypothetical)) t += q.ertp;
+    }
+    return t.to_seconds();
+  }
+  // NAL over Q' = Q + {job}, in policy order.
+  std::vector<const QueuedJob*> order;
+  order.reserve(queue_.size() + 1);
+  bool inserted = false;
+  for (const QueuedJob& q : queue_) {
+    if (!inserted && before(hypothetical, q)) {
+      order.push_back(&hypothetical);
+      inserted = true;
+    }
+    order.push_back(&q);
+  }
+  if (!inserted) order.push_back(&hypothetical);
+  return nal_of_sequence(order, running_remaining, now);
+}
+
+double LocalScheduler::current_cost(const JobId& id, Duration running_remaining,
+                                    TimePoint now) const {
+  if (cost_family() == CostFamily::kBatch) {
+    const Duration t = ettc_of(id, running_remaining);
+    return t == Duration::max() ? HUGE_VAL : t.to_seconds();
+  }
+  if (!contains(id)) return HUGE_VAL;
+  std::vector<const QueuedJob*> order;
+  order.reserve(queue_.size());
+  for (const QueuedJob& q : queue_) order.push_back(&q);
+  return nal_of_sequence(order, running_remaining, now);
+}
+
+std::vector<JobId> LocalScheduler::rescheduling_candidates(
+    std::size_t max_jobs, Duration running_remaining, TimePoint now) const {
+  if (max_jobs == 0 || queue_.empty()) return {};
+  struct Keyed {
+    JobId id;
+    double key;  // smaller = selected first
+    std::uint64_t seq;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(queue_.size());
+  if (cost_family() == CostFamily::kBatch) {
+    // Largest waiting time first => smallest enqueue instant first.
+    for (const QueuedJob& q : queue_) {
+      keyed.push_back({q.spec.id, q.enqueued_at.to_seconds(), q.seq});
+    }
+  } else {
+    // Least lateness first: smallest gamma = deadline - ETC.
+    Duration t = running_remaining;
+    for (const QueuedJob& q : queue_) {
+      t += q.ertp;
+      const TimePoint etc = now + t;
+      const double gamma = q.spec.deadline
+                               ? (*q.spec.deadline - etc).to_seconds()
+                               : HUGE_VAL;
+      keyed.push_back({q.spec.id, gamma, q.seq});
+    }
+  }
+  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.seq < b.seq;
+  });
+  if (keyed.size() > max_jobs) keyed.resize(max_jobs);
+  std::vector<JobId> out;
+  out.reserve(keyed.size());
+  for (const Keyed& k : keyed) out.push_back(k.id);
+  return out;
+}
+
+}  // namespace aria::sched

@@ -1,0 +1,126 @@
+// Local scheduling (paper §III-A/C, §IV-C).
+//
+// Every grid node runs one local scheduler: a queue of accepted jobs plus an
+// ordering policy. Only one job executes at a time (paper assumption); the
+// executor lives in the protocol layer and simply pops the next job when
+// idle. The scheduler also implements the two ARiA cost functions:
+//
+//   ETTC (batch policies, FCFS/SJF/...): the relative time at which a job
+//   would complete, i.e. remaining runtime of the executing job + estimated
+//   runtimes of everything scheduled before it + its own ERTp.
+//
+//   NAL (deadline policies, EDF): the Negative Accumulated Lateness of the
+//   whole queue with the job included — strictly negative when every queued
+//   job would meet its deadline (more slack => more negative => better),
+//   and positive (sum of overruns) as soon as anything would be late.
+//
+// Costs are plain doubles in seconds; lower is better. Batch and deadline
+// costs are never compared with each other (paper: deadline offers are not
+// mixed with batch ones).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/uuid.hpp"
+#include "grid/job.hpp"
+
+namespace aria::sched {
+
+enum class SchedulerKind : std::uint8_t {
+  kFcfs,     // first come, first served
+  kSjf,      // shortest job first
+  kEdf,      // earliest deadline first (deadline family)
+  kPriority, // extension: explicit job priority, FCFS within a priority
+  kFairSjf,  // extension: SJF with aging (starvation-free)
+};
+
+/// Which cost function a scheduler speaks.
+enum class CostFamily : std::uint8_t { kBatch, kDeadline };
+
+std::string to_string(SchedulerKind kind);
+
+/// A job sitting in a local queue.
+struct QueuedJob {
+  grid::JobSpec spec;
+  Duration ertp;            // spec.ert scaled by this node's perf index
+  TimePoint enqueued_at;    // local arrival time (ASSIGN reception)
+  std::uint64_t seq{0};     // arrival tie-breaker, set by the scheduler
+};
+
+class LocalScheduler {
+ public:
+  virtual ~LocalScheduler() = default;
+  LocalScheduler() = default;
+  LocalScheduler(const LocalScheduler&) = delete;
+  LocalScheduler& operator=(const LocalScheduler&) = delete;
+
+  virtual SchedulerKind kind() const = 0;
+  virtual CostFamily cost_family() const = 0;
+
+  /// Inserts a job at its policy position. `job.seq` is overwritten.
+  void enqueue(QueuedJob job);
+
+  /// Removes and returns the job to execute next (queue head).
+  std::optional<QueuedJob> pop_next();
+
+  /// Removes a waiting job (it was rescheduled to another node).
+  bool remove(const JobId& id);
+
+  bool contains(const JobId& id) const;
+  const QueuedJob* find(const JobId& id) const;
+  std::size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+  /// The queue in execution order (head first).
+  const std::vector<QueuedJob>& queue() const { return queue_; }
+
+  /// Hypothetical cost of accepting `job` (NOT currently queued), given the
+  /// estimated remaining runtime of the currently executing job. `now` only
+  /// matters to the deadline family (deadlines are absolute).
+  /// This is the value an ACCEPT message carries.
+  double cost_of_adding(const grid::JobSpec& job, Duration ertp,
+                        Duration running_remaining, TimePoint now) const;
+
+  /// Cost of a job that IS currently queued here — the value an INFORM
+  /// message advertises. For the batch family this is the job's current
+  /// ETTC; for the deadline family, the NAL of the queue as it stands.
+  double current_cost(const JobId& id, Duration running_remaining,
+                      TimePoint now) const;
+
+  /// Estimated relative time-to-completion of a queued job.
+  Duration ettc_of(const JobId& id, Duration running_remaining) const;
+
+  /// Selects up to `max_jobs` queued jobs to advertise for rescheduling
+  /// (paper §III-D): batch — largest waiting time first; deadline — least
+  /// lateness (smallest deadline slack) first.
+  std::vector<JobId> rescheduling_candidates(std::size_t max_jobs,
+                                             Duration running_remaining,
+                                             TimePoint now) const;
+
+ protected:
+  /// Strict weak ordering: does `a` execute before `b`? Implementations
+  /// must fall back to `seq` for ties so ordering is deterministic.
+  virtual bool before(const QueuedJob& a, const QueuedJob& b) const = 0;
+
+  /// Re-sorts the queue; policies whose keys depend on time (aging) call
+  /// this from their hooks.
+  void resort();
+
+  std::vector<QueuedJob> queue_;  // maintained in execution order
+
+ private:
+  double nal_of_sequence(const std::vector<const QueuedJob*>& order,
+                         Duration running_remaining, TimePoint now) const;
+
+  std::uint64_t next_seq_{0};
+};
+
+/// Factory covering every kind.
+std::unique_ptr<LocalScheduler> make_scheduler(SchedulerKind kind);
+
+}  // namespace aria::sched

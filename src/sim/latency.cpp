@@ -1,0 +1,35 @@
+#include "sim/latency.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace aria::sim {
+
+namespace {
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+void GeoLatencyModel::position(NodeId n, double& x, double& y) const {
+  const std::uint64_t h = mix(params_.seed ^ (static_cast<std::uint64_t>(n.value()) + 1));
+  x = static_cast<double>(h >> 32) / 4294967296.0;
+  y = static_cast<double>(h & 0xFFFFFFFFULL) / 4294967296.0;
+}
+
+Duration GeoLatencyModel::latency(NodeId a, NodeId b, Rng& rng) {
+  double ax, ay, bx, by;
+  position(a, ax, ay);
+  position(b, bx, by);
+  const double dist = std::hypot(ax - bx, ay - by) / std::numbers::sqrt2;
+  const Duration deterministic = params_.base + params_.span.scaled(dist);
+  const double jitter = rng.uniform(0.0, params_.jitter_fraction);
+  return deterministic + deterministic.scaled(jitter);
+}
+
+}  // namespace aria::sim

@@ -1,0 +1,30 @@
+#include "sim/network.hpp"
+
+#include <utility>
+
+namespace aria::sim {
+
+void Network::send(NodeId from, NodeId to, std::unique_ptr<Message> message) {
+  assert(message);
+  assert(from.valid() && to.valid());
+  const std::string type = message->type_name();
+  traffic_.record(type, message->wire_size());
+  ++sent_;
+
+  const Duration delay = latency_->latency(from, to, rng_);
+  // The envelope is moved into the event; shared_ptr smooths over
+  // std::function's copyability requirement.
+  auto box = std::make_shared<Envelope>(Envelope{from, to, std::move(message)});
+  sim_.schedule_after(delay, [this, box, type] {
+    auto it = nodes_.find(box->to);
+    if (it == nodes_.end() || !it->second.up) {
+      ++dropped_;
+      traffic_.record_drop(type);
+      return;
+    }
+    ++delivered_;
+    it->second.handler(std::move(*box));
+  });
+}
+
+}  // namespace aria::sim

@@ -1,0 +1,99 @@
+// Point-to-point message transport over the simulator.
+//
+// The network knows nothing about the overlay topology: any node may send to
+// any address it has learned (the paper's overlay "enables communication
+// between any pair of nodes"). Topology constraints — who forwards to whom —
+// live in the protocol layer. Every send is metered in a TrafficLedger;
+// messages to unregistered or down nodes are dropped and counted.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "sim/latency.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+
+namespace aria::sim {
+
+/// Base class for everything that travels on the wire. `wire_size` feeds the
+/// traffic ledger; `type_name` keys the per-type accounting.
+class Message {
+ public:
+  virtual ~Message() = default;
+  virtual std::size_t wire_size() const = 0;
+  virtual std::string type_name() const = 0;
+};
+
+struct Envelope {
+  NodeId from;
+  NodeId to;
+  std::unique_ptr<Message> message;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(Envelope)>;
+
+  Network(Simulator& sim, std::unique_ptr<LatencyModel> latency, Rng rng)
+      : sim_{sim}, latency_{std::move(latency)}, rng_{rng} {
+    assert(latency_);
+  }
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Attaches a node; replaces any previous handler for the same id.
+  void attach(NodeId node, Handler handler) {
+    assert(node.valid() && handler);
+    nodes_[node] = NodeState{std::move(handler), /*up=*/true};
+  }
+
+  void detach(NodeId node) { nodes_.erase(node); }
+
+  /// Simulates a crash/recovery: down nodes silently drop incoming traffic.
+  void set_up(NodeId node, bool up) {
+    auto it = nodes_.find(node);
+    if (it != nodes_.end()) it->second.up = up;
+  }
+
+  bool is_attached(NodeId node) const { return nodes_.contains(node); }
+  bool is_up(NodeId node) const {
+    auto it = nodes_.find(node);
+    return it != nodes_.end() && it->second.up;
+  }
+
+  /// Sends `message` from `from` to `to`; delivery happens after the
+  /// latency-model delay. The send is metered immediately (the bytes hit the
+  /// wire even if the destination is down at delivery time).
+  void send(NodeId from, NodeId to, std::unique_ptr<Message> message);
+
+  TrafficLedger& traffic() { return traffic_; }
+  const TrafficLedger& traffic() const { return traffic_; }
+
+  std::uint64_t sent_messages() const { return sent_; }
+  std::uint64_t delivered_messages() const { return delivered_; }
+  std::uint64_t dropped_messages() const { return dropped_; }
+
+ private:
+  struct NodeState {
+    Handler handler;
+    bool up{true};
+  };
+
+  Simulator& sim_;
+  std::unique_ptr<LatencyModel> latency_;
+  Rng rng_;
+  TrafficLedger traffic_;
+  std::unordered_map<NodeId, NodeState> nodes_;
+  std::uint64_t sent_{0};
+  std::uint64_t delivered_{0};
+  std::uint64_t dropped_{0};
+};
+
+}  // namespace aria::sim

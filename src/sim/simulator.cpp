@@ -1,0 +1,101 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace aria::sim {
+
+EventHandle Simulator::schedule_at(TimePoint at, Callback fn) {
+  assert(fn);
+  if (at < now_) at = now_;  // never schedule into the past
+  auto cancelled = std::make_shared<bool>(false);
+  EventHandle handle{cancelled};
+  queue_.push(Entry{at, next_seq_++, std::move(fn), std::move(cancelled)});
+  return handle;
+}
+
+EventHandle Simulator::schedule_after(Duration delay, Callback fn) {
+  if (delay.is_negative()) delay = Duration::zero();
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_periodic(Duration phase, Duration period,
+                                         Callback fn) {
+  assert(period > Duration::zero());
+  // The shared flag spans all repetitions, so cancelling the returned handle
+  // stops the whole series.
+  auto cancelled = std::make_shared<bool>(false);
+  EventHandle handle{cancelled};
+
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, fn = std::move(fn), cancelled, tick]() {
+    fn();
+    if (*cancelled) return;
+    queue_.push(Entry{now_ + period, next_seq_++,
+                      [tick] { (*tick)(); }, cancelled});
+  };
+  if (phase.is_negative()) phase = Duration::zero();
+  queue_.push(Entry{now_ + phase, next_seq_++, [tick] { (*tick)(); }, cancelled});
+  return handle;
+}
+
+bool Simulator::pop_next(Entry& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the Entry is copied cheaply except for
+    // the callback, so move it out via const_cast — safe because we pop
+    // immediately and never touch the moved-from top again.
+    Entry& top = const_cast<Entry&>(queue_.top());
+    if (*top.cancelled) {
+      queue_.pop();
+      continue;
+    }
+    out = std::move(top);
+    queue_.pop();
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Entry e;
+  if (!pop_next(e)) return false;
+  now_ = e.at;
+  ++fired_;
+  // Note: the cancelled flag is NOT set here — periodic events share one
+  // flag across repetitions. One-shot handles expire naturally when the
+  // Entry (the last shared_ptr owner) is destroyed after fn() returns.
+  e.fn();
+  return true;
+}
+
+std::uint64_t Simulator::run() {
+  stop_requested_ = false;
+  std::uint64_t n = 0;
+  while (!stop_requested_ && step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(TimePoint deadline) {
+  stop_requested_ = false;
+  std::uint64_t n = 0;
+  Entry e;
+  while (!stop_requested_) {
+    // Peek: do not advance past the deadline.
+    if (!pop_next(e)) break;
+    if (e.at > deadline) {
+      // Push back; it stays pending for a later run.
+      queue_.push(std::move(e));
+      break;
+    }
+    now_ = e.at;
+    ++fired_;
+    e.fn();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+std::size_t Simulator::pending_events() const { return queue_.size(); }
+
+}  // namespace aria::sim

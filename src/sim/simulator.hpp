@@ -1,0 +1,104 @@
+// Deterministic discrete-event simulation kernel.
+//
+// Events are (time, sequence) ordered: two events at the same instant fire
+// in scheduling order, which makes whole runs bit-reproducible. Events may
+// be cancelled through their handle; cancelled entries are skipped lazily
+// when popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace aria::sim {
+
+/// Handle to a scheduled event; cheap to copy, outliving the simulator is
+/// safe (cancel becomes a no-op once the event fired).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevents the event from firing; idempotent.
+  void cancel() {
+    if (auto s = state_.lock()) *s = true;
+  }
+
+  /// True while the event is still scheduled and not cancelled.
+  bool pending() const {
+    auto s = state_.lock();
+    return s && !*s;
+  }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::weak_ptr<bool> state) : state_{std::move(state)} {}
+  std::weak_ptr<bool> state_;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at`; `at` must not precede now().
+  EventHandle schedule_at(TimePoint at, Callback fn);
+
+  /// Schedules `fn` after `delay` (clamped to zero if negative).
+  EventHandle schedule_after(Duration delay, Callback fn);
+
+  /// Schedules `fn` every `period` starting at now() + `phase`. The callback
+  /// keeps firing until the returned handle is cancelled or the run ends.
+  EventHandle schedule_periodic(Duration phase, Duration period, Callback fn);
+
+  /// Runs until the queue drains. Returns the number of events fired.
+  std::uint64_t run();
+
+  /// Runs until the queue drains or simulated time would pass `deadline`;
+  /// the clock is left at min(deadline, last event time). Events scheduled
+  /// exactly at `deadline` do fire.
+  std::uint64_t run_until(TimePoint deadline);
+
+  /// Fires at most one event. Returns false if the queue was empty.
+  bool step();
+
+  /// Requests run()/run_until() to return after the current event.
+  void stop() { stop_requested_ = true; }
+
+  std::size_t pending_events() const;
+  std::uint64_t fired_events() const { return fired_; }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq;
+    Callback fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops skipping cancelled entries; false when drained.
+  bool pop_next(Entry& out);
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  TimePoint now_{};
+  std::uint64_t next_seq_{0};
+  std::uint64_t fired_{0};
+  std::uint64_t cancelled_pending_{0};
+  bool stop_requested_{false};
+};
+
+}  // namespace aria::sim

@@ -1,0 +1,66 @@
+// Per-message-type traffic accounting (paper §V-E / Fig. 10).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aria::sim {
+
+class TrafficLedger {
+ public:
+  struct Entry {
+    std::uint64_t messages{0};
+    std::uint64_t bytes{0};
+  };
+
+  void record(const std::string& type, std::uint64_t bytes) {
+    auto& e = by_type_[type];
+    ++e.messages;
+    e.bytes += bytes;
+  }
+
+  void record_drop(const std::string& type) { ++drops_[type]; }
+
+  Entry total() const {
+    Entry t;
+    for (const auto& [_, e] : by_type_) {
+      t.messages += e.messages;
+      t.bytes += e.bytes;
+    }
+    return t;
+  }
+
+  Entry of(const std::string& type) const {
+    auto it = by_type_.find(type);
+    return it == by_type_.end() ? Entry{} : it->second;
+  }
+
+  std::uint64_t drops(const std::string& type) const {
+    auto it = drops_.find(type);
+    return it == drops_.end() ? 0 : it->second;
+  }
+
+  const std::map<std::string, Entry>& by_type() const { return by_type_; }
+
+  void merge(const TrafficLedger& other) {
+    for (const auto& [k, e] : other.by_type_) {
+      auto& mine = by_type_[k];
+      mine.messages += e.messages;
+      mine.bytes += e.bytes;
+    }
+    for (const auto& [k, n] : other.drops_) drops_[k] += n;
+  }
+
+  void clear() {
+    by_type_.clear();
+    drops_.clear();
+  }
+
+ private:
+  std::map<std::string, Entry> by_type_;
+  std::map<std::string, std::uint64_t> drops_;
+};
+
+}  // namespace aria::sim

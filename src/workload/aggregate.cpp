@@ -1,0 +1,72 @@
+#include "workload/aggregate.hpp"
+
+#include <future>
+#include <thread>
+
+namespace aria::workload {
+
+std::vector<RunResult> run_scenario_repeated(const ScenarioConfig& scenario,
+                                             std::size_t runs,
+                                             std::uint64_t base_seed,
+                                             bool parallel) {
+  std::vector<RunResult> results;
+  results.reserve(runs);
+  if (!parallel || runs <= 1) {
+    for (std::size_t i = 0; i < runs; ++i) {
+      results.push_back(run_scenario(scenario, base_seed + i));
+    }
+    return results;
+  }
+  std::vector<std::future<RunResult>> futures;
+  futures.reserve(runs);
+  for (std::size_t i = 0; i < runs; ++i) {
+    futures.push_back(std::async(std::launch::async, [&scenario, base_seed, i] {
+      return run_scenario(scenario, base_seed + i);
+    }));
+  }
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+ScenarioSummary summarize(const ScenarioConfig& scenario,
+                          const std::vector<RunResult>& results,
+                          Duration curve_bucket) {
+  ScenarioSummary s;
+  s.name = scenario.name;
+  s.runs = results.size();
+
+  std::vector<metrics::Series> idles, node_counts, curves;
+  const TimePoint horizon = TimePoint::origin() + scenario.horizon;
+  for (const RunResult& r : results) {
+    s.completion_minutes.add(r.mean_completion_minutes());
+    s.waiting_minutes.add(r.mean_waiting_minutes());
+    s.execution_minutes.add(r.mean_execution_minutes());
+    s.completed_jobs.add(static_cast<double>(r.completed()));
+    s.reschedules.add(static_cast<double>(r.tracker.total_reschedules()));
+    s.missed_deadlines.add(static_cast<double>(r.missed_deadlines()));
+    s.met_slack_minutes.add(r.mean_met_slack_minutes());
+    s.missed_time_minutes.add(r.mean_missed_time_minutes());
+    s.overlay_avg_path_length.add(r.overlay_avg_path_length);
+    s.overlay_avg_degree.add(r.overlay_avg_degree);
+    s.traffic.merge(r.traffic);
+    idles.push_back(r.idle_series);
+    node_counts.push_back(r.node_count_series);
+    curves.push_back(r.completed_series(curve_bucket, horizon));
+  }
+  s.idle_series = metrics::average(idles);
+  s.idle_series.set_label(scenario.name);
+  s.node_count_series = metrics::average(node_counts);
+  s.node_count_series.set_label(scenario.name);
+  s.completed_curve = metrics::average(curves);
+  s.completed_curve.set_label(scenario.name);
+  return s;
+}
+
+ScenarioSummary run_and_summarize(const ScenarioConfig& scenario,
+                                  std::size_t runs, std::uint64_t base_seed,
+                                  Duration curve_bucket) {
+  return summarize(scenario, run_scenario_repeated(scenario, runs, base_seed),
+                   curve_bucket);
+}
+
+}  // namespace aria::workload

@@ -1,0 +1,126 @@
+#include "workload/cli.hpp"
+
+#include <cstdlib>
+
+namespace aria::workload {
+
+namespace {
+
+bool parse_size(const std::string& text, std::size_t& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::string> parse_cli(const std::vector<std::string>& args,
+                                     CliOptions& out) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&](const char* flag) -> std::optional<std::string> {
+      if (i + 1 >= args.size()) return std::nullopt;
+      ++i;
+      (void)flag;
+      return args[i];
+    };
+
+    if (a == "-h" || a == "--help") {
+      out.show_help = true;
+    } else if (a == "--list") {
+      out.list_scenarios = true;
+    } else if (a == "--quiet") {
+      out.quiet = true;
+    } else if (a == "--resched") {
+      out.rescheduling = true;
+    } else if (a == "--no-resched") {
+      out.rescheduling = false;
+    } else if (a == "--failsafe") {
+      out.failsafe = true;
+    } else if (a == "--overlay") {
+      const auto v = next("--overlay");
+      if (!v || (*v != "blatant" && *v != "random" && *v != "smallworld")) {
+        return "--overlay requires blatant|random|smallworld";
+      }
+      out.overlay = *v;
+    } else if (a == "--scenario") {
+      const auto v = next("--scenario");
+      if (!v) return "--scenario requires a name";
+      out.scenario = *v;
+    } else if (a == "--csv") {
+      const auto v = next("--csv");
+      if (!v) return "--csv requires a directory";
+      out.csv_dir = *v;
+    } else if (a == "--runs") {
+      const auto v = next("--runs");
+      std::size_t n = 0;
+      if (!v || !parse_size(*v, n) || n == 0) {
+        return "--runs requires a positive integer";
+      }
+      out.runs = n;
+    } else if (a == "--seed") {
+      const auto v = next("--seed");
+      std::size_t n = 0;
+      if (!v || !parse_size(*v, n)) return "--seed requires an integer";
+      out.seed = n;
+    } else if (a == "--nodes") {
+      const auto v = next("--nodes");
+      std::size_t n = 0;
+      if (!v || !parse_size(*v, n) || n == 0) {
+        return "--nodes requires a positive integer";
+      }
+      out.nodes = n;
+    } else if (a == "--jobs") {
+      const auto v = next("--jobs");
+      std::size_t n = 0;
+      if (!v || !parse_size(*v, n) || n == 0) {
+        return "--jobs requires a positive integer";
+      }
+      out.jobs = n;
+    } else {
+      return "unknown option: " + a;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string cli_usage() {
+  return R"(aria_sim — run ARiA evaluation scenarios (ICDCS 2010 reproduction)
+
+usage: aria_sim [options]
+  --list              list the 26 Table-II scenarios and exit
+  --scenario NAME     scenario to run (default: iMixed)
+  --runs N            repetitions with seeds seed..seed+N-1 (default: 1)
+  --seed S            base seed (default: 1)
+  --nodes N           override the grid size
+  --jobs N            override the job count
+  --resched           force dynamic rescheduling on
+  --no-resched        force dynamic rescheduling off
+  --failsafe          enable initiator-side crash recovery (NOTIFY traffic)
+  --overlay KIND      overlay family: blatant (default) | random | smallworld
+  --csv DIR           write idle/completed series as CSV into DIR
+  --quiet             print only the summary block
+  -h, --help          this text
+)";
+}
+
+ScenarioConfig resolve_scenario(const CliOptions& options) {
+  ScenarioConfig cfg = scenario_by_name(options.scenario);
+  if (options.nodes != 0) cfg.node_count = options.nodes;
+  if (options.jobs != 0) cfg.job_count = options.jobs;
+  if (options.rescheduling) {
+    cfg.aria.dynamic_rescheduling = *options.rescheduling;
+  }
+  if (options.failsafe) cfg.aria.failsafe = true;
+  if (options.overlay == "random") {
+    cfg.overlay_family = ScenarioConfig::OverlayFamily::kRandomRegular;
+  } else if (options.overlay == "smallworld") {
+    cfg.overlay_family = ScenarioConfig::OverlayFamily::kSmallWorld;
+  }
+  return cfg;
+}
+
+}  // namespace aria::workload

@@ -1,0 +1,43 @@
+// Command-line options for the `aria_sim` scenario runner. Parsing lives in
+// the library so it is unit-testable; the tool itself is a thin main().
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/scenario.hpp"
+
+namespace aria::workload {
+
+struct CliOptions {
+  bool show_help{false};
+  bool list_scenarios{false};
+  std::string scenario{"iMixed"};
+  std::size_t runs{1};
+  std::uint64_t seed{1};
+  /// Overrides applied on top of the named scenario (0 / empty = keep).
+  std::size_t nodes{0};
+  std::size_t jobs{0};
+  std::optional<bool> rescheduling{};
+  bool failsafe{false};
+  /// "blatant" (default), "random", or "smallworld".
+  std::string overlay{};
+  /// Directory to drop CSV series into (empty = no CSV output).
+  std::string csv_dir{};
+  bool quiet{false};
+};
+
+/// Parses argv (excluding argv[0]). On error returns the message; on
+/// success fills `out`.
+std::optional<std::string> parse_cli(const std::vector<std::string>& args,
+                                     CliOptions& out);
+
+/// Usage text for --help.
+std::string cli_usage();
+
+/// Applies the option overrides to the named scenario. Throws
+/// std::out_of_range for unknown scenario names.
+ScenarioConfig resolve_scenario(const CliOptions& options);
+
+}  // namespace aria::workload

@@ -1,0 +1,358 @@
+#include "workload/engine.hpp"
+
+#include <cassert>
+#include <chrono>
+
+#include "common/logging.hpp"
+#include "grid/profile_gen.hpp"
+#include "overlay/bootstrap.hpp"
+#include "sched/policies.hpp"
+#include "sim/latency.hpp"
+
+namespace aria::workload {
+
+// ---------------------------------------------------------------------------
+// RunResult derived metrics
+// ---------------------------------------------------------------------------
+
+namespace {
+template <typename Fn>
+double mean_over_completed(const proto::JobTracker& tracker, Fn fn) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [id, r] : tracker.records()) {
+    if (!r.done()) continue;
+    sum += fn(r);
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+}  // namespace
+
+double RunResult::mean_completion_minutes() const {
+  return mean_over_completed(tracker, [](const proto::JobRecord& r) {
+    return r.completion_time().to_minutes();
+  });
+}
+
+double RunResult::mean_waiting_minutes() const {
+  return mean_over_completed(tracker, [](const proto::JobRecord& r) {
+    return r.waiting_time().to_minutes();
+  });
+}
+
+double RunResult::mean_execution_minutes() const {
+  return mean_over_completed(tracker, [](const proto::JobRecord& r) {
+    return r.execution_time().to_minutes();
+  });
+}
+
+std::size_t RunResult::deadline_jobs() const {
+  std::size_t n = 0;
+  for (const auto& [id, r] : tracker.records()) {
+    if (r.has_deadline()) ++n;
+  }
+  return n;
+}
+
+std::size_t RunResult::missed_deadlines() const {
+  std::size_t n = 0;
+  for (const auto& [id, r] : tracker.records()) {
+    if (r.missed_deadline()) ++n;
+    // A deadline job that never completed within the horizon is a miss too.
+    if (r.has_deadline() && !r.done()) ++n;
+  }
+  return n;
+}
+
+double RunResult::mean_met_slack_minutes() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [id, r] : tracker.records()) {
+    if (!r.done() || !r.has_deadline() || r.missed_deadline()) continue;
+    sum += r.deadline_slack().to_minutes();
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double RunResult::mean_missed_time_minutes() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [id, r] : tracker.records()) {
+    if (!r.done() || !r.missed_deadline()) continue;
+    sum += -r.deadline_slack().to_minutes();
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+metrics::Series RunResult::completed_series(Duration bucket,
+                                            TimePoint horizon) const {
+  std::vector<TimePoint> completions;
+  completions.reserve(tracker.records().size());
+  for (const auto& [id, r] : tracker.records()) {
+    if (r.done()) completions.push_back(*r.completed);
+  }
+  return metrics::cumulative_count(completions, bucket, horizon,
+                                   scenario_name);
+}
+
+double RunResult::traffic_mib(const std::string& type) const {
+  return static_cast<double>(traffic.of(type).bytes) / (1024.0 * 1024.0);
+}
+
+double RunResult::traffic_mib_total() const {
+  return static_cast<double>(traffic.total().bytes) / (1024.0 * 1024.0);
+}
+
+metrics::LoadBalance RunResult::execution_balance() const {
+  std::vector<double> per_node(final_node_count, 0.0);
+  for (const auto& [id, r] : tracker.records()) {
+    if (r.done() && r.executor.index() < per_node.size()) {
+      per_node[r.executor.index()] += 1.0;
+    }
+  }
+  return metrics::load_balance(per_node);
+}
+
+metrics::LoadBalance RunResult::busy_time_balance() const {
+  std::vector<double> per_node(final_node_count, 0.0);
+  for (const auto& [id, r] : tracker.records()) {
+    if (r.done() && r.executor.index() < per_node.size()) {
+      per_node[r.executor.index()] += r.art.to_seconds();
+    }
+  }
+  return metrics::load_balance(per_node);
+}
+
+// ---------------------------------------------------------------------------
+// GridSimulation
+// ---------------------------------------------------------------------------
+
+GridSimulation::GridSimulation(ScenarioConfig config, std::uint64_t seed)
+    : config_{std::move(config)},
+      seed_{seed},
+      rng_{seed},
+      ert_error_{config_.ert_error},
+      submit_rng_{0},
+      idle_series_{"idle"},
+      node_count_series_{"nodes"} {}
+
+GridSimulation::~GridSimulation() = default;
+
+proto::AriaNode* GridSimulation::node(NodeId id) {
+  const std::size_t i = id.index();
+  return i < nodes_.size() ? nodes_[i].get() : nullptr;
+}
+
+std::vector<proto::AriaNode*> GridSimulation::all_nodes() {
+  std::vector<proto::AriaNode*> out;
+  out.reserve(nodes_.size());
+  for (auto& n : nodes_) out.push_back(n.get());
+  return out;
+}
+
+std::size_t GridSimulation::idle_count() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) {
+    if (node->idle()) ++n;
+  }
+  return n;
+}
+
+void GridSimulation::build() {
+  if (built_) return;
+  built_ = true;
+
+  net_ = std::make_unique<sim::Network>(
+      sim_,
+      std::make_unique<sim::GeoLatencyModel>(
+          sim::GeoLatencyModel::Params{.seed = seed_ ^ 0xA51C17ULL}),
+      rng_.fork(1));
+  relay_ = std::make_unique<overlay::FloodRelay>(topo_, rng_.fork(2));
+  submit_rng_ = rng_.fork(3);
+  jobgen_ = std::make_unique<JobGenerator>(config_.jobs, rng_.fork(4));
+
+  build_overlay();
+  build_nodes();
+  schedule_workload();
+  schedule_expansion();
+  schedule_maintenance();
+  schedule_sampling();
+}
+
+void GridSimulation::build_overlay() {
+  Rng boot_rng = rng_.fork(5);
+  using Family = ScenarioConfig::OverlayFamily;
+  switch (config_.overlay_family) {
+    case Family::kBlatant:
+      topo_ = overlay::bootstrap_random(config_.node_count,
+                                        config_.bootstrap_avg_degree, boot_rng);
+      maintainer_ = std::make_unique<overlay::BlatantMaintainer>(
+          topo_, overlay::BlatantParams{}, rng_.fork(6));
+      // Let the ants reshape the bootstrap graph before traffic starts.
+      maintainer_->converge(/*max_rounds=*/40, /*quiet_rounds=*/3);
+      break;
+    case Family::kRandomRegular:
+      topo_ = overlay::bootstrap_regular(
+          config_.node_count,
+          static_cast<std::size_t>(config_.bootstrap_avg_degree), boot_rng);
+      break;
+    case Family::kSmallWorld:
+      topo_ = overlay::bootstrap_small_world(
+          config_.node_count,
+          static_cast<std::size_t>(config_.bootstrap_avg_degree),
+          config_.small_world_beta, boot_rng);
+      break;
+  }
+}
+
+void GridSimulation::spawn_node() {
+  const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
+  Rng profile_rng = rng_.fork(100 + id.value());
+  grid::NodeProfile profile = grid::random_node_profile(profile_rng);
+
+  const auto& mix = config_.scheduler_mix;
+  assert(!mix.empty());
+  const auto kind = mix[static_cast<std::size_t>(profile_rng.uniform_int(
+      0, static_cast<std::int64_t>(mix.size()) - 1))];
+
+  proto::NodeContext ctx;
+  ctx.sim = &sim_;
+  ctx.net = net_.get();
+  ctx.topo = &topo_;
+  ctx.relay = relay_.get();
+  ctx.config = &config_.aria;
+  ctx.ert_error = &ert_error_;
+  ctx.observer = &tracker_;
+
+  std::string vo;
+  if (config_.vo_count > 1) {
+    vo = "vo" + std::to_string(id.value() % config_.vo_count);
+  }
+  auto node = std::make_unique<proto::AriaNode>(
+      ctx, id, profile, sched::make_scheduler(kind), profile_rng.fork(7),
+      std::move(vo));
+  node->start();
+  nodes_.push_back(std::move(node));
+}
+
+void GridSimulation::build_nodes() {
+  nodes_.reserve(config_.node_count);
+  for (std::size_t i = 0; i < config_.node_count; ++i) spawn_node();
+}
+
+void GridSimulation::submit_one(std::size_t index) {
+  (void)index;
+  // Feasibility: at least one currently alive node must match.
+  auto feasible = [this](const grid::JobRequirements& req) {
+    for (const auto& n : nodes_) {
+      if (grid::satisfies(n->profile(), req, n->virtual_org())) return true;
+    }
+    return false;
+  };
+  // VO-constrained jobs pick their organization before the feasibility
+  // check so requirement draws respect the constraint.
+  std::string pinned_vo;
+  if (config_.vo_count > 1 && submit_rng_.bernoulli(config_.vo_job_fraction)) {
+    pinned_vo = "vo" + std::to_string(submit_rng_.uniform_int(
+                           0, static_cast<std::int64_t>(config_.vo_count) - 1));
+  }
+  auto feasible_in_vo = [&](const grid::JobRequirements& req) {
+    grid::JobRequirements pinned = req;
+    pinned.virtual_org = pinned_vo;
+    return feasible(pinned);
+  };
+  grid::JobSpec job = jobgen_->next(
+      sim_.now(),
+      config_.feasible_jobs_only
+          ? std::function<bool(const grid::JobRequirements&)>{feasible_in_vo}
+          : std::function<bool(const grid::JobRequirements&)>{});
+  job.requirements.virtual_org = pinned_vo;
+  const auto pick = static_cast<std::size_t>(submit_rng_.uniform_int(
+      0, static_cast<std::int64_t>(nodes_.size()) - 1));
+  nodes_[pick]->submit(std::move(job));
+}
+
+void GridSimulation::schedule_workload() {
+  for (std::size_t i = 0; i < config_.job_count; ++i) {
+    const TimePoint at =
+        TimePoint::origin() + config_.submission_start +
+        config_.submission_interval * static_cast<std::int64_t>(i);
+    sim_.schedule_at(at, [this, i] { submit_one(i); });
+  }
+}
+
+void GridSimulation::schedule_expansion() {
+  if (!config_.expansion) return;
+  const auto plan = *config_.expansion;
+  Rng join_rng = rng_.fork(8);
+
+  // Recursive event chain: add one node, then schedule the next join with a
+  // jittered interval until the target size is reached.
+  auto add_next = std::make_shared<std::function<void()>>();
+  auto join_rng_ptr = std::make_shared<Rng>(join_rng);
+  *add_next = [this, plan, add_next, join_rng_ptr] {
+    if (nodes_.size() >= plan.target_node_count) return;
+    const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
+    overlay::join_node(topo_, id, plan.join_contacts, *join_rng_ptr);
+    spawn_node();
+    const Duration gap = join_rng_ptr->uniform_duration(
+        plan.mean_interval / 2, plan.mean_interval + plan.mean_interval / 2);
+    sim_.schedule_after(gap, [add_next] { (*add_next)(); });
+  };
+  sim_.schedule_at(TimePoint::origin() + plan.start,
+                   [add_next] { (*add_next)(); });
+}
+
+void GridSimulation::schedule_maintenance() {
+  if (!maintainer_) return;  // static overlay families have no ants
+  sim_.schedule_periodic(config_.maintenance_period, config_.maintenance_period,
+                         [this] { maintainer_->tick(); });
+}
+
+void GridSimulation::schedule_sampling() {
+  sim_.schedule_periodic(Duration::zero(), config_.metrics_sample_period,
+                         [this] {
+                           idle_series_.add(sim_.now(),
+                                            static_cast<double>(idle_count()));
+                           node_count_series_.add(
+                               sim_.now(), static_cast<double>(nodes_.size()));
+                         });
+}
+
+RunResult GridSimulation::run() {
+  build();
+  const auto wall_start = std::chrono::steady_clock::now();
+  sim_.run_until(TimePoint::origin() + config_.horizon);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.scenario_name = config_.name;
+  r.seed = seed_;
+  r.tracker = tracker_;
+  r.traffic = net_->traffic();
+  r.idle_series = idle_series_;
+  r.node_count_series = node_count_series_;
+  r.final_node_count = nodes_.size();
+  r.overlay_links = topo_.link_count();
+  r.overlay_avg_degree = topo_.average_degree();
+  r.overlay_avg_path_length = topo_.average_path_length();
+  r.events_fired = sim_.fired_events();
+  r.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  if (!r.tracker.violations().empty()) {
+    ARIA_ERROR << config_.name << " (seed " << seed_ << "): "
+               << r.tracker.violations().size() << " lifecycle violations; "
+               << "first: " << r.tracker.violations().front();
+  }
+  return r;
+}
+
+RunResult run_scenario(const ScenarioConfig& scenario, std::uint64_t seed) {
+  GridSimulation sim{scenario, seed};
+  return sim.run();
+}
+
+}  // namespace aria::workload

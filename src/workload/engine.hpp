@@ -1,0 +1,137 @@
+// The simulation engine: builds a grid from a ScenarioConfig, runs it, and
+// extracts the metrics the paper's figures are made of.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/centralized.hpp"
+#include "core/config.hpp"
+#include "core/node.hpp"
+#include "core/tracker.hpp"
+#include "metrics/timeseries.hpp"
+#include "overlay/blatant.hpp"
+#include "overlay/flooding.hpp"
+#include "overlay/topology.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+#include "workload/jobgen.hpp"
+#include "workload/scenario.hpp"
+
+namespace aria::workload {
+
+/// Everything measured in one simulated run.
+struct RunResult {
+  std::string scenario_name;
+  std::uint64_t seed{0};
+
+  proto::JobTracker tracker;
+  sim::TrafficLedger traffic;
+  metrics::Series idle_series;        // idle-node count over time
+  metrics::Series node_count_series;  // grid size over time (expansion)
+
+  std::size_t final_node_count{0};
+  std::size_t overlay_links{0};
+  double overlay_avg_degree{0.0};
+  double overlay_avg_path_length{0.0};
+  std::uint64_t events_fired{0};
+  double wall_seconds{0.0};
+
+  // --- derived job metrics (over completed jobs) -----------------------
+  std::size_t completed() const { return tracker.completed_count(); }
+  double mean_completion_minutes() const;
+  double mean_waiting_minutes() const;
+  double mean_execution_minutes() const;
+
+  // --- deadline metrics (deadline scenarios) ----------------------------
+  std::size_t deadline_jobs() const;
+  std::size_t missed_deadlines() const;
+  /// Mean slack (deadline - completion) over jobs that met their deadline,
+  /// in minutes ("average lateness" in the paper's Fig. 4 terminology).
+  double mean_met_slack_minutes() const;
+  /// Mean overrun past the deadline over jobs that missed, in minutes.
+  double mean_missed_time_minutes() const;
+
+  /// Cumulative completed-jobs curve (Fig. 1), bucketed.
+  metrics::Series completed_series(Duration bucket,
+                                   TimePoint horizon) const;
+
+  /// Total bytes per message type / per node, in MiB.
+  double traffic_mib(const std::string& type) const;
+  double traffic_mib_total() const;
+
+  /// Load-balance over executed-job counts per node (paper abstract:
+  /// "improving the overall performance in terms of ... load-balancing").
+  metrics::LoadBalance execution_balance() const;
+  /// Load-balance over busy seconds (sum of actual running times) per node.
+  metrics::LoadBalance busy_time_balance() const;
+};
+
+/// One grid simulation. Construct, optionally inspect/customize after
+/// build(), then run(). A GridSimulation is single-use.
+class GridSimulation {
+ public:
+  GridSimulation(ScenarioConfig config, std::uint64_t seed);
+  ~GridSimulation();
+  GridSimulation(const GridSimulation&) = delete;
+  GridSimulation& operator=(const GridSimulation&) = delete;
+
+  /// Constructs overlay, nodes and schedules the workload. Idempotent.
+  void build();
+
+  /// build() + run to the horizon + collect results.
+  RunResult run();
+
+  // --- component access (valid after build()) ---------------------------
+  sim::Simulator& simulator() { return sim_; }
+  sim::Network& network() { return *net_; }
+  overlay::Topology& topology() { return topo_; }
+  proto::JobTracker& tracker() { return tracker_; }
+  const ScenarioConfig& config() const { return config_; }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  proto::AriaNode* node(NodeId id);
+  std::vector<proto::AriaNode*> all_nodes();
+
+  /// Nodes that are neither executing nor holding queued jobs.
+  std::size_t idle_count() const;
+
+ private:
+  void build_overlay();
+  void build_nodes();
+  void spawn_node();  // one node: profile + scheduler + protocol engine
+  void schedule_workload();
+  void schedule_expansion();
+  void schedule_maintenance();
+  void schedule_sampling();
+  void submit_one(std::size_t index);
+
+  ScenarioConfig config_;
+  std::uint64_t seed_;
+  Rng rng_;
+
+  // Order matters: nodes_ must be destroyed before net_/sim_ (their dtors
+  // detach from the network and cancel simulator events).
+  sim::Simulator sim_;
+  overlay::Topology topo_;
+  std::unique_ptr<sim::Network> net_;
+  std::unique_ptr<overlay::FloodRelay> relay_;
+  std::unique_ptr<overlay::BlatantMaintainer> maintainer_;
+  grid::ErtErrorModel ert_error_;
+  proto::JobTracker tracker_;
+  std::unique_ptr<JobGenerator> jobgen_;
+  Rng submit_rng_{0};
+  std::vector<std::unique_ptr<proto::AriaNode>> nodes_;
+
+  metrics::Series idle_series_;
+  metrics::Series node_count_series_;
+  bool built_{false};
+};
+
+/// Convenience: run `scenario` once with `seed`.
+RunResult run_scenario(const ScenarioConfig& scenario, std::uint64_t seed);
+
+}  // namespace aria::workload

@@ -1,0 +1,53 @@
+#include "workload/jobgen.hpp"
+
+#include "common/logging.hpp"
+#include "grid/profile_gen.hpp"
+
+namespace aria::workload {
+
+namespace {
+constexpr int kMaxFeasibilityTries = 200;
+}
+
+Duration JobGenerator::draw_ert() {
+  const double s = rng_.truncated_normal(
+      params_.ert_mean.to_seconds(), params_.ert_stddev.to_seconds(),
+      params_.ert_min.to_seconds(), params_.ert_max.to_seconds());
+  return Duration::seconds_f(s);
+}
+
+Duration JobGenerator::draw_deadline_slack() {
+  // Same truncated-normal shape as the ERT, linearly rescaled so its mean
+  // equals the configured slack mean.
+  const Duration mean = *params_.deadline_slack_mean;
+  const double scale = mean.to_seconds() / params_.ert_mean.to_seconds();
+  const double s = rng_.truncated_normal(
+      params_.ert_mean.to_seconds(), params_.ert_stddev.to_seconds(),
+      params_.ert_min.to_seconds(), params_.ert_max.to_seconds());
+  return Duration::seconds_f(s * scale);
+}
+
+grid::JobSpec JobGenerator::next(
+    TimePoint now,
+    const std::function<bool(const grid::JobRequirements&)>& feasible) {
+  grid::JobSpec spec;
+  spec.id = JobId::generate(rng_);
+  spec.requirements = grid::random_job_requirements(rng_);
+  if (feasible) {
+    int tries = 0;
+    while (!feasible(spec.requirements) && ++tries < kMaxFeasibilityTries) {
+      spec.requirements = grid::random_job_requirements(rng_);
+    }
+    if (tries >= kMaxFeasibilityTries) {
+      ARIA_WARN << "job generator: no feasible requirements after "
+                << kMaxFeasibilityTries << " tries; keeping the last draw";
+    }
+  }
+  spec.ert = draw_ert();
+  if (params_.deadline_slack_mean) {
+    spec.deadline = now + spec.ert + draw_deadline_slack();
+  }
+  return spec;
+}
+
+}  // namespace aria::workload

@@ -1,0 +1,48 @@
+// Random job generation (paper §IV-D).
+//
+// Requirements are drawn from the node-profile distributions; the ERT is
+// normal N(2h30m, 1h15m) clamped to [1h, 4h]. In deadline scenarios the
+// deadline is submission time + ERT + a random slack interval with the same
+// distribution *shape*, rescaled so its mean matches the scenario's slack
+// (7h30m for Deadline, 2h30m for DeadlineH).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "grid/job.hpp"
+
+namespace aria::workload {
+
+struct JobGenParams {
+  Duration ert_mean{Duration::minutes(150)};     // 2h30m
+  Duration ert_stddev{Duration::minutes(75)};    // 1h15m
+  Duration ert_min{Duration::hours(1)};
+  Duration ert_max{Duration::hours(4)};
+  /// Mean of the extra slack added on top of ERT for the deadline; nullopt
+  /// disables deadlines.
+  std::optional<Duration> deadline_slack_mean{};
+};
+
+class JobGenerator {
+ public:
+  JobGenerator(JobGenParams params, Rng rng) : params_{params}, rng_{rng} {}
+
+  /// Generates a job submitted at `now`. If `feasible` is set, requirement
+  /// draws are repeated (up to a bounded number of tries) until the
+  /// predicate accepts them — the engine uses this to keep the workload
+  /// schedulable on the actual grid.
+  grid::JobSpec next(
+      TimePoint now,
+      const std::function<bool(const grid::JobRequirements&)>& feasible = {});
+
+  Duration draw_ert();
+  Duration draw_deadline_slack();
+
+ private:
+  JobGenParams params_;
+  Rng rng_;
+};
+
+}  // namespace aria::workload

@@ -1,0 +1,167 @@
+#include "workload/scenario.hpp"
+
+#include <stdexcept>
+
+namespace aria::workload {
+
+namespace {
+
+using sched::SchedulerKind;
+
+ScenarioConfig base(std::string name, std::string description) {
+  ScenarioConfig c;
+  c.name = std::move(name);
+  c.description = std::move(description);
+  c.aria.dynamic_rescheduling = false;
+  return c;
+}
+
+ScenarioConfig fcfs_scenario() {
+  auto c = base("FCFS", "all nodes FCFS, no rescheduling");
+  c.scheduler_mix = {SchedulerKind::kFcfs};
+  return c;
+}
+
+ScenarioConfig sjf_scenario() {
+  auto c = base("SJF", "all nodes SJF, no rescheduling");
+  c.scheduler_mix = {SchedulerKind::kSjf};
+  return c;
+}
+
+ScenarioConfig mixed_scenario() {
+  auto c = base("Mixed", "FCFS/SJF one-to-one, no rescheduling");
+  c.scheduler_mix = {SchedulerKind::kFcfs, SchedulerKind::kSjf};
+  return c;
+}
+
+ScenarioConfig deadline_scenario(std::string name, Duration slack_mean) {
+  auto c = base(std::move(name), "all nodes EDF, deadline jobs");
+  c.scheduler_mix = {SchedulerKind::kEdf};
+  c.jobs.deadline_slack_mean = slack_mean;
+  return c;
+}
+
+ScenarioConfig low_load() {
+  auto c = mixed_scenario();
+  c.name = "LowLoad";
+  c.description = "Mixed at half the submission rate (1 job / 20 s)";
+  c.submission_interval = Duration::seconds(20);
+  return c;
+}
+
+ScenarioConfig high_load() {
+  auto c = mixed_scenario();
+  c.name = "HighLoad";
+  c.description = "Mixed at double the submission rate (1 job / 5 s)";
+  c.submission_interval = Duration::seconds(5);
+  return c;
+}
+
+ScenarioConfig expanding() {
+  auto c = mixed_scenario();
+  c.name = "Expanding";
+  c.description = "Mixed with the overlay growing 500 -> 700 nodes";
+  c.expansion = ScenarioConfig::Expansion{};
+  return c;
+}
+
+ScenarioConfig accuracy(std::string name, grid::ErtErrorMode mode,
+                        double epsilon, std::string what) {
+  auto c = mixed_scenario();
+  c.name = std::move(name);
+  c.description = "Mixed with ERT accuracy: " + what;
+  c.ert_error.mode = mode;
+  c.ert_error.epsilon = epsilon;
+  return c;
+}
+
+std::vector<ScenarioConfig> build_all() {
+  std::vector<ScenarioConfig> v;
+
+  // Plain scenarios (no dynamic rescheduling), Table II order.
+  v.push_back(fcfs_scenario());
+  v.push_back(sjf_scenario());
+  v.push_back(mixed_scenario());
+  v.push_back(deadline_scenario("Deadline", Duration::minutes(450)));  // 7h30m
+  v.push_back(low_load());
+  v.push_back(high_load());
+  v.push_back(deadline_scenario("DeadlineH", Duration::minutes(150)));  // 2h30m
+  v.push_back(expanding());
+  v.push_back(accuracy("Precise", grid::ErtErrorMode::kExact, 0.0,
+                       "ART == ERTp exactly"));
+  v.push_back(accuracy("Accuracy25", grid::ErtErrorMode::kSymmetric, 0.25,
+                       "relative error +-25%"));
+  v.push_back(accuracy("AccuracyBad", grid::ErtErrorMode::kOptimistic, 0.1,
+                       "ERT always below the actual running time"));
+
+  // i-scenarios: identical setups with dynamic rescheduling enabled.
+  auto enable = [&v](const std::string& plain, const std::string& named) {
+    for (const ScenarioConfig& c : v) {
+      if (c.name == plain) {
+        ScenarioConfig i = c;
+        i.name = named;
+        i.description = "Like " + plain + " but with dynamic rescheduling.";
+        i.aria.dynamic_rescheduling = true;
+        return i;
+      }
+    }
+    throw std::logic_error("missing base scenario " + plain);
+  };
+  v.push_back(enable("FCFS", "iFCFS"));
+  v.push_back(enable("SJF", "iSJF"));
+  v.push_back(enable("Mixed", "iMixed"));
+  v.push_back(enable("Deadline", "iDeadline"));
+  v.push_back(enable("LowLoad", "iLowLoad"));
+  v.push_back(enable("HighLoad", "iHighLoad"));
+  v.push_back(enable("DeadlineH", "iDeadlineH"));
+  v.push_back(enable("Expanding", "iExpanding"));
+
+  // Rescheduling-policy sensitivity (all variants of iMixed).
+  {
+    auto c = enable("Mixed", "iInform1");
+    c.description = "iMixed advertising 1 job per 5 minutes";
+    c.aria.inform_jobs_per_period = 1;
+    v.push_back(c);
+  }
+  {
+    auto c = enable("Mixed", "iInform4");
+    c.description = "iMixed advertising up to 4 jobs per 5 minutes";
+    c.aria.inform_jobs_per_period = 4;
+    v.push_back(c);
+  }
+  {
+    auto c = enable("Mixed", "iInform15m");
+    c.description = "iMixed requiring a 15-minute improvement to reschedule";
+    c.aria.reschedule_threshold = Duration::minutes(15);
+    v.push_back(c);
+  }
+  {
+    auto c = enable("Mixed", "iInform30m");
+    c.description = "iMixed requiring a 30-minute improvement to reschedule";
+    c.aria.reschedule_threshold = Duration::minutes(30);
+    v.push_back(c);
+  }
+
+  // ERT-accuracy sensitivity with rescheduling.
+  v.push_back(enable("Precise", "iPrecise"));
+  v.push_back(enable("Accuracy25", "iAccuracy25"));
+  v.push_back(enable("AccuracyBad", "iAccuracyBad"));
+
+  return v;
+}
+
+}  // namespace
+
+const std::vector<ScenarioConfig>& all_scenarios() {
+  static const std::vector<ScenarioConfig> scenarios = build_all();
+  return scenarios;
+}
+
+const ScenarioConfig& scenario_by_name(const std::string& name) {
+  for (const ScenarioConfig& c : all_scenarios()) {
+    if (c.name == name) return c;
+  }
+  throw std::out_of_range("unknown scenario: " + name);
+}
+
+}  // namespace aria::workload

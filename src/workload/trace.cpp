@@ -1,0 +1,95 @@
+#include "workload/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace aria::workload {
+
+std::optional<grid::Architecture> parse_architecture(const std::string& s) {
+  using grid::Architecture;
+  if (s == "AMD64") return Architecture::kAmd64;
+  if (s == "POWER") return Architecture::kPower;
+  if (s == "IA-64") return Architecture::kIa64;
+  if (s == "SPARC") return Architecture::kSparc;
+  if (s == "MIPS") return Architecture::kMips;
+  if (s == "NEC") return Architecture::kNec;
+  return std::nullopt;
+}
+
+std::optional<grid::OperatingSystem> parse_operating_system(
+    const std::string& s) {
+  using grid::OperatingSystem;
+  if (s == "LINUX") return OperatingSystem::kLinux;
+  if (s == "SOLARIS") return OperatingSystem::kSolaris;
+  if (s == "UNIX") return OperatingSystem::kUnix;
+  if (s == "WINDOWS") return OperatingSystem::kWindows;
+  if (s == "BSD") return OperatingSystem::kBsd;
+  return std::nullopt;
+}
+
+TraceParseResult parse_trace(std::istream& in) {
+  TraceParseResult result;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    std::istringstream fields{line};
+    double offset_s = 0.0, ert_min = 0.0;
+    std::string arch, os;
+    int mem = 0, disk = 0;
+    if (!(fields >> offset_s >> ert_min >> arch >> os >> mem >> disk)) {
+      ++result.malformed_lines;
+      continue;
+    }
+    const auto a = parse_architecture(arch);
+    const auto o = parse_operating_system(os);
+    if (!a || !o || ert_min <= 0.0 || offset_s < 0.0 || mem <= 0 || disk <= 0) {
+      ++result.malformed_lines;
+      continue;
+    }
+    TraceJob t;
+    t.submit_offset = Duration::seconds_f(offset_s);
+    t.ert = Duration::seconds_f(ert_min * 60.0);
+    t.requirements.arch = *a;
+    t.requirements.os = *o;
+    t.requirements.min_memory_gb = mem;
+    t.requirements.min_disk_gb = disk;
+    double slack_min = 0.0;
+    if (fields >> slack_min && slack_min > 0.0) {
+      t.deadline_slack = Duration::seconds_f(slack_min * 60.0);
+    }
+    result.jobs.push_back(t);
+  }
+  return result;
+}
+
+void write_trace(std::ostream& out, const std::vector<TraceJob>& jobs,
+                 const std::string& header_comment) {
+  if (!header_comment.empty()) out << "# " << header_comment << "\n";
+  out << "# offset_s ert_min arch os mem_gb disk_gb [deadline_slack_min]\n";
+  for (const TraceJob& t : jobs) {
+    out << t.submit_offset.to_seconds() << " " << t.ert.to_minutes() << " "
+        << grid::to_string(t.requirements.arch) << " "
+        << grid::to_string(t.requirements.os) << " "
+        << t.requirements.min_memory_gb << " " << t.requirements.min_disk_gb;
+    if (t.deadline_slack) out << " " << t.deadline_slack->to_minutes();
+    out << "\n";
+  }
+}
+
+grid::JobSpec to_job_spec(const TraceJob& t, TimePoint submitted_at,
+                          Rng& rng) {
+  grid::JobSpec j;
+  j.id = JobId::generate(rng);
+  j.requirements = t.requirements;
+  j.ert = t.ert;
+  if (t.deadline_slack) {
+    j.deadline = submitted_at + t.ert + *t.deadline_slack;
+  }
+  return j;
+}
+
+}  // namespace aria::workload

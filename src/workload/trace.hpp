@@ -1,0 +1,51 @@
+// Workload trace files (paper future work: "full-scale evaluation with
+// real grid workload traces").
+//
+// Line format (whitespace-separated, '#' starts a comment):
+//   <submit_offset_s> <ert_minutes> <arch> <os> <min_mem_gb> <min_disk_gb>
+//   [deadline_slack_min]
+//
+// Architectures/OS use the paper's names (AMD64, POWER, IA-64, SPARC,
+// MIPS, NEC / LINUX, SOLARIS, UNIX, WINDOWS, BSD).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "grid/job.hpp"
+
+namespace aria::workload {
+
+struct TraceJob {
+  Duration submit_offset{};
+  Duration ert{};
+  grid::JobRequirements requirements{};
+  std::optional<Duration> deadline_slack{};
+};
+
+struct TraceParseResult {
+  std::vector<TraceJob> jobs;
+  std::size_t malformed_lines{0};
+};
+
+std::optional<grid::Architecture> parse_architecture(const std::string& s);
+std::optional<grid::OperatingSystem> parse_operating_system(
+    const std::string& s);
+
+/// Parses a trace stream; malformed lines are skipped and counted.
+TraceParseResult parse_trace(std::istream& in);
+
+/// Writes `jobs` in the trace format (round-trips through parse_trace).
+void write_trace(std::ostream& out, const std::vector<TraceJob>& jobs,
+                 const std::string& header_comment = {});
+
+/// Materializes a trace entry into a submittable JobSpec. `rng` supplies
+/// the UUID; `submitted_at` is the absolute submission instant (used to
+/// place the deadline).
+grid::JobSpec to_job_spec(const TraceJob& t, TimePoint submitted_at,
+                          Rng& rng);
+
+}  // namespace aria::workload

@@ -1,0 +1,87 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aria {
+namespace {
+
+/// RAII guard restoring the global log level after each test.
+class LevelGuard {
+ public:
+  LevelGuard() : saved_{Log::level()} {}
+  ~LevelGuard() { Log::set_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Logging, SetAndGetLevel) {
+  LevelGuard guard;
+  Log::set_level(LogLevel::kDebug);
+  EXPECT_EQ(Log::level(), LogLevel::kDebug);
+  Log::set_level(LogLevel::kError);
+  EXPECT_EQ(Log::level(), LogLevel::kError);
+}
+
+TEST(Logging, SetLevelFromString) {
+  LevelGuard guard;
+  Log::set_level_from_string("trace");
+  EXPECT_EQ(Log::level(), LogLevel::kTrace);
+  Log::set_level_from_string("DEBUG");  // case-insensitive
+  EXPECT_EQ(Log::level(), LogLevel::kDebug);
+  Log::set_level_from_string("Info");
+  EXPECT_EQ(Log::level(), LogLevel::kInfo);
+  Log::set_level_from_string("warn");
+  EXPECT_EQ(Log::level(), LogLevel::kWarn);
+  Log::set_level_from_string("error");
+  EXPECT_EQ(Log::level(), LogLevel::kError);
+  Log::set_level_from_string("off");
+  EXPECT_EQ(Log::level(), LogLevel::kOff);
+}
+
+TEST(Logging, UnknownLevelNameIsIgnored) {
+  LevelGuard guard;
+  Log::set_level(LogLevel::kWarn);
+  Log::set_level_from_string("verbose");
+  EXPECT_EQ(Log::level(), LogLevel::kWarn);
+  Log::set_level_from_string("");
+  EXPECT_EQ(Log::level(), LogLevel::kWarn);
+}
+
+TEST(Logging, MacroSkipsFormattingBelowLevel) {
+  LevelGuard guard;
+  Log::set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "payload";
+  };
+  ARIA_DEBUG << expensive();  // below threshold: not evaluated
+  EXPECT_EQ(evaluations, 0);
+  Log::set_level(LogLevel::kOff);
+  ARIA_ERROR << expensive();  // off: nothing evaluated
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Logging, MacroEvaluatesAtOrAboveLevel) {
+  LevelGuard guard;
+  Log::set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto counted = [&] {
+    ++evaluations;
+    return "";
+  };
+  ARIA_ERROR << counted();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Logging, OrderingOfLevels) {
+  EXPECT_LT(LogLevel::kTrace, LogLevel::kDebug);
+  EXPECT_LT(LogLevel::kDebug, LogLevel::kInfo);
+  EXPECT_LT(LogLevel::kInfo, LogLevel::kWarn);
+  EXPECT_LT(LogLevel::kWarn, LogLevel::kError);
+  EXPECT_LT(LogLevel::kError, LogLevel::kOff);
+}
+
+}  // namespace
+}  // namespace aria

@@ -1,0 +1,90 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aria {
+namespace {
+
+using namespace aria::literals;
+
+TEST(Duration, NamedConstructorsAgree) {
+  EXPECT_EQ(Duration::seconds(1).count_micros(), 1'000'000);
+  EXPECT_EQ(Duration::millis(1500).count_micros(), 1'500'000);
+  EXPECT_EQ(Duration::minutes(2), Duration::seconds(120));
+  EXPECT_EQ(Duration::hours(1), Duration::minutes(60));
+  EXPECT_EQ(Duration::seconds_f(0.5), Duration::millis(500));
+}
+
+TEST(Duration, Literals) {
+  EXPECT_EQ(5_s, Duration::seconds(5));
+  EXPECT_EQ(3_min, Duration::minutes(3));
+  EXPECT_EQ(2_h, Duration::hours(2));
+  EXPECT_EQ(250_ms, Duration::millis(250));
+  EXPECT_EQ(10_us, Duration::micros(10));
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ(1_h + 30_min, 90_min);
+  EXPECT_EQ(1_h - 90_min, -(30_min));
+  EXPECT_EQ((10_s) * 6, 1_min);
+  EXPECT_EQ((1_min) / 60, 1_s);
+  EXPECT_DOUBLE_EQ((90_min) / (1_h), 1.5);
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration d = 1_h;
+  d += 30_min;
+  EXPECT_EQ(d, 90_min);
+  d -= 1_h;
+  EXPECT_EQ(d, 30_min);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(59_s, 1_min);
+  EXPECT_GT(2_h, 119_min);
+  EXPECT_LE(1_h, 60_min);
+  EXPECT_TRUE((0_s).is_zero());
+  EXPECT_TRUE((0_s - 1_s).is_negative());
+  EXPECT_FALSE((1_s).is_negative());
+}
+
+TEST(Duration, Conversions) {
+  EXPECT_DOUBLE_EQ((90_min).to_hours(), 1.5);
+  EXPECT_DOUBLE_EQ((30_s).to_minutes(), 0.5);
+  EXPECT_DOUBLE_EQ((1500_ms).to_seconds(), 1.5);
+}
+
+TEST(Duration, ScaledTruncatesToMicros) {
+  EXPECT_EQ((10_s).scaled(0.5), 5_s);
+  EXPECT_EQ((3_us).scaled(0.5), 1_us);  // 1.5us truncates
+  EXPECT_EQ((1_h).scaled(1.0 / 3.0), Duration::micros(1'200'000'000));
+}
+
+TEST(Duration, ToStringForms) {
+  EXPECT_EQ((Duration::hours(2) + Duration::minutes(30)).to_string(), "2h30m");
+  EXPECT_EQ((45_min).to_string(), "45m00s");
+  EXPECT_EQ((12_s + 500_ms).to_string(), "12.5s");
+  EXPECT_EQ((-(90_min)).to_string(), "-1h30m");
+}
+
+TEST(TimePoint, OriginAndArithmetic) {
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint t1 = t0 + 1_h;
+  EXPECT_EQ(t1 - t0, 1_h);
+  EXPECT_EQ(t1 - 30_min, t0 + 30_min);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ((t0 + 2_h).to_hours(), 2.0);
+}
+
+TEST(TimePoint, CompoundAdd) {
+  TimePoint t = TimePoint::origin();
+  t += 90_min;
+  EXPECT_EQ(t - TimePoint::origin(), 90_min);
+}
+
+TEST(TimePoint, MaxIsLargerThanAnyRealisticTime) {
+  EXPECT_GT(TimePoint::max(), TimePoint::origin() + Duration::hours(1'000'000));
+}
+
+}  // namespace
+}  // namespace aria

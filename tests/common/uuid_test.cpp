@@ -1,0 +1,103 @@
+#include "common/uuid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace aria {
+namespace {
+
+TEST(Uuid, NilByDefault) {
+  Uuid u;
+  EXPECT_TRUE(u.is_nil());
+  EXPECT_EQ(u.to_string(), "00000000-0000-0000-0000-000000000000");
+}
+
+TEST(Uuid, GenerateIsNeverNil) {
+  Rng rng{1};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(Uuid::generate(rng).is_nil());
+  }
+}
+
+TEST(Uuid, GenerateSetsVersion4AndVariantBits) {
+  Rng rng{2};
+  for (int i = 0; i < 100; ++i) {
+    const Uuid u = Uuid::generate(rng);
+    EXPECT_EQ((u.hi() >> 12) & 0xF, 0x4u) << u.to_string();
+    EXPECT_EQ((u.lo() >> 62) & 0x3, 0x2u) << u.to_string();
+  }
+}
+
+TEST(Uuid, CanonicalFormat) {
+  Rng rng{3};
+  const std::string s = Uuid::generate(rng).to_string();
+  ASSERT_EQ(s.size(), 36u);
+  EXPECT_EQ(s[8], '-');
+  EXPECT_EQ(s[13], '-');
+  EXPECT_EQ(s[18], '-');
+  EXPECT_EQ(s[23], '-');
+  EXPECT_EQ(s[14], '4');  // version nibble
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i == 8 || i == 13 || i == 18 || i == 23) continue;
+    EXPECT_TRUE((s[i] >= '0' && s[i] <= '9') || (s[i] >= 'a' && s[i] <= 'f'))
+        << "position " << i << " in " << s;
+  }
+}
+
+TEST(Uuid, RoundTripParse) {
+  Rng rng{4};
+  for (int i = 0; i < 100; ++i) {
+    const Uuid u = Uuid::generate(rng);
+    const auto parsed = Uuid::parse(u.to_string());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, u);
+  }
+}
+
+TEST(Uuid, ParseAcceptsUppercase) {
+  const auto u = Uuid::parse("DEADBEEF-1234-4ABC-9DEF-000102030405");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->to_string(), "deadbeef-1234-4abc-9def-000102030405");
+}
+
+TEST(Uuid, ParseRejectsMalformed) {
+  EXPECT_FALSE(Uuid::parse("").has_value());
+  EXPECT_FALSE(Uuid::parse("not-a-uuid").has_value());
+  EXPECT_FALSE(Uuid::parse("deadbeef-1234-4abc-9def-00010203040").has_value());
+  EXPECT_FALSE(Uuid::parse("deadbeef-1234-4abc-9def-0001020304055").has_value());
+  EXPECT_FALSE(Uuid::parse("deadbeef_1234_4abc_9def_000102030405").has_value());
+  EXPECT_FALSE(Uuid::parse("deadbeef-1234-4abc-9dex-000102030405").has_value());
+  // Dash in the wrong position.
+  EXPECT_FALSE(Uuid::parse("deadbeef1-234-4abc-9def-000102030405").has_value());
+}
+
+TEST(Uuid, NoCollisionsInLargeSample) {
+  Rng rng{5};
+  std::unordered_set<Uuid> seen;
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_TRUE(seen.insert(Uuid::generate(rng)).second);
+  }
+}
+
+TEST(Uuid, OrderingIsTotal) {
+  Rng rng{6};
+  std::set<Uuid> ordered;
+  for (int i = 0; i < 1000; ++i) ordered.insert(Uuid::generate(rng));
+  EXPECT_EQ(ordered.size(), 1000u);
+}
+
+TEST(Uuid, HashSpreads) {
+  Rng rng{7};
+  std::set<std::size_t> hashes;
+  for (int i = 0; i < 1000; ++i) {
+    hashes.insert(std::hash<Uuid>{}(Uuid::generate(rng)));
+  }
+  EXPECT_GT(hashes.size(), 995u);
+}
+
+}  // namespace
+}  // namespace aria

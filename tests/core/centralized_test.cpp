@@ -1,0 +1,131 @@
+#include "core/centralized.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_grid.hpp"
+
+namespace aria::proto {
+namespace {
+
+using aria::test::TestGrid;
+using namespace aria::literals;
+using sched::SchedulerKind;
+
+TEST(Centralized, AssignsToCheapestImmediately) {
+  TestGrid g;
+  g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.add_node(SchedulerKind::kFcfs, 2.0);
+  g.add_node(SchedulerKind::kFcfs, 1.5);
+  CentralizedMetaScheduler meta{g.sim, {&g.node(0), &g.node(1), &g.node(2)},
+                                &g.tracker};
+
+  auto job = g.make_job(2_h);
+  const JobId id = job.id;
+  EXPECT_TRUE(meta.submit(job, NodeId{0}));
+  // Assignment is instantaneous: no protocol round trips, no traffic.
+  EXPECT_TRUE(g.node(1).executing());
+  EXPECT_EQ(g.net().traffic().total().messages, 0u);
+  EXPECT_EQ(g.tracker.find(id)->assignments[0].first, NodeId{1});
+}
+
+TEST(Centralized, ReportsUnschedulable) {
+  TestGrid g;
+  grid::NodeProfile sparc = TestGrid::universal_profile();
+  sparc.arch = grid::Architecture::kSparc;
+  g.add_node(SchedulerKind::kFcfs, 1.0, sparc);
+  CentralizedMetaScheduler meta{g.sim, {&g.node(0)}, &g.tracker};
+
+  auto job = g.make_job(1_h);
+  const JobId id = job.id;
+  EXPECT_FALSE(meta.submit(job, NodeId{0}));
+  EXPECT_TRUE(g.tracker.find(id)->unschedulable);
+}
+
+TEST(Centralized, LoadBalancesAcrossEqualNodes) {
+  TestGrid g;
+  for (int i = 0; i < 4; ++i) g.add_node(SchedulerKind::kFcfs, 1.0);
+  CentralizedMetaScheduler meta{
+      g.sim, {&g.node(0), &g.node(1), &g.node(2), &g.node(3)}, &g.tracker};
+
+  for (int i = 0; i < 4; ++i) {
+    auto job = g.make_job(2_h);
+    ASSERT_TRUE(meta.submit(job, NodeId{0}));
+  }
+  // Four equal jobs over four equal nodes: one each.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(g.node(static_cast<std::size_t>(i)).executing());
+    EXPECT_EQ(g.node(static_cast<std::size_t>(i)).queue_length(), 0u);
+  }
+}
+
+TEST(Centralized, RebalanceMovesWaitingJobs) {
+  TestGrid g;
+  auto& a = g.add_node(SchedulerKind::kFcfs, 1.0);
+  CentralizedMetaScheduler meta{g.sim, {&a}, &g.tracker};
+  auto j1 = g.make_job(2_h);
+  auto j2 = g.make_job(2_h);
+  const JobId id2 = j2.id;
+  meta.submit(j1, NodeId{0});
+  meta.submit(j2, NodeId{0});
+  ASSERT_EQ(a.queue_length(), 1u);
+
+  // A new idle node appears; a rebalance sweep must migrate the queued job.
+  auto& b = g.add_node(SchedulerKind::kFcfs, 1.0);
+  CentralizedMetaScheduler meta2{g.sim, {&a, &b}, &g.tracker};
+  EXPECT_EQ(meta2.rebalance(60.0), 1u);
+  EXPECT_EQ(a.queue_length(), 0u);
+  EXPECT_TRUE(b.executing());
+  EXPECT_EQ(g.tracker.find(id2)->assignments.back().first, b.id());
+}
+
+TEST(Centralized, RebalanceRespectsThreshold) {
+  TestGrid g;
+  auto& a = g.add_node(SchedulerKind::kFcfs, 1.0);
+  // Pile two jobs on the only managed node, then introduce an alternative.
+  CentralizedMetaScheduler initial{g.sim, {&a}, &g.tracker};
+  auto j1 = g.make_job(2_h);
+  auto j2 = g.make_job(2_h);
+  initial.submit(j1, NodeId{0});
+  initial.submit(j2, NodeId{0});
+  ASSERT_EQ(a.queue_length(), 1u);
+
+  auto& b = g.add_node(SchedulerKind::kFcfs, 1.0);
+  CentralizedMetaScheduler meta{g.sim, {&a, &b}, &g.tracker};
+  // j2 waits ~2h on a; moving to b saves ~2h. A 3h threshold blocks it.
+  EXPECT_EQ(meta.rebalance(3.0 * 3600.0), 0u);
+  EXPECT_EQ(a.queue_length(), 1u);
+  // A small threshold lets it through.
+  EXPECT_EQ(meta.rebalance(60.0), 1u);
+  EXPECT_TRUE(b.executing());
+}
+
+TEST(Centralized, RebalanceNoopWhenBalanced) {
+  TestGrid g;
+  auto& a = g.add_node(SchedulerKind::kFcfs, 1.0);
+  auto& b = g.add_node(SchedulerKind::kFcfs, 1.0);
+  CentralizedMetaScheduler meta{g.sim, {&a, &b}, &g.tracker};
+  auto j1 = g.make_job(2_h);
+  auto j2 = g.make_job(2_h);
+  meta.submit(j1, NodeId{0});
+  meta.submit(j2, NodeId{0});
+  ASSERT_TRUE(a.executing());
+  ASSERT_TRUE(b.executing());
+  EXPECT_EQ(meta.rebalance(1.0), 0u);
+}
+
+TEST(Centralized, EndToEndCompletion) {
+  TestGrid g;
+  for (int i = 0; i < 3; ++i) g.add_node(SchedulerKind::kFcfs, 1.0 + i * 0.3);
+  CentralizedMetaScheduler meta{g.sim, {&g.node(0), &g.node(1), &g.node(2)},
+                                &g.tracker};
+  for (int i = 0; i < 9; ++i) {
+    auto job = g.make_job(1_h);
+    meta.submit(job, NodeId{0});
+  }
+  g.run_for(10_h);
+  EXPECT_EQ(g.tracker.completed_count(), 9u);
+  EXPECT_TRUE(g.tracker.violations().empty());
+}
+
+}  // namespace
+}  // namespace aria::proto

@@ -1,0 +1,190 @@
+// Protocol edge cases beyond the happy paths.
+#include <gtest/gtest.h>
+
+#include "tests/core/test_grid.hpp"
+
+namespace aria::proto {
+namespace {
+
+using aria::test::TestGrid;
+using namespace aria::literals;
+using sched::SchedulerKind;
+
+TEST(ProtocolEdge, IsolatedInitiatorRunsJobItself) {
+  TestGrid g;
+  auto& lone = g.add_node(SchedulerKind::kFcfs, 1.0);
+  auto job = g.make_job(1_h);
+  const JobId id = job.id;
+  lone.submit(std::move(job));
+  g.run_for(2_h);
+  ASSERT_TRUE(g.tracker.find(id)->done());
+  EXPECT_EQ(g.tracker.find(id)->executor, lone.id());
+}
+
+TEST(ProtocolEdge, IsolatedNonMatchingInitiatorGivesUp) {
+  TestGrid g;
+  g.config.max_request_attempts = 2;
+  grid::NodeProfile sparc = TestGrid::universal_profile();
+  sparc.arch = grid::Architecture::kSparc;
+  auto& lone = g.add_node(SchedulerKind::kFcfs, 1.0, sparc);
+  auto job = g.make_job(1_h);
+  const JobId id = job.id;
+  lone.submit(std::move(job));
+  g.run_for(10_min);
+  EXPECT_TRUE(g.tracker.find(id)->unschedulable);
+}
+
+TEST(ProtocolEdge, FanoutLargerThanNeighborhoodIsSafe) {
+  TestGrid g;
+  g.config.request_fanout = 100;
+  g.config.inform_fanout = 100;
+  for (int i = 0; i < 4; ++i) g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.connect_all();
+  auto job = g.make_job(1_h);
+  const JobId id = job.id;
+  g.node(0).submit(std::move(job));
+  g.run_for(2_h);
+  EXPECT_TRUE(g.tracker.find(id)->done());
+  EXPECT_TRUE(g.tracker.violations().empty());
+}
+
+TEST(ProtocolEdge, ZeroHopRequestReachesNobodyButSelf) {
+  TestGrid g;
+  g.config.request_hops = 1;  // initiator -> direct neighbors only
+  g.config.initiator_self_candidate = true;
+  g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.add_node(SchedulerKind::kFcfs, 3.0);
+  g.add_node(SchedulerKind::kFcfs, 5.0);  // two hops away
+  g.connect_line();
+  auto job = g.make_job(1_h);
+  const JobId id = job.id;
+  g.node(0).submit(std::move(job));
+  g.run_for(5_s);
+  // Node 2 (best) is out of reach: the 1-hop flood stops at node 1.
+  const NodeId executor = g.tracker.find(id)->assignments[0].first;
+  EXPECT_TRUE(executor == NodeId{0} || executor == NodeId{1});
+}
+
+TEST(ProtocolEdge, DeadlineFamilyRescheduling) {
+  // EDF-to-EDF rescheduling via NAL costs: a job at risk on a loaded node
+  // moves to an empty one.
+  TestGrid g;
+  g.config.reschedule_threshold = 1_s;
+  g.config.inform_period = 60_s;
+  auto& busy = g.add_node(SchedulerKind::kEdf, 1.0);
+  g.add_node(SchedulerKind::kEdf, 1.0);
+  g.topo.remove_link(NodeId{0}, NodeId{1});
+
+  auto j1 = g.make_job(2_h, /*deadline_in=*/3_h);
+  auto j2 = g.make_job(2_h, /*deadline_in=*/4_h);  // would finish at 4h: tight
+  const JobId id = j2.id;
+  busy.submit(std::move(j1));
+  busy.submit(std::move(j2));
+  g.run_for(5_s);
+  ASSERT_EQ(busy.queue_length(), 1u);
+
+  g.topo.add_link(NodeId{0}, NodeId{1});
+  g.run_for(5_h);
+
+  const JobRecord* rec = g.tracker.find(id);
+  ASSERT_TRUE(rec->done());
+  EXPECT_GE(rec->reschedule_count(), 1u);
+  EXPECT_FALSE(rec->missed_deadline());
+  EXPECT_TRUE(g.tracker.violations().empty());
+}
+
+TEST(ProtocolEdge, ReVerificationRejectsStaleOffer) {
+  // Between INFORM and ACCEPT the holder's queue drains, making the local
+  // cost better than the remote offer: the job must stay.
+  TestGrid g{/*latency=*/5_min};  // huge latency so state changes in flight
+  g.config.accept_timeout = 15_min;
+  g.config.inform_period = 30_min;
+  g.config.reschedule_threshold = 1_s;
+  auto& holder = g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.topo.remove_link(NodeId{0}, NodeId{1});
+
+  // Short running job + queued job: advertised cost includes the remainder.
+  auto j1 = g.make_job(1_h);
+  auto j2 = g.make_job(2_h);
+  const JobId id = j2.id;
+  holder.submit(std::move(j1));
+  holder.submit(std::move(j2));
+  g.run_for(20_min);  // j1 executing, j2 queued
+  g.topo.add_link(NodeId{0}, NodeId{1});
+  g.run_for(10_h);
+
+  // Whatever happened, lifecycle must be clean and j2 completed.
+  const JobRecord* rec = g.tracker.find(id);
+  ASSERT_TRUE(rec->done());
+  EXPECT_TRUE(g.tracker.violations().empty());
+}
+
+TEST(ProtocolEdge, ManyJobsOneSubmissionInstant) {
+  TestGrid g;
+  for (int i = 0; i < 5; ++i) g.add_node(SchedulerKind::kFcfs, 1.0 + 0.2 * i);
+  g.connect_all();
+  std::vector<JobId> ids;
+  for (int i = 0; i < 20; ++i) {
+    auto job = g.make_job(1_h);
+    ids.push_back(job.id);
+    g.node(static_cast<std::size_t>(i % 5)).submit(std::move(job));
+  }
+  g.run_for(24_h);
+  for (const JobId& id : ids) {
+    EXPECT_TRUE(g.tracker.find(id)->done());
+  }
+  EXPECT_TRUE(g.tracker.violations().empty());
+  // Work spread across all nodes rather than piling on the fastest.
+  std::size_t executors_used = 0;
+  std::vector<std::size_t> counts(5, 0);
+  for (const JobId& id : ids) {
+    ++counts[g.tracker.find(id)->executor.index()];
+  }
+  for (std::size_t c : counts) {
+    if (c > 0) ++executors_used;
+  }
+  EXPECT_GE(executors_used, 4u);
+}
+
+TEST(ProtocolEdge, StopDetachesInformTimer) {
+  TestGrid g;
+  g.config.inform_period = 30_s;
+  auto& node = g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.topo.add_link(NodeId{0}, NodeId{1});
+  // Queue something so informs would fire.
+  auto j1 = g.make_job(4_h);
+  auto j2 = g.make_job(4_h);
+  node.submit(std::move(j1));
+  node.submit(std::move(j2));
+  g.run_for(5_s);
+  node.stop();
+  const auto informs_before = g.net().traffic().of(kInformType).messages;
+  g.run_for(10_min);
+  EXPECT_EQ(g.net().traffic().of(kInformType).messages, informs_before);
+}
+
+TEST(ProtocolEdge, QuoteMatchesWhatAcceptWouldCarry) {
+  TestGrid g;
+  auto& node = g.add_node(SchedulerKind::kFcfs, 1.6);
+  auto job = g.make_job(2_h);
+  // quote() is the public wrapper around the ACCEPT cost computation.
+  const double q = node.quote(job);
+  EXPECT_DOUBLE_EQ(q, (2_h).scaled(1.0 / 1.6).to_seconds());
+}
+
+TEST(ProtocolEdge, CannotBidOnMismatchedFamilyEvenIfProfileFits) {
+  TestGrid g;
+  auto& batch = g.add_node(SchedulerKind::kFcfs, 1.0);
+  auto& deadline = g.add_node(SchedulerKind::kEdf, 1.0);
+  const auto plain = g.make_job(1_h);
+  const auto timed = g.make_job(1_h, /*deadline_in=*/5_h);
+  EXPECT_TRUE(batch.can_bid(plain));
+  EXPECT_FALSE(batch.can_bid(timed));
+  EXPECT_FALSE(deadline.can_bid(plain));
+  EXPECT_TRUE(deadline.can_bid(timed));
+}
+
+}  // namespace
+}  // namespace aria::proto

@@ -1,0 +1,281 @@
+// Dynamic-rescheduling phase tests: INFORM floods, ACCEPT validation,
+// reassignment, thresholds (paper §III-D).
+#include <gtest/gtest.h>
+
+#include "tests/core/test_grid.hpp"
+
+namespace aria::proto {
+namespace {
+
+using aria::test::TestGrid;
+using namespace aria::literals;
+using sched::SchedulerKind;
+
+// Builds the canonical rescheduling situation: node 0 is busy and holds a
+// queued job; node 1 joins the flood reach and could run it immediately.
+class RescheduleTest : public ::testing::Test {
+ protected:
+  RescheduleTest() : g{10_ms} {
+    g.config.dynamic_rescheduling = true;
+    g.config.inform_period = 60_s;
+    g.config.reschedule_threshold = 1_s;
+  }
+  TestGrid g;
+};
+
+TEST_F(RescheduleTest, QueuedJobMovesToIdleNode) {
+  auto& busy = g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.connect_all();
+
+  // Two jobs pile on node 0 (only node initially known to quote).
+  // Disable node 1 temporarily by... simpler: submit both to node 0 with
+  // node 1 disconnected, then link it.
+  g.topo.remove_link(NodeId{0}, NodeId{1});
+  auto j1 = g.make_job(2_h);
+  auto j2 = g.make_job(2_h);
+  const JobId queued_id = j2.id;
+  busy.submit(std::move(j1));
+  busy.submit(std::move(j2));
+  g.run_for(5_s);
+  ASSERT_TRUE(busy.executing());
+  ASSERT_EQ(busy.queue_length(), 1u);
+
+  // Node 1 becomes reachable; the next INFORM round should migrate the
+  // queued job there.
+  g.topo.add_link(NodeId{0}, NodeId{1});
+  g.run_for(3_min);
+
+  const JobRecord* rec = g.tracker.find(queued_id);
+  ASSERT_NE(rec, nullptr);
+  ASSERT_EQ(rec->assignments.size(), 2u);
+  EXPECT_EQ(rec->assignments[1].first, NodeId{1});
+  EXPECT_TRUE(g.node(1).executing());
+  EXPECT_EQ(busy.queue_length(), 0u);
+  EXPECT_EQ(g.tracker.total_reschedules(), 1u);
+  EXPECT_EQ(busy.counters().reschedules_out, 1u);
+  EXPECT_EQ(g.node(1).counters().reschedules_in, 1u);
+}
+
+TEST_F(RescheduleTest, BothJobsEventuallyCompleteFaster) {
+  auto& busy = g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.topo.add_node(NodeId{0});
+  g.topo.remove_link(NodeId{0}, NodeId{1});
+  auto j1 = g.make_job(2_h);
+  auto j2 = g.make_job(2_h);
+  busy.submit(std::move(j1));
+  busy.submit(std::move(j2));
+  g.run_for(5_s);
+  g.topo.add_link(NodeId{0}, NodeId{1});
+  g.run_for(4_h);
+  EXPECT_EQ(g.tracker.completed_count(), 2u);
+  EXPECT_TRUE(g.tracker.violations().empty());
+  // With migration, both finish within ~2h of submission instead of 4h.
+  for (const auto& [id, rec] : g.tracker.records()) {
+    EXPECT_LT(rec.completion_time(), 2_h + 10_min);
+  }
+}
+
+TEST_F(RescheduleTest, NoReschedulingWhenDisabled) {
+  g.config.dynamic_rescheduling = false;
+  auto& busy = g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.topo.remove_link(NodeId{0}, NodeId{1});
+  auto j1 = g.make_job(2_h);
+  auto j2 = g.make_job(2_h);
+  busy.submit(std::move(j1));
+  busy.submit(std::move(j2));
+  g.run_for(5_s);
+  g.topo.add_link(NodeId{0}, NodeId{1});
+  g.run_for(5_h);
+
+  EXPECT_EQ(g.tracker.total_reschedules(), 0u);
+  EXPECT_EQ(g.net().traffic().of(kInformType).messages, 0u);
+  EXPECT_EQ(g.tracker.completed_count(), 2u);
+}
+
+TEST_F(RescheduleTest, ThresholdBlocksMarginalImprovements) {
+  // Moving the queued job to the idle equal-speed node would save ~2h;
+  // a 3h threshold must suppress that.
+  g.config.reschedule_threshold = 3_h;
+  auto& busy = g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.topo.remove_link(NodeId{0}, NodeId{1});
+  auto j1 = g.make_job(2_h);
+  auto j2 = g.make_job(2_h);
+  busy.submit(std::move(j1));
+  busy.submit(std::move(j2));
+  g.run_for(5_s);
+  g.topo.add_link(NodeId{0}, NodeId{1});
+  g.run_for(5_h);
+
+  EXPECT_EQ(g.tracker.total_reschedules(), 0u);
+  EXPECT_EQ(g.tracker.completed_count(), 2u);
+}
+
+TEST_F(RescheduleTest, RunningJobsAreNeverAdvertisedOrMoved) {
+  auto& busy = g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.add_node(SchedulerKind::kFcfs, 4.0);  // much faster node appears
+  g.topo.remove_link(NodeId{0}, NodeId{1});
+  auto j1 = g.make_job(3_h);
+  const JobId running_id = j1.id;
+  busy.submit(std::move(j1));
+  g.run_for(5_s);
+  ASSERT_TRUE(busy.executing());
+  g.topo.add_link(NodeId{0}, NodeId{1});
+  g.run_for(3_h);
+
+  const JobRecord* rec = g.tracker.find(running_id);
+  ASSERT_TRUE(rec->done());
+  EXPECT_EQ(rec->assignments.size(), 1u);  // no migration of running work
+  EXPECT_EQ(rec->executor, NodeId{0});
+}
+
+TEST_F(RescheduleTest, InformJobsPerPeriodCapsAdvertisements) {
+  // With a huge threshold nothing ever moves, so the queue stays full and
+  // every period advertises exactly `inform_jobs_per_period` jobs.
+  g.config.inform_jobs_per_period = 1;
+  g.config.reschedule_threshold = 100_h;
+  auto& busy = g.add_node(SchedulerKind::kFcfs, 1.0);
+  for (int i = 0; i < 4; ++i) {
+    auto j = g.make_job(8_h);
+    busy.submit(std::move(j));
+  }
+  g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.topo.add_link(NodeId{0}, NodeId{1});
+  g.run_for(10_min);
+  ASSERT_EQ(busy.queue_length(), 3u);
+
+  // <= 10 inform periods elapsed; cap 1 job each.
+  const auto floods_cap1 = busy.counters().informs_initiated;
+  EXPECT_GE(floods_cap1, 5u);
+  EXPECT_LE(floods_cap1, 11u);
+}
+
+TEST_F(RescheduleTest, InformJobsPerPeriodScalesWithCap) {
+  g.config.inform_jobs_per_period = 3;
+  g.config.reschedule_threshold = 100_h;
+  auto& busy = g.add_node(SchedulerKind::kFcfs, 1.0);
+  for (int i = 0; i < 4; ++i) {
+    auto j = g.make_job(8_h);
+    busy.submit(std::move(j));
+  }
+  g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.topo.add_link(NodeId{0}, NodeId{1});
+  g.run_for(10_min);
+  ASSERT_EQ(busy.queue_length(), 3u);
+
+  const auto floods_cap3 = busy.counters().informs_initiated;
+  EXPECT_GE(floods_cap3, 15u);  // ~3 per period
+  EXPECT_LE(floods_cap3, 33u);
+}
+
+TEST_F(RescheduleTest, StaleAcceptAfterStartIsIgnored) {
+  // Node 0 advertises a queued job, but it starts executing before the
+  // ACCEPT arrives: the reassignment must not happen.
+  g.config.reschedule_threshold = 1_s;
+  auto& busy = g.add_node(SchedulerKind::kFcfs, 1.0);
+  auto& other = g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.connect_all();
+  g.topo.remove_link(NodeId{0}, NodeId{1});
+
+  auto j1 = g.make_job(30_s);  // short: completes quickly
+  auto j2 = g.make_job(2_h);
+  const JobId id2 = j2.id;
+  busy.submit(std::move(j1));
+  busy.submit(std::move(j2));
+  g.run_for(5_s);
+  ASSERT_EQ(busy.queue_length(), 1u);
+
+  // Depending on INFORM timer phase, j2 either starts on node 0 (after j1
+  // finishes in ~30s) or migrates to node 1 first. Either way it must start
+  // exactly once, on its final assignee, and any ACCEPT arriving after the
+  // start must be ignored.
+  g.topo.add_link(NodeId{0}, NodeId{1});
+  g.run_for(2_min);
+  ASSERT_TRUE(busy.executing() || other.executing());
+
+  const JobRecord* rec = g.tracker.find(id2);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_TRUE(g.tracker.violations().empty());
+  ASSERT_TRUE(rec->started.has_value());
+  EXPECT_EQ(rec->executor, rec->assignments.back().first);
+  // Run to completion: still exactly one execution.
+  g.run_for(4_h);
+  EXPECT_TRUE(rec->done());
+  EXPECT_TRUE(g.tracker.violations().empty());
+}
+
+TEST_F(RescheduleTest, InformTrafficMetered) {
+  auto& busy = g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.connect_all();
+  g.topo.remove_link(NodeId{0}, NodeId{1});
+  auto j1 = g.make_job(2_h);
+  auto j2 = g.make_job(2_h);
+  busy.submit(std::move(j1));
+  busy.submit(std::move(j2));
+  g.run_for(5_s);
+  g.topo.add_link(NodeId{0}, NodeId{1});
+  g.run_for(3_min);
+
+  const auto inform = g.net().traffic().of(kInformType);
+  EXPECT_GE(inform.messages, 1u);
+  EXPECT_EQ(inform.bytes, inform.messages * kInformWireBytes);
+}
+
+TEST_F(RescheduleTest, NotifyInitiatorWhenEnabled) {
+  g.config.notify_initiator = true;
+  auto& initiator = g.add_node(SchedulerKind::kFcfs, 1.0);
+  // Make the initiator non-matching so it never holds the job itself.
+  grid::NodeProfile sparc = TestGrid::universal_profile();
+  sparc.arch = grid::Architecture::kSparc;
+  g.nodes.clear();
+  g.topo = overlay::Topology{};
+  auto& init2 = g.add_node(SchedulerKind::kFcfs, 1.0, sparc);
+  auto& holder = g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.connect_all();
+  g.topo.remove_link(NodeId{1}, NodeId{2});
+  g.topo.remove_link(NodeId{0}, NodeId{2});
+
+  auto j1 = g.make_job(2_h);
+  auto j2 = g.make_job(2_h);
+  init2.submit(std::move(j1));
+  init2.submit(std::move(j2));
+  g.run_for(5_s);
+  ASSERT_EQ(holder.queue_length(), 1u);
+
+  g.topo.add_link(NodeId{1}, NodeId{2});
+  g.topo.add_link(NodeId{0}, NodeId{2});
+  g.run_for(3_min);
+
+  EXPECT_GE(g.tracker.total_reschedules(), 1u);
+  EXPECT_GE(g.net().traffic().of(kNotifyType).messages, 1u);
+  (void)initiator;
+}
+
+TEST_F(RescheduleTest, PingPongIsBoundedByThreshold) {
+  // Two identical idle-ish nodes: once the job sits on either, the other
+  // can never offer a threshold-beating improvement, so it moves at most
+  // once.
+  auto& a = g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.add_node(SchedulerKind::kFcfs, 1.0);
+  g.topo.remove_link(NodeId{0}, NodeId{1});
+  auto j1 = g.make_job(2_h);
+  auto j2 = g.make_job(2_h);
+  const JobId id = j2.id;
+  a.submit(std::move(j1));
+  a.submit(std::move(j2));
+  g.run_for(5_s);
+  g.topo.add_link(NodeId{0}, NodeId{1});
+  g.run_for(2_h);
+
+  const JobRecord* rec = g.tracker.find(id);
+  EXPECT_LE(rec->reschedule_count(), 1u);
+  EXPECT_TRUE(g.tracker.violations().empty());
+}
+
+}  // namespace
+}  // namespace aria::proto

@@ -1,0 +1,104 @@
+#include "grid/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace aria::grid {
+namespace {
+
+TEST(JobSpec, ErtOnScalesByPerformanceIndex) {
+  JobSpec j;
+  j.ert = Duration::hours(2);
+  EXPECT_EQ(j.ert_on(1.0), Duration::hours(2));
+  EXPECT_EQ(j.ert_on(2.0), Duration::hours(1));
+  EXPECT_EQ(j.ert_on(1.5), Duration::minutes(80));
+}
+
+TEST(JobSpec, DeadlinePresence) {
+  JobSpec j;
+  EXPECT_FALSE(j.has_deadline());
+  j.deadline = TimePoint::origin() + Duration::hours(5);
+  EXPECT_TRUE(j.has_deadline());
+}
+
+TEST(ErtErrorModel, ExactModeReturnsErtp) {
+  ErtErrorModel model{ErtErrorMode::kExact, 0.1};
+  Rng rng{1};
+  const Duration ert = Duration::hours(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(model.actual_running_time(ert, 2.0, rng), Duration::hours(1));
+  }
+}
+
+TEST(ErtErrorModel, SymmetricModeBoundsDrift) {
+  ErtErrorModel model{ErtErrorMode::kSymmetric, 0.1};
+  Rng rng{2};
+  const Duration ert = Duration::hours(2);
+  const Duration ertp = ert.scaled(1.0 / 1.5);
+  const Duration max_drift = ert.scaled(0.1);
+  for (int i = 0; i < 10000; ++i) {
+    const Duration art = model.actual_running_time(ert, 1.5, rng);
+    EXPECT_GE(art, ertp - max_drift);
+    EXPECT_LE(art, ertp + max_drift);
+  }
+}
+
+TEST(ErtErrorModel, SymmetricModeIsCenteredOnErtp) {
+  ErtErrorModel model{ErtErrorMode::kSymmetric, 0.25};
+  Rng rng{3};
+  const Duration ert = Duration::hours(3);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.add(model.actual_running_time(ert, 1.0, rng).to_seconds());
+  }
+  EXPECT_NEAR(stats.mean(), ert.to_seconds(), ert.to_seconds() * 0.01);
+}
+
+TEST(ErtErrorModel, OptimisticModeNeverUndershoots) {
+  // AccuracyBad: the estimate is always lower than reality.
+  ErtErrorModel model{ErtErrorMode::kOptimistic, 0.1};
+  Rng rng{4};
+  const Duration ert = Duration::hours(2);
+  const Duration ertp = ert.scaled(1.0 / 1.3);
+  bool strictly_above = false;
+  for (int i = 0; i < 10000; ++i) {
+    const Duration art = model.actual_running_time(ert, 1.3, rng);
+    ASSERT_GE(art, ertp);
+    if (art > ertp) strictly_above = true;
+  }
+  EXPECT_TRUE(strictly_above);
+}
+
+TEST(ErtErrorModel, NeverReturnsNonPositive) {
+  // Pathological: epsilon so large the drift could exceed ERTp.
+  ErtErrorModel model{ErtErrorMode::kSymmetric, 5.0};
+  Rng rng{5};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(model.actual_running_time(Duration::minutes(10), 2.0, rng),
+              Duration::seconds(1));
+  }
+}
+
+TEST(ErtErrorModel, ZeroEpsilonSymmetricEqualsExact) {
+  ErtErrorModel model{ErtErrorMode::kSymmetric, 0.0};
+  Rng rng{6};
+  EXPECT_EQ(model.actual_running_time(Duration::hours(1), 1.0, rng),
+            Duration::hours(1));
+}
+
+TEST(JobSpec, ToStringMentionsKeyFields) {
+  Rng rng{7};
+  JobSpec j;
+  j.id = JobId::generate(rng);
+  j.ert = Duration::hours(2);
+  const std::string s = j.to_string();
+  EXPECT_NE(s.find("ert=2h00m"), std::string::npos);
+  EXPECT_NE(s.find(j.id.to_string().substr(0, 8)), std::string::npos);
+  EXPECT_EQ(s.find("deadline"), std::string::npos);
+  j.deadline = TimePoint::origin() + Duration::hours(4);
+  EXPECT_NE(j.to_string().find("deadline=4h00m"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aria::grid

@@ -1,0 +1,113 @@
+#include "grid/profile_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace aria::grid {
+namespace {
+
+constexpr int kDraws = 200000;
+
+TEST(ProfileGen, ArchitectureDistributionMatchesTop500Table) {
+  Rng rng{1};
+  std::map<Architecture, int> counts;
+  for (int i = 0; i < kDraws; ++i) ++counts[random_architecture(rng)];
+  auto share = [&](Architecture a) {
+    return counts[a] / static_cast<double>(kDraws);
+  };
+  EXPECT_NEAR(share(Architecture::kAmd64), 0.872, 0.005);
+  EXPECT_NEAR(share(Architecture::kPower), 0.110, 0.005);
+  EXPECT_NEAR(share(Architecture::kIa64), 0.012, 0.002);
+  EXPECT_NEAR(share(Architecture::kSparc), 0.002, 0.001);
+  EXPECT_NEAR(share(Architecture::kMips), 0.002, 0.001);
+  EXPECT_NEAR(share(Architecture::kNec), 0.002, 0.001);
+}
+
+TEST(ProfileGen, OsDistributionMatchesTop500Table) {
+  Rng rng{2};
+  std::map<OperatingSystem, int> counts;
+  for (int i = 0; i < kDraws; ++i) ++counts[random_os(rng)];
+  auto share = [&](OperatingSystem os) {
+    return counts[os] / static_cast<double>(kDraws);
+  };
+  EXPECT_NEAR(share(OperatingSystem::kLinux), 0.886, 0.005);
+  EXPECT_NEAR(share(OperatingSystem::kSolaris), 0.058, 0.003);
+  EXPECT_NEAR(share(OperatingSystem::kUnix), 0.044, 0.003);
+  EXPECT_NEAR(share(OperatingSystem::kWindows), 0.010, 0.002);
+  EXPECT_NEAR(share(OperatingSystem::kBsd), 0.002, 0.001);
+}
+
+TEST(ProfileGen, CapacityIsUniformOverPowersOfTwo) {
+  Rng rng{3};
+  std::map<int, int> counts;
+  for (int i = 0; i < kDraws; ++i) ++counts[random_capacity_gb(rng)];
+  ASSERT_EQ(counts.size(), 5u);
+  for (int cap : {1, 2, 4, 8, 16}) {
+    EXPECT_NEAR(counts[cap] / static_cast<double>(kDraws), 0.2, 0.01)
+        << "capacity " << cap;
+  }
+}
+
+TEST(ProfileGen, PerformanceIndexInPaperRange) {
+  Rng rng{4};
+  double lo = 10.0, hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const NodeProfile p = random_node_profile(rng);
+    ASSERT_GE(p.performance_index, 1.0);
+    ASSERT_LE(p.performance_index, 2.0);
+    lo = std::min(lo, p.performance_index);
+    hi = std::max(hi, p.performance_index);
+  }
+  EXPECT_LT(lo, 1.05);  // the whole range is exercised
+  EXPECT_GT(hi, 1.95);
+}
+
+TEST(ProfileGen, JobRequirementsUseSameDistributions) {
+  Rng rng{5};
+  int amd64 = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const JobRequirements r = random_job_requirements(rng);
+    if (r.arch == Architecture::kAmd64) ++amd64;
+    ASSERT_TRUE(r.min_memory_gb == 1 || r.min_memory_gb == 2 ||
+                r.min_memory_gb == 4 || r.min_memory_gb == 8 ||
+                r.min_memory_gb == 16);
+    ASSERT_TRUE(r.virtual_org.empty());
+  }
+  EXPECT_NEAR(amd64 / static_cast<double>(kDraws), 0.872, 0.005);
+}
+
+TEST(ProfileGen, TypicalJobMatchesAReasonableShareOfNodes) {
+  // Sanity check on the emergent match probability the protocol relies on:
+  // a random job should match a nontrivial fraction of random nodes.
+  Rng rng{6};
+  std::vector<NodeProfile> nodes;
+  for (int i = 0; i < 500; ++i) nodes.push_back(random_node_profile(rng));
+  int total_matches = 0;
+  constexpr int kJobs = 200;
+  for (int j = 0; j < kJobs; ++j) {
+    const JobRequirements r = random_job_requirements(rng);
+    for (const NodeProfile& p : nodes) {
+      if (satisfies(p, r)) ++total_matches;
+    }
+  }
+  const double mean_matches = total_matches / static_cast<double>(kJobs);
+  EXPECT_GT(mean_matches, 50.0);   // enough candidates for meta-scheduling
+  EXPECT_LT(mean_matches, 350.0);  // but matching is selective
+}
+
+TEST(ProfileGen, DeterministicForSeed) {
+  Rng a{7}, b{7};
+  for (int i = 0; i < 100; ++i) {
+    const NodeProfile pa = random_node_profile(a);
+    const NodeProfile pb = random_node_profile(b);
+    EXPECT_EQ(pa.arch, pb.arch);
+    EXPECT_EQ(pa.os, pb.os);
+    EXPECT_EQ(pa.memory_gb, pb.memory_gb);
+    EXPECT_EQ(pa.disk_gb, pb.disk_gb);
+    EXPECT_DOUBLE_EQ(pa.performance_index, pb.performance_index);
+  }
+}
+
+}  // namespace
+}  // namespace aria::grid

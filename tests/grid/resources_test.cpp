@@ -1,0 +1,111 @@
+#include "grid/resources.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aria::grid {
+namespace {
+
+NodeProfile base_profile() {
+  NodeProfile p;
+  p.arch = Architecture::kAmd64;
+  p.os = OperatingSystem::kLinux;
+  p.memory_gb = 8;
+  p.disk_gb = 4;
+  p.performance_index = 1.5;
+  return p;
+}
+
+JobRequirements base_req() {
+  JobRequirements r;
+  r.arch = Architecture::kAmd64;
+  r.os = OperatingSystem::kLinux;
+  r.min_memory_gb = 4;
+  r.min_disk_gb = 2;
+  return r;
+}
+
+TEST(Satisfies, ExactMatch) {
+  EXPECT_TRUE(satisfies(base_profile(), base_req()));
+}
+
+TEST(Satisfies, ArchitectureMustMatchExactly) {
+  auto req = base_req();
+  req.arch = Architecture::kPower;
+  EXPECT_FALSE(satisfies(base_profile(), req));
+}
+
+TEST(Satisfies, OsMustMatchExactly) {
+  auto req = base_req();
+  req.os = OperatingSystem::kSolaris;
+  EXPECT_FALSE(satisfies(base_profile(), req));
+}
+
+TEST(Satisfies, MemoryIsMinimum) {
+  auto req = base_req();
+  req.min_memory_gb = 8;
+  EXPECT_TRUE(satisfies(base_profile(), req));  // equal is enough
+  req.min_memory_gb = 16;
+  EXPECT_FALSE(satisfies(base_profile(), req));
+  req.min_memory_gb = 1;
+  EXPECT_TRUE(satisfies(base_profile(), req));
+}
+
+TEST(Satisfies, DiskIsMinimum) {
+  auto req = base_req();
+  req.min_disk_gb = 4;
+  EXPECT_TRUE(satisfies(base_profile(), req));
+  req.min_disk_gb = 8;
+  EXPECT_FALSE(satisfies(base_profile(), req));
+}
+
+TEST(Satisfies, VirtualOrgConstraint) {
+  auto req = base_req();
+  EXPECT_TRUE(satisfies(base_profile(), req, "cern"));  // unconstrained job
+  req.virtual_org = "cern";
+  EXPECT_TRUE(satisfies(base_profile(), req, "cern"));
+  EXPECT_FALSE(satisfies(base_profile(), req, "desy"));
+  EXPECT_FALSE(satisfies(base_profile(), req, ""));
+}
+
+TEST(Satisfies, AllArchOsPairsOnlyDiagonalMatches) {
+  constexpr Architecture archs[] = {Architecture::kAmd64, Architecture::kPower,
+                                    Architecture::kIa64, Architecture::kSparc,
+                                    Architecture::kMips, Architecture::kNec};
+  for (Architecture pa : archs) {
+    for (Architecture ra : archs) {
+      auto p = base_profile();
+      p.arch = pa;
+      auto r = base_req();
+      r.arch = ra;
+      EXPECT_EQ(satisfies(p, r), pa == ra);
+    }
+  }
+}
+
+TEST(ToString, AllArchitecturesNamed) {
+  EXPECT_EQ(to_string(Architecture::kAmd64), "AMD64");
+  EXPECT_EQ(to_string(Architecture::kPower), "POWER");
+  EXPECT_EQ(to_string(Architecture::kIa64), "IA-64");
+  EXPECT_EQ(to_string(Architecture::kSparc), "SPARC");
+  EXPECT_EQ(to_string(Architecture::kMips), "MIPS");
+  EXPECT_EQ(to_string(Architecture::kNec), "NEC");
+}
+
+TEST(ToString, AllOperatingSystemsNamed) {
+  EXPECT_EQ(to_string(OperatingSystem::kLinux), "LINUX");
+  EXPECT_EQ(to_string(OperatingSystem::kSolaris), "SOLARIS");
+  EXPECT_EQ(to_string(OperatingSystem::kUnix), "UNIX");
+  EXPECT_EQ(to_string(OperatingSystem::kWindows), "WINDOWS");
+  EXPECT_EQ(to_string(OperatingSystem::kBsd), "BSD");
+}
+
+TEST(ToString, ProfileAndRequirementsRender) {
+  EXPECT_EQ(base_profile().to_string(), "AMD64/LINUX mem=8G disk=4G p=1.5");
+  EXPECT_EQ(base_req().to_string(), "AMD64/LINUX mem>=4G disk>=2G");
+  auto r = base_req();
+  r.virtual_org = "cern";
+  EXPECT_EQ(r.to_string(), "AMD64/LINUX mem>=4G disk>=2G vo=cern");
+}
+
+}  // namespace
+}  // namespace aria::grid

@@ -1,0 +1,174 @@
+// Parameterized property suites: protocol invariants must hold for every
+// scenario of Table II and across scheduler kinds and seeds.
+#include <gtest/gtest.h>
+
+#include "workload/engine.hpp"
+#include "workload/scenario.hpp"
+
+namespace aria::workload {
+namespace {
+
+using namespace aria::literals;
+
+ScenarioConfig downsize(ScenarioConfig c) {
+  c.node_count = 30;
+  c.job_count = 20;
+  c.submission_start = 1_min;
+  c.submission_interval = 15_s;
+  c.horizon = 20_h;
+  if (c.expansion) {
+    c.expansion->start = 5_min;
+    c.expansion->mean_interval = 1_min;
+    c.expansion->target_node_count = 40;
+  }
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Property: every Table II scenario runs clean at small scale.
+// ---------------------------------------------------------------------------
+
+class EveryScenario : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryScenario, CompletesAllJobsWithoutViolations) {
+  const ScenarioConfig cfg = downsize(scenario_by_name(GetParam()));
+  GridSimulation sim{cfg, 42};
+  const RunResult r = sim.run();
+
+  EXPECT_EQ(r.completed(), cfg.job_count) << GetParam();
+  EXPECT_TRUE(r.tracker.violations().empty())
+      << GetParam() << ": " << r.tracker.violations().front();
+  EXPECT_EQ(r.tracker.unschedulable_count(), 0u);
+
+  for (const auto& [id, rec] : r.tracker.records()) {
+    ASSERT_TRUE(rec.done());
+    // Lifecycle sanity.
+    EXPECT_FALSE(rec.assignments.empty());
+    EXPECT_GE(rec.waiting_time(), 0_s);
+    EXPECT_GT(rec.execution_time(), 0_s);
+    EXPECT_EQ(rec.executor, rec.assignments.back().first);
+    // The executor must actually satisfy the job's requirements.
+    const proto::AriaNode* executor = sim.node(rec.executor);
+    ASSERT_NE(executor, nullptr);
+    EXPECT_TRUE(grid::satisfies(executor->profile(), rec.spec.requirements,
+                                executor->virtual_org()))
+        << GetParam() << " job " << id.to_string();
+    // Deadline jobs only run in deadline scenarios and vice versa.
+    EXPECT_EQ(rec.has_deadline(), cfg.deadline_scenario());
+    // Assignment chain is time-monotone.
+    for (std::size_t i = 1; i < rec.assignments.size(); ++i) {
+      EXPECT_LE(rec.assignments[i - 1].second, rec.assignments[i].second);
+    }
+    EXPECT_LE(rec.submitted, *rec.started);
+    EXPECT_LT(*rec.started, *rec.completed);
+  }
+}
+
+std::vector<std::string> all_names() {
+  std::vector<std::string> names;
+  for (const auto& s : all_scenarios()) names.push_back(s.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(TableII, EveryScenario,
+                         ::testing::ValuesIn(all_names()),
+                         [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------------------
+// Property: invariants hold across seeds and scheduler mixes.
+// ---------------------------------------------------------------------------
+
+struct MixCase {
+  std::string label;
+  std::vector<sched::SchedulerKind> mix;
+  bool deadlines;
+};
+
+class MixAndSeed
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(MixAndSeed, InvariantsHold) {
+  static const MixCase kCases[] = {
+      {"fcfs", {sched::SchedulerKind::kFcfs}, false},
+      {"sjf", {sched::SchedulerKind::kSjf}, false},
+      {"mixed",
+       {sched::SchedulerKind::kFcfs, sched::SchedulerKind::kSjf},
+       false},
+      {"edf", {sched::SchedulerKind::kEdf}, true},
+      {"priority", {sched::SchedulerKind::kPriority}, false},
+      {"fairsjf", {sched::SchedulerKind::kFairSjf}, false},
+  };
+  const auto& [case_index, seed] = GetParam();
+  const MixCase& mc = kCases[static_cast<std::size_t>(case_index)];
+
+  ScenarioConfig cfg = downsize(scenario_by_name("iMixed"));
+  cfg.scheduler_mix = mc.mix;
+  if (mc.deadlines) cfg.jobs.deadline_slack_mean = 450_min;
+
+  GridSimulation sim{cfg, seed};
+  const RunResult r = sim.run();
+  EXPECT_EQ(r.completed(), cfg.job_count) << mc.label << " seed " << seed;
+  EXPECT_TRUE(r.tracker.violations().empty()) << mc.label << " seed " << seed;
+
+  // Conservation: submissions = completions (nothing lost or duplicated).
+  EXPECT_EQ(r.tracker.submitted_count(), cfg.job_count);
+
+  // No node still holds queued work after everything completed.
+  for (proto::AriaNode* node : sim.all_nodes()) {
+    EXPECT_FALSE(node->executing());
+    EXPECT_EQ(node->queue_length(), 0u);
+  }
+}
+
+std::string mix_case_name(
+    const ::testing::TestParamInfo<std::tuple<int, std::uint64_t>>& info) {
+  static const char* kLabels[] = {"fcfs", "sjf",      "mixed",
+                                  "edf",  "priority", "fairsjf"};
+  return std::string(kLabels[std::get<0>(info.param)]) + "_seed" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MixAndSeed,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Values(std::uint64_t{1},
+                                                              std::uint64_t{2},
+                                                              std::uint64_t{3})),
+                         mix_case_name);
+
+// ---------------------------------------------------------------------------
+// Property: rescheduling never hurts the jobs it moves.
+// ---------------------------------------------------------------------------
+
+TEST(RescheduleProperty, MovedJobsStillSatisfyRequirements) {
+  ScenarioConfig cfg = downsize(scenario_by_name("iMixed"));
+  cfg.job_count = 40;
+  cfg.submission_interval = 5_s;  // enough contention to force reschedules
+  GridSimulation sim{cfg, 99};
+  const RunResult r = sim.run();
+  ASSERT_GT(r.tracker.total_reschedules(), 0u);  // the property is exercised
+  for (const auto& [id, rec] : r.tracker.records()) {
+    for (const auto& [node, at] : rec.assignments) {
+      const proto::AriaNode* holder = sim.node(node);
+      ASSERT_NE(holder, nullptr);
+      EXPECT_TRUE(grid::satisfies(holder->profile(), rec.spec.requirements,
+                                  holder->virtual_org()));
+    }
+  }
+}
+
+TEST(RescheduleProperty, EveryRescheduledJobStartsExactlyOnce) {
+  ScenarioConfig cfg = downsize(scenario_by_name("iMixed"));
+  cfg.job_count = 40;
+  cfg.submission_interval = 5_s;
+  const RunResult r = run_scenario(cfg, 7);
+  std::size_t moved = 0;
+  for (const auto& [id, rec] : r.tracker.records()) {
+    if (rec.reschedule_count() > 0) ++moved;
+    EXPECT_TRUE(rec.done());
+  }
+  EXPECT_GT(moved, 0u);
+  EXPECT_TRUE(r.tracker.violations().empty());
+}
+
+}  // namespace
+}  // namespace aria::workload

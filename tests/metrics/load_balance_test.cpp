@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "metrics/timeseries.hpp"
+
+namespace aria::metrics {
+namespace {
+
+TEST(LoadBalanceMetric, EmptyIsZeroed) {
+  const LoadBalance lb = load_balance({});
+  EXPECT_DOUBLE_EQ(lb.mean, 0.0);
+  EXPECT_DOUBLE_EQ(lb.gini, 0.0);
+  EXPECT_DOUBLE_EQ(lb.cv, 0.0);
+}
+
+TEST(LoadBalanceMetric, PerfectlyEven) {
+  const LoadBalance lb = load_balance({5.0, 5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(lb.mean, 5.0);
+  EXPECT_DOUBLE_EQ(lb.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(lb.cv, 0.0);
+  EXPECT_NEAR(lb.gini, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(lb.max, 5.0);
+}
+
+TEST(LoadBalanceMetric, MaximallyUneven) {
+  // One node does everything: Gini -> (n-1)/n.
+  const LoadBalance lb = load_balance({0.0, 0.0, 0.0, 12.0});
+  EXPECT_DOUBLE_EQ(lb.mean, 3.0);
+  EXPECT_DOUBLE_EQ(lb.max, 12.0);
+  EXPECT_NEAR(lb.gini, 0.75, 1e-12);
+  EXPECT_GT(lb.cv, 1.0);
+}
+
+TEST(LoadBalanceMetric, KnownGiniValue) {
+  // {1, 2, 3, 4}: sorted weighted sum = 1*1+2*2+3*3+4*4 = 30,
+  // G = 2*30/(4*10) - 5/4 = 1.5 - 1.25 = 0.25.
+  const LoadBalance lb = load_balance({4.0, 1.0, 3.0, 2.0});
+  EXPECT_NEAR(lb.gini, 0.25, 1e-12);
+}
+
+TEST(LoadBalanceMetric, AllZeroWorkIsEven) {
+  const LoadBalance lb = load_balance({0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(lb.gini, 0.0);
+  EXPECT_DOUBLE_EQ(lb.cv, 0.0);
+}
+
+TEST(LoadBalanceMetric, MoreEvenMeansLowerGini) {
+  const LoadBalance uneven = load_balance({10.0, 0.0, 0.0, 0.0, 0.0});
+  const LoadBalance mild = load_balance({4.0, 3.0, 1.0, 1.0, 1.0});
+  const LoadBalance even = load_balance({2.0, 2.0, 2.0, 2.0, 2.0});
+  EXPECT_GT(uneven.gini, mild.gini);
+  EXPECT_GT(mild.gini, even.gini);
+}
+
+}  // namespace
+}  // namespace aria::metrics

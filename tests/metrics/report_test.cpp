@@ -1,0 +1,96 @@
+#include "metrics/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace aria::metrics {
+namespace {
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+  EXPECT_EQ(Table::num(-1.55, 1), "-1.6");
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t{{"name", "value"}};
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22222"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+  // Columns align: "value" starts at the same offset in header and rows.
+  const auto header_pos = s.find("value");
+  const auto line_start = s.rfind('\n', s.find("alpha"));
+  const auto alpha_line_value_pos = s.find('1', line_start) - line_start - 1;
+  EXPECT_EQ(header_pos, alpha_line_value_pos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t{{"a", "b", "c"}};
+  t.add_row({"only"});
+  std::ostringstream out;
+  t.print(out);  // must not crash, row padded to 3 columns
+  EXPECT_NE(out.str().find("only"), std::string::npos);
+}
+
+TEST(SeriesMatrix, PrintsAllLabels) {
+  Series a{"one"}, b{"two"};
+  for (int i = 0; i < 10; ++i) {
+    a.add(static_cast<double>(i), i * 1.0);
+    b.add(static_cast<double>(i), i * 2.0);
+  }
+  std::ostringstream out;
+  print_series_matrix(out, {a, b});
+  const std::string s = out.str();
+  EXPECT_NE(s.find("t[h]"), std::string::npos);
+  EXPECT_NE(s.find("one"), std::string::npos);
+  EXPECT_NE(s.find("two"), std::string::npos);
+}
+
+TEST(SeriesMatrix, RespectsMaxRows) {
+  Series a{"x"};
+  for (int i = 0; i < 1000; ++i) a.add(static_cast<double>(i), 1.0);
+  std::ostringstream out;
+  print_series_matrix(out, {a}, 10);
+  int lines = 0;
+  for (char c : out.str()) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_LE(lines, 15);  // header + separator + ~10 rows
+}
+
+TEST(SeriesMatrix, EmptyInputPrintsNothing) {
+  std::ostringstream out;
+  print_series_matrix(out, {});
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(Csv, HeaderAndRows) {
+  Series a{"alpha"}, b{"beta"};
+  a.add(0.0, 1.0);
+  a.add(1.0, 2.0);
+  b.add(0.0, 3.0);
+  b.add(1.0, 4.0);
+  std::ostringstream out;
+  write_series_csv(out, {a, b});
+  const std::string s = out.str();
+  EXPECT_NE(s.find("t_hours,alpha,beta"), std::string::npos);
+  EXPECT_NE(s.find("0,1,3"), std::string::npos);
+  EXPECT_NE(s.find("1,2,4"), std::string::npos);
+}
+
+TEST(Csv, EmptyInput) {
+  std::ostringstream out;
+  write_series_csv(out, {});
+  EXPECT_TRUE(out.str().empty());
+}
+
+}  // namespace
+}  // namespace aria::metrics

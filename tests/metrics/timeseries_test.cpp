@@ -1,0 +1,108 @@
+#include "metrics/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aria::metrics {
+namespace {
+
+using namespace aria::literals;
+
+TEST(Series, AddAndInspect) {
+  Series s{"demo"};
+  EXPECT_TRUE(s.empty());
+  s.add(TimePoint::origin() + 1_h, 5.0);
+  s.add(TimePoint::origin() + 2_h, 7.0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.label(), "demo");
+  EXPECT_DOUBLE_EQ(s.points()[0].t_hours, 1.0);
+  EXPECT_DOUBLE_EQ(s.points()[1].value, 7.0);
+}
+
+TEST(Series, ValueAtStepSemantics) {
+  Series s;
+  s.add(1.0, 10.0);
+  s.add(2.0, 20.0);
+  s.add(3.0, 30.0);
+  EXPECT_DOUBLE_EQ(s.value_at(0.5), 0.0);   // before first sample
+  EXPECT_DOUBLE_EQ(s.value_at(1.0), 10.0);  // exact hit
+  EXPECT_DOUBLE_EQ(s.value_at(1.7), 10.0);  // holds last sample
+  EXPECT_DOUBLE_EQ(s.value_at(2.5), 20.0);
+  EXPECT_DOUBLE_EQ(s.value_at(99.0), 30.0);
+}
+
+TEST(Series, DownsampledKeepsEndpoints) {
+  Series s;
+  for (int i = 0; i <= 100; ++i) s.add(static_cast<double>(i), i * 2.0);
+  const Series d = s.downsampled(10);
+  EXPECT_LT(d.size(), s.size());
+  EXPECT_DOUBLE_EQ(d.points().front().t_hours, 0.0);
+  EXPECT_DOUBLE_EQ(d.points().back().t_hours, 100.0);
+}
+
+TEST(Series, DownsampledNoopForSmallSeries) {
+  Series s;
+  s.add(1.0, 1.0);
+  s.add(2.0, 2.0);
+  EXPECT_EQ(s.downsampled(10).size(), 2u);
+  EXPECT_EQ(s.downsampled(1).size(), 2u);
+}
+
+TEST(Average, ElementwiseMean) {
+  Series a, b;
+  for (int i = 0; i < 5; ++i) {
+    a.add(static_cast<double>(i), 10.0);
+    b.add(static_cast<double>(i), 20.0);
+  }
+  const Series avg = average({a, b});
+  ASSERT_EQ(avg.size(), 5u);
+  for (const Point& p : avg.points()) EXPECT_DOUBLE_EQ(p.value, 15.0);
+}
+
+TEST(Average, TruncatesToShortestRun) {
+  Series a, b;
+  for (int i = 0; i < 5; ++i) a.add(static_cast<double>(i), 1.0);
+  for (int i = 0; i < 3; ++i) b.add(static_cast<double>(i), 3.0);
+  const Series avg = average({a, b});
+  EXPECT_EQ(avg.size(), 3u);
+  EXPECT_DOUBLE_EQ(avg.points()[0].value, 2.0);
+}
+
+TEST(Average, EmptyInput) {
+  EXPECT_TRUE(average({}).empty());
+}
+
+TEST(Average, KeepsFirstLabel) {
+  Series a{"run"};
+  a.add(0.0, 1.0);
+  EXPECT_EQ(average({a, a}).label(), "run");
+}
+
+TEST(CumulativeCount, StepsUpAtEventTimes) {
+  const TimePoint t0 = TimePoint::origin();
+  const std::vector<TimePoint> events{t0 + 90_min, t0 + 30_min, t0 + 90_min};
+  const Series s = cumulative_count(events, 1_h, t0 + 3_h, "done");
+  // Samples at 0h, 1h, 2h, 3h.
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s.points()[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(s.points()[1].value, 1.0);  // the 30m event
+  EXPECT_DOUBLE_EQ(s.points()[2].value, 3.0);  // + two at 90m
+  EXPECT_DOUBLE_EQ(s.points()[3].value, 3.0);
+  EXPECT_EQ(s.label(), "done");
+}
+
+TEST(CumulativeCount, EmptyEvents) {
+  const Series s =
+      cumulative_count({}, 1_h, TimePoint::origin() + 2_h, "none");
+  ASSERT_EQ(s.size(), 3u);
+  for (const Point& p : s.points()) EXPECT_DOUBLE_EQ(p.value, 0.0);
+}
+
+TEST(CumulativeCount, EventAtExactBucketBoundaryCounts) {
+  const TimePoint t0 = TimePoint::origin();
+  const Series s = cumulative_count({t0 + 1_h}, 1_h, t0 + 1_h);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.points()[1].value, 1.0);
+}
+
+}  // namespace
+}  // namespace aria::metrics

@@ -1,0 +1,130 @@
+#include "overlay/blatant.hpp"
+
+#include <gtest/gtest.h>
+
+#include "overlay/bootstrap.hpp"
+
+namespace aria::overlay {
+namespace {
+
+TEST(Blatant, ConvergePreservesConnectivity) {
+  Rng rng{1};
+  Topology t = bootstrap_random(300, 4.0, rng);
+  BlatantMaintainer m{t, BlatantParams{}, rng.fork(1)};
+  m.converge(60, 3);
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(Blatant, KeepsAveragePathLengthBounded) {
+  Rng rng{2};
+  Topology t = bootstrap_random(400, 4.0, rng);
+  BlatantParams p;
+  BlatantMaintainer m{t, p, rng.fork(1)};
+  m.converge(60, 3);
+  EXPECT_LE(t.average_path_length(), static_cast<double>(p.alpha));
+}
+
+TEST(Blatant, RespectsDegreeFloor) {
+  Rng rng{3};
+  Topology t = bootstrap_random(300, 6.0, rng);
+  BlatantParams p;
+  BlatantMaintainer m{t, p, rng.fork(1)};
+  m.converge(80, 3);
+  // Pruning must never take a node below min_degree unless it started there.
+  for (NodeId node : t.nodes()) {
+    EXPECT_GE(t.degree(node), 2u);  // ring bootstrap guarantees >= 2 initially
+  }
+  EXPECT_GE(t.average_degree(), static_cast<double>(p.min_degree) * 0.8);
+}
+
+TEST(Blatant, PrunesOverProvisionedGraph) {
+  Rng rng{4};
+  Topology t = bootstrap_random(200, 10.0, rng);  // way too many links
+  const std::size_t before = t.link_count();
+  BlatantMaintainer m{t, BlatantParams{}, rng.fork(1)};
+  m.converge(80, 3);
+  EXPECT_LT(t.link_count(), before);
+  EXPECT_TRUE(t.connected());
+  EXPECT_GT(m.stats().links_removed, 0u);
+}
+
+TEST(Blatant, RepairsStretchedTopology) {
+  // A long path graph violates the alpha bound badly; discovery ants must
+  // add shortcuts.
+  Rng rng{5};
+  Topology t;
+  for (std::uint32_t i = 0; i < 99; ++i) {
+    t.add_link(NodeId{i}, NodeId{i + 1});
+  }
+  const double before = t.average_path_length();
+  BlatantParams p;
+  p.walk_length = 30;  // let ants reach far nodes on the path
+  BlatantMaintainer m{t, p, rng.fork(1)};
+  m.converge(120, 5);
+  EXPECT_GT(m.stats().links_added, 0u);
+  EXPECT_LT(t.average_path_length(), before);
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(Blatant, DiscoveryAntNoOpOnIsolatedNode) {
+  Rng rng{6};
+  Topology t;
+  t.add_node(NodeId{0});
+  BlatantMaintainer m{t, BlatantParams{}, rng};
+  m.discovery_ant(NodeId{0});
+  EXPECT_EQ(t.link_count(), 0u);
+}
+
+TEST(Blatant, PruningAntKeepsSmallGraphsIntact) {
+  Rng rng{7};
+  Topology t;
+  t.add_link(NodeId{0}, NodeId{1});
+  t.add_link(NodeId{1}, NodeId{2});
+  BlatantMaintainer m{t, BlatantParams{}, rng};
+  for (int i = 0; i < 50; ++i) {
+    m.pruning_ant(NodeId{0});
+    m.pruning_ant(NodeId{1});
+  }
+  EXPECT_EQ(t.link_count(), 2u);  // degrees are at/below the floor
+}
+
+TEST(Blatant, NeverDisconnectsUnderHeavyPruning) {
+  Rng rng{8};
+  Topology t = bootstrap_random(150, 8.0, rng);
+  BlatantParams p;
+  p.pruning_rate = 1.0;
+  p.discovery_rate = 0.0;
+  BlatantMaintainer m{t, p, rng.fork(1)};
+  for (int round = 0; round < 30; ++round) {
+    m.tick();
+    ASSERT_TRUE(t.connected()) << "disconnected after round " << round;
+  }
+}
+
+TEST(Blatant, StatsCountAnts) {
+  Rng rng{9};
+  Topology t = bootstrap_random(50, 4.0, rng);
+  BlatantParams p;
+  p.discovery_rate = 1.0;
+  p.pruning_rate = 1.0;
+  BlatantMaintainer m{t, p, rng.fork(1)};
+  m.tick();
+  EXPECT_EQ(m.stats().discovery_ants, 50u);
+  EXPECT_EQ(m.stats().pruning_ants, 50u);
+}
+
+TEST(Blatant, IntegratesJoinedNodes) {
+  Rng rng{10};
+  Topology t = bootstrap_random(100, 4.0, rng);
+  BlatantMaintainer m{t, BlatantParams{}, rng.fork(1)};
+  m.converge(40, 3);
+  for (std::uint32_t i = 100; i < 150; ++i) {
+    join_node(t, NodeId{i}, 2, rng);
+  }
+  m.converge(40, 3);
+  EXPECT_TRUE(t.connected());
+  EXPECT_LE(t.average_path_length(), static_cast<double>(m.params().alpha));
+}
+
+}  // namespace
+}  // namespace aria::overlay

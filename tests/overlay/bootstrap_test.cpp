@@ -1,0 +1,147 @@
+#include "overlay/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aria::overlay {
+namespace {
+
+TEST(Bootstrap, EmptyAndSingle) {
+  Rng rng{1};
+  EXPECT_EQ(bootstrap_random(0, 4.0, rng).node_count(), 0u);
+  Topology one = bootstrap_random(1, 4.0, rng);
+  EXPECT_EQ(one.node_count(), 1u);
+  EXPECT_EQ(one.link_count(), 0u);
+  EXPECT_TRUE(one.connected());
+}
+
+TEST(Bootstrap, ProducesConnectedGraph) {
+  Rng rng{2};
+  const Topology t = bootstrap_random(200, 4.0, rng);
+  EXPECT_EQ(t.node_count(), 200u);
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(Bootstrap, HitsTargetAverageDegree) {
+  Rng rng{3};
+  const Topology t = bootstrap_random(500, 4.0, rng);
+  EXPECT_NEAR(t.average_degree(), 4.0, 0.2);
+}
+
+TEST(Bootstrap, FirstIdOffset) {
+  Rng rng{4};
+  const Topology t = bootstrap_random(10, 2.0, rng, /*first_id=*/100);
+  EXPECT_TRUE(t.has_node(NodeId{100}));
+  EXPECT_TRUE(t.has_node(NodeId{109}));
+  EXPECT_FALSE(t.has_node(NodeId{0}));
+}
+
+TEST(Bootstrap, DeterministicForSeed) {
+  Rng r1{5}, r2{5};
+  const Topology a = bootstrap_random(100, 4.0, r1);
+  const Topology b = bootstrap_random(100, 4.0, r2);
+  EXPECT_EQ(a.link_count(), b.link_count());
+  for (NodeId node : a.nodes()) {
+    EXPECT_EQ(a.degree(node), b.degree(node));
+  }
+}
+
+TEST(Bootstrap, SmallWorldPathLength) {
+  Rng rng{6};
+  const Topology t = bootstrap_random(500, 4.0, rng);
+  // A random graph with average degree 4 has APL around ln(n)/ln(k) ~ 4.5.
+  EXPECT_LT(t.average_path_length(), 7.0);
+  EXPECT_GT(t.average_path_length(), 2.0);
+}
+
+TEST(BootstrapRegular, ConnectedWithRequestedDegree) {
+  Rng rng{20};
+  const Topology t = bootstrap_regular(300, 4, rng);
+  EXPECT_EQ(t.node_count(), 300u);
+  EXPECT_TRUE(t.connected());
+  // Stub matching loses a few links to self/duplicate pairs.
+  EXPECT_NEAR(t.average_degree(), 4.0, 0.5);
+}
+
+TEST(BootstrapRegular, SmallCounts) {
+  Rng rng{21};
+  EXPECT_EQ(bootstrap_regular(0, 4, rng).node_count(), 0u);
+  const Topology one = bootstrap_regular(1, 4, rng);
+  EXPECT_EQ(one.node_count(), 1u);
+  EXPECT_EQ(one.link_count(), 0u);
+  const Topology two = bootstrap_regular(2, 4, rng);
+  EXPECT_TRUE(two.connected());
+}
+
+TEST(BootstrapRegular, Deterministic) {
+  Rng a{22}, b{22};
+  const Topology ta = bootstrap_regular(100, 4, a);
+  const Topology tb = bootstrap_regular(100, 4, b);
+  EXPECT_EQ(ta.link_count(), tb.link_count());
+  for (NodeId n : ta.nodes()) EXPECT_EQ(ta.degree(n), tb.degree(n));
+}
+
+TEST(BootstrapSmallWorld, ZeroBetaIsRingLattice) {
+  Rng rng{23};
+  const Topology t = bootstrap_small_world(50, 4, 0.0, rng);
+  EXPECT_TRUE(t.connected());
+  EXPECT_DOUBLE_EQ(t.average_degree(), 4.0);
+  // Pure lattice: every node links to its 2 neighbors per side.
+  EXPECT_TRUE(t.has_link(NodeId{0}, NodeId{1}));
+  EXPECT_TRUE(t.has_link(NodeId{0}, NodeId{2}));
+  EXPECT_FALSE(t.has_link(NodeId{0}, NodeId{3}));
+  // Lattice APL is large: ~n/(2k) scale.
+  EXPECT_GT(t.average_path_length(), 5.0);
+}
+
+TEST(BootstrapSmallWorld, RewiringShortensPaths) {
+  Rng rng{24};
+  const Topology lattice = bootstrap_small_world(200, 4, 0.0, rng);
+  const Topology rewired = bootstrap_small_world(200, 4, 0.2, rng);
+  EXPECT_TRUE(rewired.connected());
+  EXPECT_LT(rewired.average_path_length(), lattice.average_path_length());
+  EXPECT_NEAR(rewired.average_degree(), 4.0, 0.3);
+}
+
+TEST(BootstrapSmallWorld, StaysConnectedEvenAtHighBeta) {
+  Rng rng{25};
+  const Topology t = bootstrap_small_world(150, 4, 0.9, rng);
+  EXPECT_TRUE(t.connected());  // bridge-protection in the rewiring
+}
+
+TEST(JoinNode, ConnectsToRequestedContacts) {
+  Rng rng{7};
+  Topology t = bootstrap_random(50, 4.0, rng);
+  join_node(t, NodeId{50}, 3, rng);
+  EXPECT_TRUE(t.has_node(NodeId{50}));
+  EXPECT_EQ(t.degree(NodeId{50}), 3u);
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(JoinNode, ZeroContactsStillLinksOnce) {
+  Rng rng{8};
+  Topology t = bootstrap_random(10, 2.0, rng);
+  join_node(t, NodeId{10}, 0, rng);
+  EXPECT_EQ(t.degree(NodeId{10}), 1u);
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(JoinNode, IntoEmptyTopology) {
+  Rng rng{9};
+  Topology t;
+  join_node(t, NodeId{0}, 2, rng);
+  EXPECT_TRUE(t.has_node(NodeId{0}));
+  EXPECT_EQ(t.degree(NodeId{0}), 0u);
+}
+
+TEST(JoinNode, ManySequentialJoinsKeepConnectivity) {
+  Rng rng{10};
+  Topology t = bootstrap_random(20, 4.0, rng);
+  for (std::uint32_t i = 20; i < 120; ++i) {
+    join_node(t, NodeId{i}, 2, rng);
+  }
+  EXPECT_EQ(t.node_count(), 120u);
+  EXPECT_TRUE(t.connected());
+}
+
+}  // namespace
+}  // namespace aria::overlay

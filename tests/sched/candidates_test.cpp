@@ -1,0 +1,119 @@
+// Rescheduling candidate selection (paper §III-D): batch schedulers prefer
+// the longest-waiting jobs, deadline schedulers the least-lateness jobs.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sched/policies.hpp"
+
+namespace aria::sched {
+namespace {
+
+using namespace aria::literals;
+
+grid::JobSpec job(Rng& rng, Duration ert,
+                  std::optional<TimePoint> deadline = {}) {
+  grid::JobSpec s;
+  s.id = JobId::generate(rng);
+  s.ert = ert;
+  s.deadline = deadline;
+  return s;
+}
+
+const TimePoint t0 = TimePoint::origin();
+
+TEST(Candidates, EmptyQueueYieldsNothing) {
+  FcfsScheduler s;
+  EXPECT_TRUE(s.rescheduling_candidates(2, 0_s, t0).empty());
+}
+
+TEST(Candidates, ZeroMaxYieldsNothing) {
+  Rng rng{1};
+  FcfsScheduler s;
+  const auto a = job(rng, 1_h);
+  s.enqueue({a, 1_h, t0, 0});
+  EXPECT_TRUE(s.rescheduling_candidates(0, 0_s, t0).empty());
+}
+
+TEST(Candidates, BatchPrefersLargestWaitingTime) {
+  Rng rng{2};
+  FcfsScheduler s;
+  const auto newer = job(rng, 1_h);
+  const auto oldest = job(rng, 1_h);
+  const auto middle = job(rng, 1_h);
+  s.enqueue({oldest, 1_h, t0, 0});
+  s.enqueue({middle, 1_h, t0 + 1_h, 0});
+  s.enqueue({newer, 1_h, t0 + 2_h, 0});
+  const auto picks = s.rescheduling_candidates(2, 0_s, t0 + 3_h);
+  ASSERT_EQ(picks.size(), 2u);
+  EXPECT_EQ(picks[0], oldest.id);
+  EXPECT_EQ(picks[1], middle.id);
+}
+
+TEST(Candidates, MaxCapsSelection) {
+  Rng rng{3};
+  SjfScheduler s;
+  for (int i = 0; i < 10; ++i) {
+    const auto j = job(rng, Duration::hours(1 + i % 3));
+    s.enqueue({j, j.ert, t0, 0});
+  }
+  EXPECT_EQ(s.rescheduling_candidates(4, 0_s, t0).size(), 4u);
+  EXPECT_EQ(s.rescheduling_candidates(100, 0_s, t0).size(), 10u);
+}
+
+TEST(Candidates, DeadlinePrefersLeastLateness) {
+  Rng rng{4};
+  EdfScheduler s;
+  // EDF order: tight (deadline 2h), loose (deadline 10h).
+  const auto tight = job(rng, 1_h, t0 + 2_h);
+  const auto loose = job(rng, 1_h, t0 + 10_h);
+  s.enqueue({loose, 1_h, t0, 0});
+  s.enqueue({tight, 1_h, t0, 0});
+  // gammas: tight = 2h - 1h = 1h; loose = 10h - 2h = 8h. Least lateness
+  // (smallest slack) is picked first.
+  const auto picks = s.rescheduling_candidates(1, 0_s, t0);
+  ASSERT_EQ(picks.size(), 1u);
+  EXPECT_EQ(picks[0], tight.id);
+}
+
+TEST(Candidates, DeadlineSelectionAccountsForRunningRemainder) {
+  Rng rng{5};
+  EdfScheduler s;
+  const auto a = job(rng, 1_h, t0 + 4_h);
+  s.enqueue({a, 1_h, t0, 0});
+  // With a 2h remainder the job's ETC is 3h -> slack 1h.
+  const auto picks = s.rescheduling_candidates(1, 2_h, t0);
+  ASSERT_EQ(picks.size(), 1u);
+  EXPECT_EQ(picks[0], a.id);
+}
+
+TEST(Candidates, BatchStableOnEqualWaits) {
+  Rng rng{6};
+  FcfsScheduler s;
+  std::vector<JobId> ids;
+  for (int i = 0; i < 4; ++i) {
+    const auto j = job(rng, 1_h);
+    ids.push_back(j.id);
+    s.enqueue({j, 1_h, t0, 0});
+  }
+  const auto picks = s.rescheduling_candidates(4, 0_s, t0);
+  ASSERT_EQ(picks.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(picks[i], ids[i]);
+}
+
+TEST(Candidates, SjfSelectionIgnoresQueuePosition) {
+  // The longest-waiting job may sit at the back of an SJF queue; it is
+  // still the preferred rescheduling candidate.
+  Rng rng{7};
+  SjfScheduler s;
+  const auto old_long = job(rng, 4_h);
+  s.enqueue({old_long, 4_h, t0, 0});
+  const auto fresh_short = job(rng, 1_h);
+  s.enqueue({fresh_short, 1_h, t0 + 2_h, 0});
+  ASSERT_EQ(s.queue().front().spec.id, fresh_short.id);  // SJF order
+  const auto picks = s.rescheduling_candidates(1, 0_s, t0 + 3_h);
+  ASSERT_EQ(picks.size(), 1u);
+  EXPECT_EQ(picks[0], old_long.id);  // waiting-time order
+}
+
+}  // namespace
+}  // namespace aria::sched

@@ -1,0 +1,172 @@
+// Cross-check properties of the cost functions: quotes must be honest.
+// The cost a node quotes for a hypothetical job (cost_of_adding) must equal
+// the cost observed right after actually enqueueing it (current_cost), for
+// every policy and any queue state — this is what makes ACCEPT offers
+// trustworthy in the protocol. Checked over randomized queues.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sched/policies.hpp"
+
+namespace aria::sched {
+namespace {
+
+using namespace aria::literals;
+
+grid::JobSpec random_job(Rng& rng, bool deadline) {
+  grid::JobSpec j;
+  j.id = JobId::generate(rng);
+  j.ert = Duration::minutes(rng.uniform_int(60, 240));
+  if (deadline) {
+    j.deadline = TimePoint::origin() +
+                 Duration::minutes(rng.uniform_int(120, 1200));
+  }
+  return j;
+}
+
+class QuoteConsistency
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {
+ protected:
+  static std::unique_ptr<LocalScheduler> scheduler_for(int index) {
+    switch (index) {
+      case 0: return std::make_unique<FcfsScheduler>();
+      case 1: return std::make_unique<SjfScheduler>();
+      case 2: return std::make_unique<EdfScheduler>();
+      case 3: return std::make_unique<PriorityScheduler>();
+      default: return std::make_unique<FairSjfScheduler>();
+    }
+  }
+};
+
+TEST_P(QuoteConsistency, CostOfAddingMatchesCostAfterEnqueue) {
+  const auto& [sched_index, seed] = GetParam();
+  Rng rng{seed};
+  auto sched = scheduler_for(sched_index);
+  const bool deadline = sched->cost_family() == CostFamily::kDeadline;
+  const TimePoint now = TimePoint::origin() + 1_h;
+  const Duration running_remaining =
+      Duration::minutes(rng.uniform_int(0, 90));
+
+  // Random pre-existing queue.
+  const int depth = static_cast<int>(rng.uniform_int(0, 12));
+  for (int i = 0; i < depth; ++i) {
+    auto spec = random_job(rng, deadline);
+    sched->enqueue({spec, spec.ert, now, 0});
+  }
+
+  for (int trial = 0; trial < 20; ++trial) {
+    auto spec = random_job(rng, deadline);
+    const Duration ertp = spec.ert.scaled(1.0 / rng.uniform(1.0, 2.0));
+    const double quote =
+        sched->cost_of_adding(spec, ertp, running_remaining, now);
+    sched->enqueue({spec, ertp, now, 0});
+    const double observed =
+        sched->current_cost(spec.id, running_remaining, now);
+    ASSERT_NEAR(quote, observed, 1e-6)
+        << to_string(sched->kind()) << " trial " << trial << " depth "
+        << sched->size();
+  }
+}
+
+std::string quote_case_name(
+    const ::testing::TestParamInfo<std::tuple<int, std::uint64_t>>& info) {
+  static const char* kNames[] = {"fcfs", "sjf", "edf", "priority", "fairsjf"};
+  return std::string(kNames[std::get<0>(info.param)]) + "_seed" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, QuoteConsistency,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values(std::uint64_t{11}, std::uint64_t{22},
+                                         std::uint64_t{33})),
+    quote_case_name);
+
+// NAL sign property: negative iff every queued job would meet its deadline.
+TEST(NalProperty, SignTracksFeasibility) {
+  Rng rng{7};
+  for (int trial = 0; trial < 200; ++trial) {
+    EdfScheduler sched;
+    const TimePoint now = TimePoint::origin();
+    const int depth = static_cast<int>(rng.uniform_int(1, 8));
+    for (int i = 0; i < depth; ++i) {
+      auto spec = random_job(rng, true);
+      sched.enqueue({spec, spec.ert, now, 0});
+    }
+    const Duration remaining = Duration::minutes(rng.uniform_int(0, 60));
+    // Reference computation straight from the paper's formula.
+    Duration t = remaining;
+    bool any_late = false;
+    for (const QueuedJob& q : sched.queue()) {
+      t += q.ertp;
+      if (*q.spec.deadline - (now + t) < Duration::zero()) any_late = true;
+    }
+    const double nal =
+        sched.current_cost(sched.queue().front().spec.id, remaining, now);
+    if (any_late) {
+      EXPECT_GT(nal, 0.0) << "trial " << trial;
+    } else {
+      EXPECT_LT(nal, 0.0) << "trial " << trial;
+    }
+  }
+}
+
+// ETTC reference cross-check: independent O(n^2) recomputation.
+TEST(EttcProperty, MatchesIndependentReference) {
+  Rng rng{13};
+  for (int trial = 0; trial < 100; ++trial) {
+    SjfScheduler sched;
+    const TimePoint now = TimePoint::origin();
+    const int depth = static_cast<int>(rng.uniform_int(1, 10));
+    for (int i = 0; i < depth; ++i) {
+      auto spec = random_job(rng, false);
+      sched.enqueue({spec, spec.ert, now, 0});
+    }
+    const Duration remaining = Duration::minutes(rng.uniform_int(0, 60));
+    // Reference: walk the queue in order, accumulating service times.
+    Duration acc = remaining;
+    for (const QueuedJob& q : sched.queue()) {
+      acc += q.ertp;
+      EXPECT_EQ(sched.ettc_of(q.spec.id, remaining), acc);
+      EXPECT_DOUBLE_EQ(sched.current_cost(q.spec.id, remaining, now),
+                       acc.to_seconds());
+    }
+  }
+}
+
+// Queue order invariance: popping yields exactly the policy order, and
+// removals never disturb the relative order of the remainder.
+TEST(QueueProperty, PopOrderIsSortedAndStableUnderRemoval) {
+  Rng rng{17};
+  for (int trial = 0; trial < 50; ++trial) {
+    SjfScheduler sched;
+    std::vector<JobId> ids;
+    for (int i = 0; i < 10; ++i) {
+      auto spec = random_job(rng, false);
+      ids.push_back(spec.id);
+      sched.enqueue({spec, spec.ert, TimePoint::origin(), 0});
+    }
+    // Remove three random entries.
+    for (int i = 0; i < 3; ++i) {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1));
+      sched.remove(ids[pick]);
+      ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    Duration prev = Duration::zero();
+    std::uint64_t prev_seq = 0;
+    bool first = true;
+    while (auto q = sched.pop_next()) {
+      if (!first) {
+        ASSERT_TRUE(q->spec.ert > prev ||
+                    (q->spec.ert == prev && q->seq > prev_seq));
+      }
+      prev = q->spec.ert;
+      prev_seq = q->seq;
+      first = false;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aria::sched

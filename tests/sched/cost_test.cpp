@@ -1,0 +1,225 @@
+// Hand-computed checks of the two ARiA cost functions (paper §III-C).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sched/policies.hpp"
+
+namespace aria::sched {
+namespace {
+
+using namespace aria::literals;
+
+grid::JobSpec job(Rng& rng, Duration ert,
+                  std::optional<TimePoint> deadline = {}) {
+  grid::JobSpec s;
+  s.id = JobId::generate(rng);
+  s.ert = ert;
+  s.deadline = deadline;
+  return s;
+}
+
+const TimePoint t0 = TimePoint::origin();
+
+// --------------------------- ETTC (batch) ---------------------------------
+
+TEST(EttcCost, EmptyIdleNodeQuotesOwnRuntime) {
+  Rng rng{1};
+  FcfsScheduler s;
+  const auto j = job(rng, 2_h);
+  EXPECT_DOUBLE_EQ(s.cost_of_adding(j, 1_h, 0_s, t0), (1_h).to_seconds());
+}
+
+TEST(EttcCost, IncludesRunningRemainder) {
+  Rng rng{2};
+  FcfsScheduler s;
+  const auto j = job(rng, 2_h);
+  EXPECT_DOUBLE_EQ(s.cost_of_adding(j, 2_h, 30_min, t0),
+                   (2_h + 30_min).to_seconds());
+}
+
+TEST(EttcCost, FcfsSumsWholeQueue) {
+  Rng rng{3};
+  FcfsScheduler s;
+  const auto a = job(rng, 1_h);
+  const auto b = job(rng, 2_h);
+  s.enqueue({a, 1_h, t0, 0});
+  s.enqueue({b, 2_h, t0, 0});
+  const auto j = job(rng, 30_min);
+  // running 15m + 1h + 2h + 30m = 3h45m.
+  EXPECT_DOUBLE_EQ(s.cost_of_adding(j, 30_min, 15_min, t0),
+                   (3_h + 45_min).to_seconds());
+}
+
+TEST(EttcCost, SjfCountsOnlyShorterJobs) {
+  Rng rng{4};
+  SjfScheduler s;
+  const auto shorter = job(rng, 1_h);
+  const auto longer = job(rng, 3_h);
+  s.enqueue({shorter, 1_h, t0, 0});
+  s.enqueue({longer, 3_h, t0, 0});
+  const auto j = job(rng, 2_h);  // sits between the two
+  // running 0 + shorter 1h + own 2h; the 3h job is behind it.
+  EXPECT_DOUBLE_EQ(s.cost_of_adding(j, 2_h, 0_s, t0), (3_h).to_seconds());
+}
+
+TEST(EttcCost, SjfQuoteIgnoresLongerQueueTail) {
+  Rng rng{5};
+  SjfScheduler s;
+  for (int i = 0; i < 5; ++i) {
+    const auto big = job(rng, 4_h);
+    s.enqueue({big, 4_h, t0, 0});
+  }
+  const auto j = job(rng, 1_h);
+  // A short job jumps the whole queue of 4h jobs.
+  EXPECT_DOUBLE_EQ(s.cost_of_adding(j, 1_h, 10_min, t0),
+                   (1_h + 10_min).to_seconds());
+}
+
+TEST(EttcCost, CurrentCostOfQueuedJob) {
+  Rng rng{6};
+  FcfsScheduler s;
+  const auto a = job(rng, 1_h);
+  const auto b = job(rng, 2_h);
+  s.enqueue({a, 1_h, t0, 0});
+  s.enqueue({b, 2_h, t0, 0});
+  EXPECT_DOUBLE_EQ(s.current_cost(a.id, 30_min, t0), (1_h + 30_min).to_seconds());
+  EXPECT_DOUBLE_EQ(s.current_cost(b.id, 30_min, t0), (3_h + 30_min).to_seconds());
+}
+
+TEST(EttcCost, CurrentCostOfUnknownJobIsInfinite) {
+  Rng rng{7};
+  FcfsScheduler s;
+  EXPECT_TRUE(std::isinf(s.current_cost(JobId::generate(rng), 0_s, t0)));
+}
+
+TEST(EttcCost, LowerOnFasterNode) {
+  // Same scheduler state; the faster node quotes a smaller ERTp for the same
+  // job, so its ETTC is lower — the initiator will pick it.
+  Rng rng{8};
+  FcfsScheduler fast, slow;
+  const auto j = job(rng, 2_h);
+  const double fast_cost = fast.cost_of_adding(j, j.ert_on(2.0), 0_s, t0);
+  const double slow_cost = slow.cost_of_adding(j, j.ert_on(1.0), 0_s, t0);
+  EXPECT_LT(fast_cost, slow_cost);
+}
+
+// --------------------------- NAL (deadline) --------------------------------
+
+TEST(NalCost, SingleOnTimeJobIsNegativeSlack) {
+  Rng rng{10};
+  EdfScheduler s;
+  const auto j = job(rng, 1_h, t0 + 3_h);
+  // ETC = 1h, gamma = 3h - 1h = 2h, all on time -> cost = -2h.
+  EXPECT_DOUBLE_EQ(s.cost_of_adding(j, 1_h, 0_s, t0), -(2_h).to_seconds());
+}
+
+TEST(NalCost, SingleLateJobIsPositiveOverrun) {
+  Rng rng{11};
+  EdfScheduler s;
+  const auto j = job(rng, 2_h, t0 + 1_h);
+  // ETC = 2h, gamma = -1h -> cost = +1h.
+  EXPECT_DOUBLE_EQ(s.cost_of_adding(j, 2_h, 0_s, t0), (1_h).to_seconds());
+}
+
+TEST(NalCost, AllOnTimeSumsAllSlacks) {
+  Rng rng{12};
+  EdfScheduler s;
+  const auto a = job(rng, 1_h, t0 + 4_h);
+  s.enqueue({a, 1_h, t0, 0});
+  const auto j = job(rng, 1_h, t0 + 6_h);
+  // EDF order: a (deadline 4h) then j (deadline 6h).
+  // ETC_a = 1h -> gamma_a = 3h; ETC_j = 2h -> gamma_j = 4h.
+  // All on time -> cost = -(3h + 4h) = -7h.
+  EXPECT_DOUBLE_EQ(s.cost_of_adding(j, 1_h, 0_s, t0), -(7_h).to_seconds());
+}
+
+TEST(NalCost, OneLateJobFlipsSignAndIgnoresOnTimeSlack) {
+  Rng rng{13};
+  EdfScheduler s;
+  const auto a = job(rng, 2_h, t0 + 2_h);  // just on time alone
+  s.enqueue({a, 2_h, t0, 0});
+  const auto j = job(rng, 2_h, t0 + 3_h);
+  // EDF order: a then j. ETC_a = 2h (gamma 0, on time), ETC_j = 4h
+  // (gamma = -1h, late). Cost = +1h: on-time jobs contribute 0 when any
+  // job is late (delta = 0 branch).
+  EXPECT_DOUBLE_EQ(s.cost_of_adding(j, 2_h, 0_s, t0), (1_h).to_seconds());
+}
+
+TEST(NalCost, MultipleLateJobsAccumulate) {
+  Rng rng{14};
+  EdfScheduler s;
+  const auto a = job(rng, 2_h, t0 + 1_h);  // late by 1h alone
+  s.enqueue({a, 2_h, t0, 0});
+  const auto j = job(rng, 2_h, t0 + 2_h);
+  // Order: a (deadline 1h), j (deadline 2h). ETC_a = 2h -> gamma -1h;
+  // ETC_j = 4h -> gamma -2h. Cost = 1h + 2h = 3h.
+  EXPECT_DOUBLE_EQ(s.cost_of_adding(j, 2_h, 0_s, t0), (3_h).to_seconds());
+}
+
+TEST(NalCost, RunningRemainderDelaysEverything) {
+  Rng rng{15};
+  EdfScheduler s;
+  const auto j = job(rng, 1_h, t0 + 3_h);
+  // remaining 30m: ETC = 1h30m, gamma = 1h30m -> cost = -1h30m.
+  EXPECT_DOUBLE_EQ(s.cost_of_adding(j, 1_h, 30_min, t0),
+                   -(1_h + 30_min).to_seconds());
+}
+
+TEST(NalCost, AbsoluteDeadlinesUseNow) {
+  Rng rng{16};
+  EdfScheduler s;
+  const auto j = job(rng, 1_h, t0 + 3_h);
+  // At t=1h the same job has one hour less slack: gamma = 3h - (1h+1h) = 1h.
+  EXPECT_DOUBLE_EQ(s.cost_of_adding(j, 1_h, 0_s, t0 + 1_h),
+                   -(1_h).to_seconds());
+}
+
+TEST(NalCost, CurrentCostEvaluatesWholeQueue) {
+  Rng rng{17};
+  EdfScheduler s;
+  const auto a = job(rng, 1_h, t0 + 2_h);
+  const auto b = job(rng, 1_h, t0 + 5_h);
+  s.enqueue({a, 1_h, t0, 0});
+  s.enqueue({b, 1_h, t0, 0});
+  // gamma_a = 2h - 1h = 1h; gamma_b = 5h - 2h = 3h; all on time -> -4h.
+  EXPECT_DOUBLE_EQ(s.current_cost(a.id, 0_s, t0), -(4_h).to_seconds());
+  // Same value regardless of which queued job is asked about (NAL is a
+  // queue-level cost).
+  EXPECT_DOUBLE_EQ(s.current_cost(b.id, 0_s, t0), -(4_h).to_seconds());
+}
+
+TEST(NalCost, BetterOfferOnEmptyNode) {
+  // The rescheduling rule: a node whose NAL-with-the-job is lower wins.
+  Rng rng{18};
+  EdfScheduler loaded, empty;
+  const auto filler = job(rng, 3_h, t0 + 4_h);
+  loaded.enqueue({filler, 3_h, t0, 0});
+  const auto j = job(rng, 1_h, t0 + 2_h);
+  const double cost_loaded = loaded.cost_of_adding(j, 1_h, 0_s, t0);
+  const double cost_empty = empty.cost_of_adding(j, 1_h, 0_s, t0);
+  // On the loaded node the new job runs first (earlier deadline): ETC_j=1h
+  // (gamma 1h), filler ETC=4h (gamma 0) -> all on time, cost = -1h.
+  // On the empty node: cost = -1h... but the loaded node misses nothing.
+  EXPECT_DOUBLE_EQ(cost_empty, -(1_h).to_seconds());
+  EXPECT_DOUBLE_EQ(cost_loaded, -(1_h).to_seconds());
+}
+
+TEST(NalCost, LatenessBeatsAccumulatedSlack) {
+  // A node that would make the job late quotes a positive cost and loses to
+  // any node that keeps everything on time.
+  Rng rng{19};
+  EdfScheduler busy, idle;
+  const auto filler = job(rng, 4_h, t0 + 4_h);
+  busy.enqueue({filler, 4_h, t0, 0});
+  const auto j = job(rng, 2_h, t0 + 3_h);
+  const double cost_busy = busy.cost_of_adding(j, 2_h, 0_s, t0);
+  const double cost_idle = idle.cost_of_adding(j, 2_h, 0_s, t0);
+  EXPECT_GT(cost_busy, 0.0);
+  EXPECT_LT(cost_idle, 0.0);
+  EXPECT_LT(cost_idle, cost_busy);
+}
+
+}  // namespace
+}  // namespace aria::sched

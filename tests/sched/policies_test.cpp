@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sched/policies.hpp"
+
+namespace aria::sched {
+namespace {
+
+using namespace aria::literals;
+
+grid::JobSpec job(Rng& rng, Duration ert,
+                  std::optional<TimePoint> deadline = {}, int priority = 0) {
+  grid::JobSpec s;
+  s.id = JobId::generate(rng);
+  s.ert = ert;
+  s.deadline = deadline;
+  s.priority = priority;
+  return s;
+}
+
+TEST(Fcfs, ExecutesInArrivalOrder) {
+  Rng rng{1};
+  FcfsScheduler s;
+  std::vector<JobId> ids;
+  for (int i = 0; i < 5; ++i) {
+    // Decreasing ERT: FCFS must ignore it.
+    auto spec = job(rng, Duration::hours(5 - i));
+    ids.push_back(spec.id);
+    s.enqueue({spec, spec.ert, TimePoint::origin(), 0});
+  }
+  for (const JobId& id : ids) {
+    EXPECT_EQ(s.pop_next()->spec.id, id);
+  }
+}
+
+TEST(Sjf, ExecutesShortestFirst) {
+  Rng rng{2};
+  SjfScheduler s;
+  const auto j3 = job(rng, 3_h);
+  const auto j1 = job(rng, 1_h);
+  const auto j2 = job(rng, 2_h);
+  for (const auto& spec : {j3, j1, j2}) {
+    s.enqueue({spec, spec.ert, TimePoint::origin(), 0});
+  }
+  EXPECT_EQ(s.pop_next()->spec.id, j1.id);
+  EXPECT_EQ(s.pop_next()->spec.id, j2.id);
+  EXPECT_EQ(s.pop_next()->spec.id, j3.id);
+}
+
+TEST(Sjf, NewShortJobJumpsQueue) {
+  Rng rng{3};
+  SjfScheduler s;
+  const auto big = job(rng, 4_h);
+  s.enqueue({big, big.ert, TimePoint::origin(), 0});
+  const auto tiny = job(rng, 1_h);
+  s.enqueue({tiny, tiny.ert, TimePoint::origin() + 1_min, 0});
+  EXPECT_EQ(s.pop_next()->spec.id, tiny.id);
+}
+
+TEST(Sjf, TieBrokenByArrival) {
+  Rng rng{4};
+  SjfScheduler s;
+  const auto a = job(rng, 2_h);
+  const auto b = job(rng, 2_h);
+  s.enqueue({a, a.ert, TimePoint::origin(), 0});
+  s.enqueue({b, b.ert, TimePoint::origin(), 0});
+  EXPECT_EQ(s.pop_next()->spec.id, a.id);
+  EXPECT_EQ(s.pop_next()->spec.id, b.id);
+}
+
+TEST(Sjf, OrdersOnGridErtNotLocalErtp) {
+  // A job with a shorter grid ERT but a longer ERTp (slow node drew it
+  // first) must still run first: the policy keys on ERT.
+  Rng rng{5};
+  SjfScheduler s;
+  const auto shorter = job(rng, 1_h);
+  const auto longer = job(rng, 2_h);
+  s.enqueue({longer, Duration::minutes(61), TimePoint::origin(), 0});
+  s.enqueue({shorter, Duration::minutes(90), TimePoint::origin(), 0});
+  EXPECT_EQ(s.pop_next()->spec.id, shorter.id);
+}
+
+TEST(Edf, ExecutesEarliestDeadlineFirst) {
+  Rng rng{6};
+  EdfScheduler s;
+  const TimePoint t0 = TimePoint::origin();
+  const auto late = job(rng, 1_h, t0 + 10_h);
+  const auto soon = job(rng, 1_h, t0 + 2_h);
+  const auto mid = job(rng, 1_h, t0 + 5_h);
+  for (const auto& spec : {late, soon, mid}) {
+    s.enqueue({spec, spec.ert, t0, 0});
+  }
+  EXPECT_EQ(s.pop_next()->spec.id, soon.id);
+  EXPECT_EQ(s.pop_next()->spec.id, mid.id);
+  EXPECT_EQ(s.pop_next()->spec.id, late.id);
+}
+
+TEST(Edf, JobsWithoutDeadlineSortLast) {
+  Rng rng{7};
+  EdfScheduler s;
+  const auto nodeadline = job(rng, 1_h);
+  const auto withdeadline = job(rng, 1_h, TimePoint::origin() + 100_h);
+  s.enqueue({nodeadline, 1_h, TimePoint::origin(), 0});
+  s.enqueue({withdeadline, 1_h, TimePoint::origin(), 0});
+  EXPECT_EQ(s.pop_next()->spec.id, withdeadline.id);
+}
+
+TEST(Priority, HigherPriorityFirstFcfsWithin) {
+  Rng rng{8};
+  PriorityScheduler s;
+  const auto low1 = job(rng, 1_h, {}, 0);
+  const auto high = job(rng, 1_h, {}, 5);
+  const auto low2 = job(rng, 1_h, {}, 0);
+  for (const auto& spec : {low1, high, low2}) {
+    s.enqueue({spec, spec.ert, TimePoint::origin(), 0});
+  }
+  EXPECT_EQ(s.pop_next()->spec.id, high.id);
+  EXPECT_EQ(s.pop_next()->spec.id, low1.id);
+  EXPECT_EQ(s.pop_next()->spec.id, low2.id);
+}
+
+TEST(Priority, NegativePrioritiesSortAfterDefault) {
+  Rng rng{9};
+  PriorityScheduler s;
+  const auto background = job(rng, 1_h, {}, -3);
+  const auto normal = job(rng, 1_h, {}, 0);
+  s.enqueue({background, 1_h, TimePoint::origin(), 0});
+  s.enqueue({normal, 1_h, TimePoint::origin(), 0});
+  EXPECT_EQ(s.pop_next()->spec.id, normal.id);
+}
+
+TEST(FairSjf, BehavesLikeSjfForSimultaneousArrivals) {
+  Rng rng{10};
+  FairSjfScheduler s{0.5};
+  const auto big = job(rng, 4_h);
+  const auto small = job(rng, 1_h);
+  s.enqueue({big, big.ert, TimePoint::origin(), 0});
+  s.enqueue({small, small.ert, TimePoint::origin(), 0});
+  EXPECT_EQ(s.pop_next()->spec.id, small.id);
+}
+
+TEST(FairSjf, OldJobsEventuallyBeatShortNewcomers) {
+  // A 4h job enqueued at t=0 has key 4h. A 1h job arriving later than
+  // t = (4h-1h)/aging = 6h (aging 0.5) keys above it.
+  Rng rng{11};
+  FairSjfScheduler s{0.5};
+  const auto old_big = job(rng, 4_h);
+  s.enqueue({old_big, old_big.ert, TimePoint::origin(), 0});
+  const auto new_small = job(rng, 1_h);
+  s.enqueue({new_small, new_small.ert, TimePoint::origin() + 7_h, 0});
+  EXPECT_EQ(s.pop_next()->spec.id, old_big.id);
+}
+
+TEST(FairSjf, RecentShortJobStillJumps) {
+  Rng rng{12};
+  FairSjfScheduler s{0.5};
+  const auto old_big = job(rng, 4_h);
+  s.enqueue({old_big, old_big.ert, TimePoint::origin(), 0});
+  const auto new_small = job(rng, 1_h);
+  s.enqueue({new_small, new_small.ert, TimePoint::origin() + 1_h, 0});
+  EXPECT_EQ(s.pop_next()->spec.id, new_small.id);
+}
+
+TEST(FairSjf, ZeroAgingIsPlainSjf) {
+  Rng rng{13};
+  FairSjfScheduler s{0.0};
+  const auto big = job(rng, 4_h);
+  s.enqueue({big, big.ert, TimePoint::origin(), 0});
+  const auto small = job(rng, 1_h);
+  s.enqueue({small, small.ert, TimePoint::origin() + 100_h, 0});
+  EXPECT_EQ(s.pop_next()->spec.id, small.id);
+}
+
+}  // namespace
+}  // namespace aria::sched

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sched/policies.hpp"
+
+namespace aria::sched {
+namespace {
+
+using namespace aria::literals;
+
+grid::JobSpec job(Rng& rng, Duration ert) {
+  grid::JobSpec s;
+  s.id = JobId::generate(rng);
+  s.ert = ert;
+  return s;
+}
+
+QueuedJob queued(Rng& rng, Duration ert, TimePoint at = TimePoint::origin()) {
+  return QueuedJob{job(rng, ert), ert, at, 0};
+}
+
+TEST(SchedulingQueue, StartsEmpty) {
+  FcfsScheduler s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.pop_next().has_value());
+}
+
+TEST(SchedulingQueue, EnqueuePopRoundTrip) {
+  Rng rng{1};
+  FcfsScheduler s;
+  const auto q = queued(rng, 1_h);
+  s.enqueue(q);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.contains(q.spec.id));
+  const auto popped = s.pop_next();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->spec.id, q.spec.id);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SchedulingQueue, FindReturnsQueuedEntry) {
+  Rng rng{2};
+  FcfsScheduler s;
+  const auto q = queued(rng, 2_h);
+  s.enqueue(q);
+  const QueuedJob* found = s.find(q.spec.id);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->ertp, 2_h);
+  EXPECT_EQ(s.find(JobId::generate(rng)), nullptr);
+}
+
+TEST(SchedulingQueue, RemoveMiddleEntry) {
+  Rng rng{3};
+  FcfsScheduler s;
+  const auto a = queued(rng, 1_h);
+  const auto b = queued(rng, 2_h);
+  const auto c = queued(rng, 3_h);
+  s.enqueue(a);
+  s.enqueue(b);
+  s.enqueue(c);
+  EXPECT_TRUE(s.remove(b.spec.id));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_FALSE(s.contains(b.spec.id));
+  EXPECT_FALSE(s.remove(b.spec.id));  // second removal fails
+  EXPECT_EQ(s.pop_next()->spec.id, a.spec.id);
+  EXPECT_EQ(s.pop_next()->spec.id, c.spec.id);
+}
+
+TEST(SchedulingQueue, SeqIsAssignedByScheduler) {
+  Rng rng{4};
+  FcfsScheduler s;
+  QueuedJob q1 = queued(rng, 1_h);
+  QueuedJob q2 = queued(rng, 1_h);
+  q1.seq = 999;  // must be overwritten
+  q2.seq = 5;
+  s.enqueue(q1);
+  s.enqueue(q2);
+  EXPECT_EQ(s.queue()[0].spec.id, q1.spec.id);
+  EXPECT_LT(s.queue()[0].seq, s.queue()[1].seq);
+}
+
+TEST(SchedulingQueue, QueueViewIsInExecutionOrder) {
+  Rng rng{5};
+  SjfScheduler s;
+  const auto big = queued(rng, 4_h);
+  const auto small = queued(rng, 1_h);
+  const auto mid = queued(rng, 2_h);
+  s.enqueue(big);
+  s.enqueue(small);
+  s.enqueue(mid);
+  ASSERT_EQ(s.queue().size(), 3u);
+  EXPECT_EQ(s.queue()[0].spec.id, small.spec.id);
+  EXPECT_EQ(s.queue()[1].spec.id, mid.spec.id);
+  EXPECT_EQ(s.queue()[2].spec.id, big.spec.id);
+}
+
+TEST(SchedulingQueue, EttcOfQueuedJobs) {
+  Rng rng{6};
+  FcfsScheduler s;
+  const auto a = queued(rng, 1_h);
+  const auto b = queued(rng, 2_h);
+  s.enqueue(a);
+  s.enqueue(b);
+  EXPECT_EQ(s.ettc_of(a.spec.id, 30_min), 1_h + 30_min);
+  EXPECT_EQ(s.ettc_of(b.spec.id, 30_min), 3_h + 30_min);
+  EXPECT_EQ(s.ettc_of(JobId::generate(rng), 0_s), Duration::max());
+}
+
+TEST(SchedulingQueue, MakeSchedulerCoversAllKinds) {
+  for (auto kind : {SchedulerKind::kFcfs, SchedulerKind::kSjf,
+                    SchedulerKind::kEdf, SchedulerKind::kPriority,
+                    SchedulerKind::kFairSjf}) {
+    const auto s = make_scheduler(kind);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->kind(), kind);
+  }
+}
+
+TEST(SchedulingQueue, CostFamilies) {
+  EXPECT_EQ(make_scheduler(SchedulerKind::kFcfs)->cost_family(),
+            CostFamily::kBatch);
+  EXPECT_EQ(make_scheduler(SchedulerKind::kSjf)->cost_family(),
+            CostFamily::kBatch);
+  EXPECT_EQ(make_scheduler(SchedulerKind::kEdf)->cost_family(),
+            CostFamily::kDeadline);
+  EXPECT_EQ(make_scheduler(SchedulerKind::kPriority)->cost_family(),
+            CostFamily::kBatch);
+  EXPECT_EQ(make_scheduler(SchedulerKind::kFairSjf)->cost_family(),
+            CostFamily::kBatch);
+}
+
+// Exercises the protected resort() hook provided for policies whose keys
+// can change after enqueue (e.g. operator-adjusted priorities).
+class MutablePriorityScheduler : public LocalScheduler {
+ public:
+  SchedulerKind kind() const override { return SchedulerKind::kPriority; }
+  CostFamily cost_family() const override { return CostFamily::kBatch; }
+
+  void boost(const JobId& id, int priority) {
+    for (auto& q : queue_) {
+      if (q.spec.id == id) q.spec.priority = priority;
+    }
+    resort();
+  }
+
+ protected:
+  bool before(const QueuedJob& a, const QueuedJob& b) const override {
+    if (a.spec.priority != b.spec.priority) {
+      return a.spec.priority > b.spec.priority;
+    }
+    return a.seq < b.seq;
+  }
+};
+
+TEST(SchedulingQueue, ResortReordersAfterKeyMutation) {
+  Rng rng{7};
+  MutablePriorityScheduler s;
+  const auto first = queued(rng, 1_h);
+  const auto second = queued(rng, 1_h);
+  s.enqueue(first);
+  s.enqueue(second);
+  ASSERT_EQ(s.queue().front().spec.id, first.spec.id);
+  s.boost(second.spec.id, 10);
+  EXPECT_EQ(s.queue().front().spec.id, second.spec.id);
+  EXPECT_EQ(s.pop_next()->spec.id, second.spec.id);
+  EXPECT_EQ(s.pop_next()->spec.id, first.spec.id);
+}
+
+TEST(SchedulingQueue, KindNames) {
+  EXPECT_EQ(to_string(SchedulerKind::kFcfs), "FCFS");
+  EXPECT_EQ(to_string(SchedulerKind::kSjf), "SJF");
+  EXPECT_EQ(to_string(SchedulerKind::kEdf), "EDF");
+  EXPECT_EQ(to_string(SchedulerKind::kPriority), "PRIORITY");
+  EXPECT_EQ(to_string(SchedulerKind::kFairSjf), "FAIR-SJF");
+}
+
+}  // namespace
+}  // namespace aria::sched

@@ -1,0 +1,103 @@
+#include "sim/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace aria::sim {
+namespace {
+
+TEST(FixedLatencyModel, AlwaysReturnsConstant) {
+  FixedLatencyModel model{Duration::millis(25)};
+  Rng rng{1};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(model.latency(NodeId{1}, NodeId{2}, rng), Duration::millis(25));
+  }
+}
+
+TEST(GeoLatencyModel, PositionsAreDeterministicAndInUnitSquare) {
+  GeoLatencyModel model;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    double x1, y1, x2, y2;
+    model.position(NodeId{i}, x1, y1);
+    model.position(NodeId{i}, x2, y2);
+    EXPECT_DOUBLE_EQ(x1, x2);
+    EXPECT_DOUBLE_EQ(y1, y2);
+    EXPECT_GE(x1, 0.0);
+    EXPECT_LT(x1, 1.0);
+    EXPECT_GE(y1, 0.0);
+    EXPECT_LT(y1, 1.0);
+  }
+}
+
+TEST(GeoLatencyModel, DifferentSeedsMoveNodes) {
+  GeoLatencyModel a{GeoLatencyModel::Params{.seed = 1}};
+  GeoLatencyModel b{GeoLatencyModel::Params{.seed = 2}};
+  int identical = 0;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    double ax, ay, bx, by;
+    a.position(NodeId{i}, ax, ay);
+    b.position(NodeId{i}, bx, by);
+    if (ax == bx && ay == by) ++identical;
+  }
+  EXPECT_EQ(identical, 0);
+}
+
+TEST(GeoLatencyModel, LatencyWithinModelBounds) {
+  GeoLatencyModel::Params p;
+  GeoLatencyModel model{p};
+  Rng rng{7};
+  const Duration min_possible = p.base;
+  const Duration max_possible = (p.base + p.span).scaled(1.0 + p.jitter_fraction);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    const Duration d = model.latency(NodeId{i}, NodeId{i + 1}, rng);
+    EXPECT_GE(d, min_possible);
+    EXPECT_LE(d, max_possible);
+  }
+}
+
+TEST(GeoLatencyModel, DeterministicPartIsSymmetric) {
+  GeoLatencyModel::Params p;
+  p.jitter_fraction = 0.0;  // strip jitter to observe the base + distance part
+  GeoLatencyModel model{p};
+  Rng rng{11};
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    const NodeId a{i}, b{i * 7 + 3};
+    EXPECT_EQ(model.latency(a, b, rng), model.latency(b, a, rng));
+  }
+}
+
+TEST(GeoLatencyModel, SelfLatencyIsBase) {
+  GeoLatencyModel::Params p;
+  p.jitter_fraction = 0.0;
+  GeoLatencyModel model{p};
+  Rng rng{13};
+  EXPECT_EQ(model.latency(NodeId{5}, NodeId{5}, rng), p.base);
+}
+
+TEST(GeoLatencyModel, JitterVariesPerMessage) {
+  GeoLatencyModel model;
+  Rng rng{17};
+  RunningStats stats;
+  for (int i = 0; i < 100; ++i) {
+    stats.add(model.latency(NodeId{1}, NodeId{2}, rng).to_seconds());
+  }
+  EXPECT_GT(stats.stddev(), 0.0);  // jitter makes repeated sends differ
+  EXPECT_GT(stats.max(), stats.min());
+}
+
+TEST(GeoLatencyModel, RealisticWideAreaRange) {
+  // Defaults should produce one-way delays in the 5-90 ms ballpark.
+  GeoLatencyModel model;
+  Rng rng{19};
+  RunningStats stats;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    stats.add(model.latency(NodeId{i}, NodeId{1000 + i}, rng).to_seconds());
+  }
+  EXPECT_GE(stats.min(), 0.005);
+  EXPECT_LE(stats.max(), 0.090);
+  EXPECT_GT(stats.mean(), 0.01);
+}
+
+}  // namespace
+}  // namespace aria::sim

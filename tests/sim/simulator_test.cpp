@@ -1,0 +1,222 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace aria::sim {
+namespace {
+
+using namespace aria::literals;
+
+TEST(Simulator, StartsAtOrigin) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), TimePoint::origin());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(30_s, [&] { order.push_back(3); });
+  sim.schedule_after(10_s, [&] { order.push_back(1); });
+  sim.schedule_after(20_s, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SameInstantFiresInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(5_s, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  TimePoint seen;
+  sim.schedule_after(42_s, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, TimePoint::origin() + 42_s);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + 42_s);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_after(-(5_s), [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), TimePoint::origin());
+}
+
+TEST(Simulator, PastAbsoluteTimeClampsToNow) {
+  Simulator sim;
+  sim.schedule_after(10_s, [] {});
+  sim.run();
+  bool fired = false;
+  sim.schedule_at(TimePoint::origin() + 1_s, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + 10_s);  // never goes backward
+}
+
+TEST(Simulator, EventsScheduledDuringEventsFire) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(1_s, recurse);
+  };
+  sim.schedule_after(1_s, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + 5_s);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_after(10_s, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h = sim.schedule_after(1_s, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no-op
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_after(10_s, [&] { fired.push_back(1); });
+  sim.schedule_after(20_s, [&] { fired.push_back(2); });
+  sim.schedule_after(30_s, [&] { fired.push_back(3); });
+  sim.run_until(TimePoint::origin() + 20_s);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));  // deadline event fires
+  EXPECT_EQ(sim.now(), TimePoint::origin() + 20_s);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, RunUntilAdvancesClockToDeadlineWhenQueueEmpty) {
+  Simulator sim;
+  sim.run_until(TimePoint::origin() + 1_h);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + 1_h);
+}
+
+TEST(Simulator, PeriodicFiresRepeatedly) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_periodic(0_s, 10_s, [&] { ++count; });
+  sim.run_until(TimePoint::origin() + 55_s);
+  EXPECT_EQ(count, 6);  // t = 0, 10, 20, 30, 40, 50
+}
+
+TEST(Simulator, PeriodicPhaseOffset) {
+  Simulator sim;
+  std::vector<TimePoint> at;
+  sim.schedule_periodic(3_s, 10_s, [&] { at.push_back(sim.now()); });
+  sim.run_until(TimePoint::origin() + 25_s);
+  ASSERT_EQ(at.size(), 3u);
+  EXPECT_EQ(at[0], TimePoint::origin() + 3_s);
+  EXPECT_EQ(at[1], TimePoint::origin() + 13_s);
+  EXPECT_EQ(at[2], TimePoint::origin() + 23_s);
+}
+
+TEST(Simulator, PeriodicCancelStopsSeries) {
+  Simulator sim;
+  int count = 0;
+  EventHandle h = sim.schedule_periodic(0_s, 10_s, [&] { ++count; });
+  sim.run_until(TimePoint::origin() + 25_s);
+  EXPECT_EQ(count, 3);
+  h.cancel();
+  sim.run_until(TimePoint::origin() + 100_s);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, PeriodicCancelFromInsideCallback) {
+  Simulator sim;
+  int count = 0;
+  EventHandle h;
+  h = sim.schedule_periodic(0_s, 10_s, [&] {
+    if (++count == 3) h.cancel();
+  });
+  sim.run_until(TimePoint::origin() + 1_h);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, StepFiresExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_after(1_s, [&] { ++count; });
+  sim.schedule_after(2_s, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, StopRequestEndsRun) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_after(Duration::seconds(i), [&] {
+      if (++count == 3) sim.stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.pending_events(), 7u);
+}
+
+TEST(Simulator, FiredEventsCounter) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_after(1_s, [] {});
+  sim.run();
+  EXPECT_EQ(sim.fired_events(), 5u);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  TimePoint last = TimePoint::origin();
+  bool monotonic = true;
+  Rng rng{99};
+  for (int i = 0; i < 10000; ++i) {
+    sim.schedule_after(rng.uniform_duration(0_s, 1_h), [&] {
+      if (sim.now() < last) monotonic = false;
+      last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotonic);
+  EXPECT_EQ(sim.fired_events(), 10000u);
+}
+
+}  // namespace
+}  // namespace aria::sim

@@ -1,0 +1,82 @@
+#include "workload/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aria::workload {
+namespace {
+
+using namespace aria::literals;
+
+ScenarioConfig tiny(const std::string& base = "iMixed") {
+  ScenarioConfig c = scenario_by_name(base);
+  c.node_count = 30;
+  c.job_count = 15;
+  c.submission_start = 1_min;
+  c.submission_interval = 20_s;
+  c.horizon = 16_h;
+  return c;
+}
+
+TEST(Aggregate, RepeatedRunsUseDistinctSeeds) {
+  const auto runs = run_scenario_repeated(tiny(), 3, 100, /*parallel=*/false);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].seed, 100u);
+  EXPECT_EQ(runs[1].seed, 101u);
+  EXPECT_EQ(runs[2].seed, 102u);
+}
+
+TEST(Aggregate, ParallelMatchesSequential) {
+  const auto seq = run_scenario_repeated(tiny(), 3, 50, /*parallel=*/false);
+  const auto par = run_scenario_repeated(tiny(), 3, 50, /*parallel=*/true);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].seed, par[i].seed);
+    EXPECT_EQ(seq[i].events_fired, par[i].events_fired);
+    EXPECT_DOUBLE_EQ(seq[i].mean_completion_minutes(),
+                     par[i].mean_completion_minutes());
+  }
+}
+
+TEST(Aggregate, SummaryStatistics) {
+  const auto cfg = tiny();
+  const auto runs = run_scenario_repeated(cfg, 3, 7, true);
+  const ScenarioSummary s = summarize(cfg, runs);
+  EXPECT_EQ(s.name, "iMixed");
+  EXPECT_EQ(s.runs, 3u);
+  EXPECT_EQ(s.completion_minutes.count(), 3u);
+  EXPECT_GT(s.completion_minutes.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.completed_jobs.mean(), 15.0);
+  EXPECT_GT(s.overlay_avg_path_length.mean(), 1.0);
+}
+
+TEST(Aggregate, SummaryAveragesSeries) {
+  const auto cfg = tiny();
+  const auto runs = run_scenario_repeated(cfg, 2, 11, true);
+  const ScenarioSummary s = summarize(cfg, runs);
+  ASSERT_FALSE(s.idle_series.empty());
+  EXPECT_EQ(s.idle_series.label(), "iMixed");
+  // First idle sample: all 30 nodes idle in every run.
+  EXPECT_DOUBLE_EQ(s.idle_series.points().front().value, 30.0);
+  ASSERT_FALSE(s.completed_curve.empty());
+  EXPECT_DOUBLE_EQ(s.completed_curve.points().back().value, 15.0);
+}
+
+TEST(Aggregate, TrafficSumsAcrossRuns) {
+  const auto cfg = tiny();
+  const auto runs = run_scenario_repeated(cfg, 2, 13, true);
+  const ScenarioSummary s = summarize(cfg, runs);
+  const auto total0 = runs[0].traffic.total().bytes;
+  const auto total1 = runs[1].traffic.total().bytes;
+  EXPECT_EQ(s.traffic.total().bytes, total0 + total1);
+  EXPECT_NEAR(s.traffic_mib_mean_total(),
+              static_cast<double>(total0 + total1) / 2.0 / 1048576.0, 1e-9);
+}
+
+TEST(Aggregate, RunAndSummarizeConvenience) {
+  const ScenarioSummary s = run_and_summarize(tiny(), 2, 17);
+  EXPECT_EQ(s.runs, 2u);
+  EXPECT_DOUBLE_EQ(s.completed_jobs.mean(), 15.0);
+}
+
+}  // namespace
+}  // namespace aria::workload

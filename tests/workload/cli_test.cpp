@@ -1,0 +1,139 @@
+#include "workload/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aria::workload {
+namespace {
+
+TEST(Cli, DefaultsWhenNoArgs) {
+  CliOptions o;
+  EXPECT_FALSE(parse_cli({}, o).has_value());
+  EXPECT_FALSE(o.show_help);
+  EXPECT_FALSE(o.list_scenarios);
+  EXPECT_EQ(o.scenario, "iMixed");
+  EXPECT_EQ(o.runs, 1u);
+  EXPECT_EQ(o.seed, 1u);
+  EXPECT_EQ(o.nodes, 0u);
+  EXPECT_FALSE(o.rescheduling.has_value());
+}
+
+TEST(Cli, ParsesAllOptions) {
+  CliOptions o;
+  const auto err = parse_cli({"--scenario", "HighLoad", "--runs", "5",
+                              "--seed", "42", "--nodes", "200", "--jobs",
+                              "400", "--resched", "--csv", "/tmp/out",
+                              "--quiet"},
+                             o);
+  EXPECT_FALSE(err.has_value()) << *err;
+  EXPECT_EQ(o.scenario, "HighLoad");
+  EXPECT_EQ(o.runs, 5u);
+  EXPECT_EQ(o.seed, 42u);
+  EXPECT_EQ(o.nodes, 200u);
+  EXPECT_EQ(o.jobs, 400u);
+  ASSERT_TRUE(o.rescheduling.has_value());
+  EXPECT_TRUE(*o.rescheduling);
+  EXPECT_EQ(o.csv_dir, "/tmp/out");
+  EXPECT_TRUE(o.quiet);
+}
+
+TEST(Cli, HelpAndList) {
+  CliOptions o;
+  EXPECT_FALSE(parse_cli({"--help"}, o).has_value());
+  EXPECT_TRUE(o.show_help);
+  CliOptions o2;
+  EXPECT_FALSE(parse_cli({"-h"}, o2).has_value());
+  EXPECT_TRUE(o2.show_help);
+  CliOptions o3;
+  EXPECT_FALSE(parse_cli({"--list"}, o3).has_value());
+  EXPECT_TRUE(o3.list_scenarios);
+}
+
+TEST(Cli, NoResched) {
+  CliOptions o;
+  EXPECT_FALSE(parse_cli({"--no-resched"}, o).has_value());
+  ASSERT_TRUE(o.rescheduling.has_value());
+  EXPECT_FALSE(*o.rescheduling);
+}
+
+TEST(Cli, FailsafeAndOverlayFlags) {
+  CliOptions o;
+  EXPECT_FALSE(parse_cli({"--failsafe", "--overlay", "smallworld"}, o)
+                   .has_value());
+  EXPECT_TRUE(o.failsafe);
+  EXPECT_EQ(o.overlay, "smallworld");
+  const ScenarioConfig cfg = resolve_scenario(o);
+  EXPECT_TRUE(cfg.aria.failsafe);
+  EXPECT_EQ(cfg.overlay_family, ScenarioConfig::OverlayFamily::kSmallWorld);
+
+  CliOptions o2;
+  EXPECT_FALSE(parse_cli({"--overlay", "random"}, o2).has_value());
+  EXPECT_EQ(resolve_scenario(o2).overlay_family,
+            ScenarioConfig::OverlayFamily::kRandomRegular);
+
+  CliOptions bad;
+  EXPECT_TRUE(parse_cli({"--overlay", "torus"}, bad).has_value());
+  EXPECT_TRUE(parse_cli({"--overlay"}, bad).has_value());
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  CliOptions o;
+  const auto err = parse_cli({"--frobnicate"}, o);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("unknown option"), std::string::npos);
+}
+
+TEST(Cli, RejectsMissingValues) {
+  for (const char* flag : {"--scenario", "--runs", "--seed", "--nodes",
+                           "--jobs", "--csv"}) {
+    CliOptions o;
+    EXPECT_TRUE(parse_cli({flag}, o).has_value()) << flag;
+  }
+}
+
+TEST(Cli, RejectsBadNumbers) {
+  CliOptions o;
+  EXPECT_TRUE(parse_cli({"--runs", "zero"}, o).has_value());
+  EXPECT_TRUE(parse_cli({"--runs", "0"}, o).has_value());
+  EXPECT_TRUE(parse_cli({"--nodes", "12x"}, o).has_value());
+  EXPECT_TRUE(parse_cli({"--jobs", "0"}, o).has_value());
+}
+
+TEST(Cli, UsageMentionsEveryFlag) {
+  const std::string usage = cli_usage();
+  for (const char* flag : {"--list", "--scenario", "--runs", "--seed",
+                           "--nodes", "--jobs", "--resched", "--no-resched",
+                           "--failsafe", "--overlay", "--csv", "--quiet"}) {
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+  }
+}
+
+TEST(Cli, ResolveAppliesOverrides) {
+  CliOptions o;
+  o.scenario = "Mixed";
+  o.nodes = 77;
+  o.jobs = 88;
+  o.rescheduling = true;
+  const ScenarioConfig cfg = resolve_scenario(o);
+  EXPECT_EQ(cfg.name, "Mixed");
+  EXPECT_EQ(cfg.node_count, 77u);
+  EXPECT_EQ(cfg.job_count, 88u);
+  EXPECT_TRUE(cfg.aria.dynamic_rescheduling);
+}
+
+TEST(Cli, ResolveKeepsScenarioDefaults) {
+  CliOptions o;
+  o.scenario = "iMixed";
+  const ScenarioConfig cfg = resolve_scenario(o);
+  EXPECT_EQ(cfg.node_count, 500u);
+  EXPECT_EQ(cfg.job_count, 1000u);
+  EXPECT_TRUE(cfg.aria.dynamic_rescheduling);
+}
+
+TEST(Cli, ResolveThrowsForUnknownScenario) {
+  CliOptions o;
+  o.scenario = "Nope";
+  EXPECT_THROW(resolve_scenario(o), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace aria::workload

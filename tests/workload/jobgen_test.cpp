@@ -1,0 +1,112 @@
+#include "workload/jobgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/stats.hpp"
+
+namespace aria::workload {
+namespace {
+
+using namespace aria::literals;
+
+TEST(JobGen, ErtWithinPaperBounds) {
+  JobGenerator gen{JobGenParams{}, Rng{1}};
+  for (int i = 0; i < 10000; ++i) {
+    const Duration ert = gen.draw_ert();
+    ASSERT_GE(ert, 1_h);
+    ASSERT_LE(ert, 4_h);
+  }
+}
+
+TEST(JobGen, ErtMeanMatchesDistribution) {
+  JobGenerator gen{JobGenParams{}, Rng{2}};
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(gen.draw_ert().to_minutes());
+  // Clamping to [60, 240] keeps the mean at ~150 by symmetry.
+  EXPECT_NEAR(stats.mean(), 150.0, 3.0);
+  EXPECT_GT(stats.stddev(), 30.0);
+}
+
+TEST(JobGen, JobsGetUniqueIds) {
+  JobGenerator gen{JobGenParams{}, Rng{3}};
+  std::unordered_set<JobId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    const auto j = gen.next(TimePoint::origin());
+    ASSERT_FALSE(j.id.is_nil());
+    ASSERT_TRUE(ids.insert(j.id).second);
+  }
+}
+
+TEST(JobGen, NoDeadlineByDefault) {
+  JobGenerator gen{JobGenParams{}, Rng{4}};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(gen.next(TimePoint::origin()).has_deadline());
+  }
+}
+
+TEST(JobGen, DeadlineIsSubmitPlusErtPlusSlack) {
+  JobGenParams params;
+  params.deadline_slack_mean = Duration::minutes(450);  // 7h30m
+  JobGenerator gen{params, Rng{5}};
+  const TimePoint now = TimePoint::origin() + 3_h;
+  RunningStats slack_minutes;
+  for (int i = 0; i < 5000; ++i) {
+    const auto j = gen.next(now);
+    ASSERT_TRUE(j.has_deadline());
+    const Duration slack = *j.deadline - (now + j.ert);
+    ASSERT_GT(slack, 0_s);
+    slack_minutes.add(slack.to_minutes());
+  }
+  EXPECT_NEAR(slack_minutes.mean(), 450.0, 10.0);
+}
+
+TEST(JobGen, TighterSlackForDeadlineH) {
+  JobGenParams params;
+  params.deadline_slack_mean = Duration::minutes(150);  // 2h30m
+  JobGenerator gen{params, Rng{6}};
+  RunningStats slack_minutes;
+  for (int i = 0; i < 5000; ++i) {
+    const auto j = gen.next(TimePoint::origin());
+    slack_minutes.add((*j.deadline - (TimePoint::origin() + j.ert)).to_minutes());
+  }
+  EXPECT_NEAR(slack_minutes.mean(), 150.0, 5.0);
+}
+
+TEST(JobGen, FeasibilityPredicateIsHonored) {
+  JobGenerator gen{JobGenParams{}, Rng{7}};
+  // Only AMD64/LINUX jobs pass.
+  auto feasible = [](const grid::JobRequirements& r) {
+    return r.arch == grid::Architecture::kAmd64 &&
+           r.os == grid::OperatingSystem::kLinux;
+  };
+  for (int i = 0; i < 500; ++i) {
+    const auto j = gen.next(TimePoint::origin(), feasible);
+    EXPECT_EQ(j.requirements.arch, grid::Architecture::kAmd64);
+    EXPECT_EQ(j.requirements.os, grid::OperatingSystem::kLinux);
+  }
+}
+
+TEST(JobGen, ImpossiblePredicateFallsBackGracefully) {
+  JobGenerator gen{JobGenParams{}, Rng{8}};
+  const auto j = gen.next(TimePoint::origin(),
+                          [](const grid::JobRequirements&) { return false; });
+  // Still produces a job (with a warning) rather than looping forever.
+  EXPECT_FALSE(j.id.is_nil());
+}
+
+TEST(JobGen, DeterministicForSeed) {
+  JobGenerator a{JobGenParams{}, Rng{9}};
+  JobGenerator b{JobGenParams{}, Rng{9}};
+  for (int i = 0; i < 100; ++i) {
+    const auto ja = a.next(TimePoint::origin());
+    const auto jb = b.next(TimePoint::origin());
+    EXPECT_EQ(ja.id, jb.id);
+    EXPECT_EQ(ja.ert, jb.ert);
+    EXPECT_EQ(ja.requirements.arch, jb.requirements.arch);
+  }
+}
+
+}  // namespace
+}  // namespace aria::workload

@@ -1,0 +1,149 @@
+// Table II: the scenario registry must contain exactly the paper's 26
+// scenarios with the documented parameter variations.
+#include "workload/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace aria::workload {
+namespace {
+
+using namespace aria::literals;
+using sched::SchedulerKind;
+
+TEST(Scenarios, ExactlyTwentySixUniqueNames) {
+  const auto& all = all_scenarios();
+  EXPECT_EQ(all.size(), 26u);
+  std::set<std::string> names;
+  for (const auto& s : all) names.insert(s.name);
+  EXPECT_EQ(names.size(), 26u);
+}
+
+TEST(Scenarios, TableTwoNamesPresent) {
+  const char* expected[] = {
+      "FCFS",      "SJF",        "Mixed",      "Deadline",   "LowLoad",
+      "HighLoad",  "DeadlineH",  "Expanding",  "Precise",    "Accuracy25",
+      "AccuracyBad", "iFCFS",    "iSJF",       "iMixed",     "iDeadline",
+      "iLowLoad",  "iHighLoad",  "iDeadlineH", "iExpanding", "iInform1",
+      "iInform4",  "iInform15m", "iInform30m", "iPrecise",   "iAccuracy25",
+      "iAccuracyBad"};
+  for (const char* name : expected) {
+    EXPECT_NO_THROW(scenario_by_name(name)) << name;
+  }
+}
+
+TEST(Scenarios, UnknownNameThrows) {
+  EXPECT_THROW(scenario_by_name("NoSuchScenario"), std::out_of_range);
+}
+
+TEST(Scenarios, IPrefixMeansDynamicRescheduling) {
+  for (const auto& s : all_scenarios()) {
+    const bool is_i = s.name[0] == 'i';
+    EXPECT_EQ(s.aria.dynamic_rescheduling, is_i) << s.name;
+  }
+}
+
+TEST(Scenarios, BaselineGridParameters) {
+  for (const auto& s : all_scenarios()) {
+    if (s.expansion) continue;
+    EXPECT_EQ(s.node_count, 500u) << s.name;
+    EXPECT_EQ(s.job_count, 1000u) << s.name;
+    EXPECT_EQ(s.submission_start, 20_min) << s.name;
+    EXPECT_EQ(s.horizon, Duration::hours(41) + 40_min) << s.name;
+  }
+}
+
+TEST(Scenarios, SchedulerMixes) {
+  EXPECT_EQ(scenario_by_name("FCFS").scheduler_mix,
+            (std::vector<SchedulerKind>{SchedulerKind::kFcfs}));
+  EXPECT_EQ(scenario_by_name("SJF").scheduler_mix,
+            (std::vector<SchedulerKind>{SchedulerKind::kSjf}));
+  EXPECT_EQ(scenario_by_name("Mixed").scheduler_mix,
+            (std::vector<SchedulerKind>{SchedulerKind::kFcfs,
+                                        SchedulerKind::kSjf}));
+  EXPECT_EQ(scenario_by_name("Deadline").scheduler_mix,
+            (std::vector<SchedulerKind>{SchedulerKind::kEdf}));
+}
+
+TEST(Scenarios, SubmissionRates) {
+  EXPECT_EQ(scenario_by_name("Mixed").submission_interval, 10_s);
+  EXPECT_EQ(scenario_by_name("LowLoad").submission_interval, 20_s);
+  EXPECT_EQ(scenario_by_name("HighLoad").submission_interval, 5_s);
+  EXPECT_EQ(scenario_by_name("iLowLoad").submission_interval, 20_s);
+  EXPECT_EQ(scenario_by_name("iHighLoad").submission_interval, 5_s);
+}
+
+TEST(Scenarios, SubmissionWindowsMatchPaper) {
+  // Mixed: 20m + 999*10s ~ 3h07m; LowLoad ~ 5h53m; HighLoad ~ 1h43m.
+  EXPECT_NEAR(scenario_by_name("Mixed").submission_end().to_hours(), 3.11, 0.05);
+  EXPECT_NEAR(scenario_by_name("LowLoad").submission_end().to_hours(), 5.88,
+              0.07);
+  EXPECT_NEAR(scenario_by_name("HighLoad").submission_end().to_hours(), 1.72,
+              0.05);
+}
+
+TEST(Scenarios, DeadlineSlacks) {
+  EXPECT_EQ(*scenario_by_name("Deadline").jobs.deadline_slack_mean, 450_min);
+  EXPECT_EQ(*scenario_by_name("DeadlineH").jobs.deadline_slack_mean, 150_min);
+  EXPECT_EQ(*scenario_by_name("iDeadline").jobs.deadline_slack_mean, 450_min);
+  EXPECT_FALSE(scenario_by_name("Mixed").jobs.deadline_slack_mean.has_value());
+  EXPECT_TRUE(scenario_by_name("Deadline").deadline_scenario());
+}
+
+TEST(Scenarios, InformPolicyVariants) {
+  EXPECT_EQ(scenario_by_name("iMixed").aria.inform_jobs_per_period, 2u);
+  EXPECT_EQ(scenario_by_name("iInform1").aria.inform_jobs_per_period, 1u);
+  EXPECT_EQ(scenario_by_name("iInform4").aria.inform_jobs_per_period, 4u);
+  EXPECT_EQ(scenario_by_name("iMixed").aria.reschedule_threshold, 3_min);
+  EXPECT_EQ(scenario_by_name("iInform15m").aria.reschedule_threshold, 15_min);
+  EXPECT_EQ(scenario_by_name("iInform30m").aria.reschedule_threshold, 30_min);
+}
+
+TEST(Scenarios, ErtAccuracyVariants) {
+  EXPECT_EQ(scenario_by_name("Mixed").ert_error.mode,
+            grid::ErtErrorMode::kSymmetric);
+  EXPECT_DOUBLE_EQ(scenario_by_name("Mixed").ert_error.epsilon, 0.1);
+  EXPECT_EQ(scenario_by_name("Precise").ert_error.mode,
+            grid::ErtErrorMode::kExact);
+  EXPECT_DOUBLE_EQ(scenario_by_name("Accuracy25").ert_error.epsilon, 0.25);
+  EXPECT_EQ(scenario_by_name("AccuracyBad").ert_error.mode,
+            grid::ErtErrorMode::kOptimistic);
+  EXPECT_EQ(scenario_by_name("iAccuracyBad").ert_error.mode,
+            grid::ErtErrorMode::kOptimistic);
+}
+
+TEST(Scenarios, ExpansionVariants) {
+  const auto& exp = scenario_by_name("Expanding");
+  ASSERT_TRUE(exp.expansion.has_value());
+  EXPECT_EQ(exp.expansion->target_node_count, 700u);
+  EXPECT_EQ(exp.expansion->start, 83_min);
+  EXPECT_EQ(exp.expansion->mean_interval, 50_s);
+  EXPECT_TRUE(scenario_by_name("iExpanding").expansion.has_value());
+  EXPECT_FALSE(scenario_by_name("Mixed").expansion.has_value());
+}
+
+TEST(Scenarios, BaselineAriaParametersMatchPaper) {
+  const auto& aria = scenario_by_name("iMixed").aria;
+  EXPECT_EQ(aria.request_hops, 9u);
+  EXPECT_EQ(aria.request_fanout, 4u);
+  EXPECT_EQ(aria.inform_hops, 8u);
+  EXPECT_EQ(aria.inform_fanout, 2u);
+  EXPECT_EQ(aria.inform_period, 5_min);
+}
+
+TEST(Scenarios, IVariantsShareBaseParameters) {
+  const auto pairs = {std::pair{"FCFS", "iFCFS"}, {"Mixed", "iMixed"},
+                      {"HighLoad", "iHighLoad"}, {"Precise", "iPrecise"}};
+  for (const auto& [plain, i] : pairs) {
+    const auto& a = scenario_by_name(plain);
+    const auto& b = scenario_by_name(i);
+    EXPECT_EQ(a.scheduler_mix, b.scheduler_mix) << i;
+    EXPECT_EQ(a.submission_interval, b.submission_interval) << i;
+    EXPECT_EQ(a.ert_error.mode, b.ert_error.mode) << i;
+    EXPECT_DOUBLE_EQ(a.ert_error.epsilon, b.ert_error.epsilon) << i;
+  }
+}
+
+}  // namespace
+}  // namespace aria::workload

@@ -1,0 +1,135 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace aria::workload {
+namespace {
+
+using namespace aria::literals;
+
+TEST(Trace, ParsesWellFormedLines) {
+  std::istringstream in{
+      "0 60 AMD64 LINUX 2 4\n"
+      "15.5 90 POWER SOLARIS 8 1 120\n"};
+  const TraceParseResult r = parse_trace(in);
+  EXPECT_EQ(r.malformed_lines, 0u);
+  ASSERT_EQ(r.jobs.size(), 2u);
+
+  EXPECT_EQ(r.jobs[0].submit_offset, 0_s);
+  EXPECT_EQ(r.jobs[0].ert, 1_h);
+  EXPECT_EQ(r.jobs[0].requirements.arch, grid::Architecture::kAmd64);
+  EXPECT_EQ(r.jobs[0].requirements.os, grid::OperatingSystem::kLinux);
+  EXPECT_EQ(r.jobs[0].requirements.min_memory_gb, 2);
+  EXPECT_EQ(r.jobs[0].requirements.min_disk_gb, 4);
+  EXPECT_FALSE(r.jobs[0].deadline_slack.has_value());
+
+  EXPECT_EQ(r.jobs[1].submit_offset, Duration::millis(15500));
+  EXPECT_EQ(r.jobs[1].requirements.arch, grid::Architecture::kPower);
+  ASSERT_TRUE(r.jobs[1].deadline_slack.has_value());
+  EXPECT_EQ(*r.jobs[1].deadline_slack, 2_h);
+}
+
+TEST(Trace, SkipsCommentsAndBlanks) {
+  std::istringstream in{
+      "# full-line comment\n"
+      "\n"
+      "   \t \n"
+      "0 60 AMD64 LINUX 1 1   # trailing comment\n"};
+  const TraceParseResult r = parse_trace(in);
+  EXPECT_EQ(r.malformed_lines, 0u);
+  EXPECT_EQ(r.jobs.size(), 1u);
+}
+
+TEST(Trace, CountsMalformedLines) {
+  std::istringstream in{
+      "garbage\n"
+      "0 60 VAX LINUX 1 1\n"        // unknown arch
+      "0 60 AMD64 TEMPLEOS 1 1\n"   // unknown os
+      "-5 60 AMD64 LINUX 1 1\n"     // negative offset
+      "0 -60 AMD64 LINUX 1 1\n"     // non-positive ert
+      "0 60 AMD64 LINUX 0 1\n"      // zero memory
+      "0 60 AMD64 LINUX 1 1\n"};    // the only valid line
+  const TraceParseResult r = parse_trace(in);
+  EXPECT_EQ(r.malformed_lines, 6u);
+  EXPECT_EQ(r.jobs.size(), 1u);
+}
+
+TEST(Trace, RoundTripsThroughWrite) {
+  std::vector<TraceJob> jobs;
+  for (int i = 0; i < 10; ++i) {
+    TraceJob t;
+    t.submit_offset = Duration::seconds(i * 30);
+    t.ert = Duration::minutes(60 + i * 10);
+    t.requirements.arch =
+        i % 2 == 0 ? grid::Architecture::kAmd64 : grid::Architecture::kSparc;
+    t.requirements.os = grid::OperatingSystem::kBsd;
+    t.requirements.min_memory_gb = 1 << (i % 5);
+    t.requirements.min_disk_gb = 2;
+    if (i % 3 == 0) t.deadline_slack = Duration::minutes(100 + i);
+    jobs.push_back(t);
+  }
+  std::ostringstream out;
+  write_trace(out, jobs, "round trip");
+  std::istringstream in{out.str()};
+  const TraceParseResult r = parse_trace(in);
+  EXPECT_EQ(r.malformed_lines, 0u);
+  ASSERT_EQ(r.jobs.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(r.jobs[i].submit_offset, jobs[i].submit_offset) << i;
+    EXPECT_EQ(r.jobs[i].ert, jobs[i].ert) << i;
+    EXPECT_EQ(r.jobs[i].requirements.arch, jobs[i].requirements.arch) << i;
+    EXPECT_EQ(r.jobs[i].requirements.min_memory_gb,
+              jobs[i].requirements.min_memory_gb)
+        << i;
+    EXPECT_EQ(r.jobs[i].deadline_slack.has_value(),
+              jobs[i].deadline_slack.has_value())
+        << i;
+    if (jobs[i].deadline_slack) {
+      EXPECT_EQ(*r.jobs[i].deadline_slack, *jobs[i].deadline_slack) << i;
+    }
+  }
+}
+
+TEST(Trace, ArchAndOsParsersCoverPaperNames) {
+  EXPECT_EQ(parse_architecture("AMD64"), grid::Architecture::kAmd64);
+  EXPECT_EQ(parse_architecture("POWER"), grid::Architecture::kPower);
+  EXPECT_EQ(parse_architecture("IA-64"), grid::Architecture::kIa64);
+  EXPECT_EQ(parse_architecture("SPARC"), grid::Architecture::kSparc);
+  EXPECT_EQ(parse_architecture("MIPS"), grid::Architecture::kMips);
+  EXPECT_EQ(parse_architecture("NEC"), grid::Architecture::kNec);
+  EXPECT_FALSE(parse_architecture("amd64").has_value());
+
+  EXPECT_EQ(parse_operating_system("LINUX"), grid::OperatingSystem::kLinux);
+  EXPECT_EQ(parse_operating_system("SOLARIS"),
+            grid::OperatingSystem::kSolaris);
+  EXPECT_EQ(parse_operating_system("UNIX"), grid::OperatingSystem::kUnix);
+  EXPECT_EQ(parse_operating_system("WINDOWS"),
+            grid::OperatingSystem::kWindows);
+  EXPECT_EQ(parse_operating_system("BSD"), grid::OperatingSystem::kBsd);
+  EXPECT_FALSE(parse_operating_system("Linux").has_value());
+}
+
+TEST(Trace, ToJobSpecMaterializesDeadline) {
+  Rng rng{1};
+  TraceJob t;
+  t.ert = 1_h;
+  t.deadline_slack = 2_h;
+  const TimePoint at = TimePoint::origin() + 5_h;
+  const grid::JobSpec j = to_job_spec(t, at, rng);
+  EXPECT_FALSE(j.id.is_nil());
+  ASSERT_TRUE(j.deadline.has_value());
+  EXPECT_EQ(*j.deadline, at + 3_h);  // submit + ert + slack
+
+  TraceJob plain;
+  plain.ert = 1_h;
+  const grid::JobSpec p = to_job_spec(plain, at, rng);
+  EXPECT_FALSE(p.deadline.has_value());
+  EXPECT_NE(p.id, j.id);
+}
+
+}  // namespace
+}  // namespace aria::workload

@@ -1,0 +1,114 @@
+// aria_sim: command-line runner for the paper's evaluation scenarios.
+//
+//   aria_sim --list
+//   aria_sim --scenario iMixed --runs 3 --seed 7
+//   aria_sim --scenario HighLoad --resched --nodes 200 --jobs 400 --csv out/
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "workload/aggregate.hpp"
+#include "workload/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aria;
+
+  std::vector<std::string> args{argv + 1, argv + argc};
+  workload::CliOptions options;
+  if (const auto error = workload::parse_cli(args, options)) {
+    std::cerr << "error: " << *error << "\n\n" << workload::cli_usage();
+    return 2;
+  }
+  if (options.show_help) {
+    std::cout << workload::cli_usage();
+    return 0;
+  }
+  if (options.list_scenarios) {
+    metrics::Table table{{"name", "description"}};
+    for (const auto& s : workload::all_scenarios()) {
+      table.add_row({s.name, s.description});
+    }
+    table.print(std::cout);
+    return 0;
+  }
+
+  workload::ScenarioConfig cfg;
+  try {
+    cfg = workload::resolve_scenario(options);
+  } catch (const std::out_of_range& e) {
+    std::cerr << "error: " << e.what() << " (use --list)\n";
+    return 2;
+  }
+
+  if (!options.quiet) {
+    std::cout << "scenario " << cfg.name << ": " << cfg.node_count
+              << " nodes, " << cfg.job_count << " jobs, rescheduling "
+              << (cfg.aria.dynamic_rescheduling ? "on" : "off") << ", "
+              << options.runs << " run(s), base seed " << options.seed
+              << "\n";
+  }
+
+  const auto results =
+      workload::run_scenario_repeated(cfg, options.runs, options.seed);
+  const auto summary = workload::summarize(cfg, results);
+
+  metrics::Table table{{"metric", "mean", "stddev", "min", "max"}};
+  auto row = [&](const std::string& name, const RunningStats& s,
+                 int precision = 1) {
+    table.add_row({name, metrics::Table::num(s.mean(), precision),
+                   metrics::Table::num(s.stddev(), precision),
+                   metrics::Table::num(s.min(), precision),
+                   metrics::Table::num(s.max(), precision)});
+  };
+  row("completed jobs", summary.completed_jobs, 0);
+  row("completion [min]", summary.completion_minutes);
+  row("waiting [min]", summary.waiting_minutes);
+  row("execution [min]", summary.execution_minutes);
+  row("reschedules", summary.reschedules, 0);
+  if (cfg.deadline_scenario()) {
+    row("missed deadlines", summary.missed_deadlines);
+    row("met slack [min]", summary.met_slack_minutes);
+    row("missed time [min]", summary.missed_time_minutes);
+  }
+  row("overlay avg path length", summary.overlay_avg_path_length, 2);
+  row("overlay avg degree", summary.overlay_avg_degree, 2);
+  RunningStats gini;
+  for (const auto& r : results) gini.add(r.busy_time_balance().gini);
+  row("busy-time Gini", gini, 3);
+  table.print(std::cout);
+
+  std::cout << "\ntraffic (mean per run):\n";
+  for (const auto& [type, entry] : summary.traffic.by_type()) {
+    std::cout << "  " << type << ": "
+              << metrics::Table::num(summary.traffic_mib_mean(type), 2)
+              << " MiB\n";
+  }
+
+  bool violations = false;
+  for (const auto& r : results) {
+    if (!r.tracker.violations().empty()) violations = true;
+  }
+  std::cout << "lifecycle violations: " << (violations ? "YES" : "none")
+            << "\n";
+
+  if (!options.csv_dir.empty()) {
+    std::filesystem::create_directories(options.csv_dir);
+    const auto base = std::filesystem::path{options.csv_dir};
+    {
+      std::ofstream out{base / (cfg.name + "_idle.csv")};
+      metrics::write_series_csv(out, {summary.idle_series});
+    }
+    {
+      std::ofstream out{base / (cfg.name + "_completed.csv")};
+      metrics::write_series_csv(out, {summary.completed_curve});
+    }
+    {
+      std::ofstream out{base / (cfg.name + "_nodes.csv")};
+      metrics::write_series_csv(out, {summary.node_count_series});
+    }
+    std::cout << "CSV series written to " << options.csv_dir << "\n";
+  }
+  return violations ? 1 : 0;
+}
