@@ -1,12 +1,19 @@
 // Microbenchmarks of the hot paths a protocol round exercises: cost
 // functions over realistic queue depths, scheduler queue operations, flood
-// target selection, and raw simulator event throughput.
+// target selection, raw simulator event throughput, and the network
+// send/deliver/metering path. The `Simulator*`, `Network*` and `Traffic*`
+// benches feed tools/bench_sim_kernel.sh, which tracks the event-kernel
+// perf trajectory in BENCH_sim_kernel.json.
 #include <benchmark/benchmark.h>
 
+#include "core/messages.hpp"
 #include "overlay/bootstrap.hpp"
 #include "overlay/flooding.hpp"
 #include "sched/policies.hpp"
+#include "sim/latency.hpp"
+#include "sim/network.hpp"
 #include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
 
 namespace {
 
@@ -117,6 +124,105 @@ void BM_SimulatorEventThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_SimulatorEventThroughput)->Unit(benchmark::kMillisecond);
+
+// Schedule + cancel half + drain: the watchdog/timeout churn pattern every
+// protocol round produces (every REQUEST arms a timeout that is usually
+// cancelled before it fires).
+void BM_SimulatorScheduleCancelDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    Rng rng{11};
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(10000);
+    for (int i = 0; i < 10000; ++i) {
+      handles.push_back(
+          simulator.schedule_after(rng.uniform_duration(0_s, 1_h), [] {}));
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 2) handles[i].cancel();
+    simulator.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorScheduleCancelDispatch)->Unit(benchmark::kMillisecond);
+
+// Re-arm churn: cancel + reschedule the same logical timer over and over
+// (the failsafe watchdog pattern). Dead entries must not accumulate.
+void BM_SimulatorCancelRearmChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    sim::EventHandle h;
+    for (int i = 0; i < 10000; ++i) {
+      h.cancel();
+      h = simulator.schedule_after(10_h, [] {});
+    }
+    simulator.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorCancelRearmChurn)->Unit(benchmark::kMillisecond);
+
+// A single periodic timer ticking many times (INFORM/maintenance timers).
+void BM_SimulatorPeriodicTicks(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::uint64_t ticks = 0;
+    simulator.schedule_periodic(0_s, 1_s, [&] { ++ticks; });
+    simulator.run_until(TimePoint::origin() + Duration::seconds(9999));
+    benchmark::DoNotOptimize(ticks);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorPeriodicTicks)->Unit(benchmark::kMillisecond);
+
+// Many interleaved run_until() horizons over a periodic-heavy queue:
+// stresses the deadline boundary (peek vs pop+push-back).
+void BM_SimulatorRunUntilBoundaries(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::uint64_t ticks = 0;
+    for (int p = 0; p < 8; ++p) {
+      simulator.schedule_periodic(Duration::millis(125 * p), 1_s,
+                                  [&] { ++ticks; });
+    }
+    for (int slice = 1; slice <= 1000; ++slice) {
+      simulator.run_until(TimePoint::origin() +
+                          Duration::millis(10 * slice));
+    }
+    benchmark::DoNotOptimize(ticks);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorRunUntilBoundaries)->Unit(benchmark::kMillisecond);
+
+// Full network hot path: one send = metering + event + delivery dispatch.
+void BM_NetworkSendDeliver(benchmark::State& state) {
+  sim::Simulator simulator;
+  sim::Network net{simulator,
+                   std::make_unique<sim::FixedLatencyModel>(Duration::millis(5)),
+                   Rng{12}};
+  net.attach(NodeId{0}, [](sim::Envelope) {});
+  net.attach(NodeId{1}, [](sim::Envelope) {});
+  Rng rng{13};
+  for (auto _ : state) {
+    net.send(NodeId{0}, NodeId{1},
+             std::make_unique<proto::AcceptMsg>(NodeId{0},
+                                                JobId::generate(rng), 1.0));
+    simulator.run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkSendDeliver);
+
+// Traffic metering alone, via the string-keyed convenience entry point.
+void BM_TrafficRecordByName(benchmark::State& state) {
+  sim::TrafficLedger ledger;
+  for (auto _ : state) {
+    ledger.record("REQUEST", 1024);
+    benchmark::DoNotOptimize(ledger);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrafficRecordByName);
 
 void BM_TopologyBfsDistance(benchmark::State& state) {
   Rng rng{8};

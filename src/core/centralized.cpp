@@ -47,7 +47,7 @@ std::size_t CentralizedMetaScheduler::rebalance(double threshold_seconds) {
       AriaNode* best = best_node_for(spec, &best_cost);
       if (best == nullptr || best == holder) continue;
       if (!(best_cost < current - threshold_seconds)) continue;
-      if (!holder->scheduler().remove(spec.id)) continue;  // started meanwhile
+      if (!holder->remove_queued(spec.id)) continue;  // started meanwhile
       best->deliver_assignment(spec, kInvalidNode, /*reschedule=*/true);
       ++moved;
     }

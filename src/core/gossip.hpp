@@ -65,7 +65,12 @@ struct GossipMsg final : sim::Message {
     // 64 bytes of header + ~96 bytes per carried summary.
     return 64 + summaries.size() * 96;
   }
-  std::string type_name() const override { return "GOSSIP"; }
+  sim::MessageTypeId type_id() const override { return static_type(); }
+  static sim::MessageTypeId static_type() {
+    static const sim::MessageTypeId id =
+        sim::MessageTypeRegistry::intern("GOSSIP");
+    return id;
+  }
 };
 
 /// One grid machine under gossip scheduling: same profile/scheduler/executor

@@ -3,7 +3,9 @@
 //
 // Wire sizes follow the traffic evaluation (§V-E): REQUEST, INFORM and
 // ASSIGN carry a full job profile and are metered at 1 KiB; ACCEPT is a
-// compact (address, uuid, cost) triple metered at 128 bytes.
+// compact (address, uuid, cost) triple metered at 128 bytes. Each type
+// interns its name once (static_type()) so per-message metering is an
+// integer id, never a string.
 //
 // REQUEST and INFORM are flooded: they carry a FloodMeta with a per-emission
 // flood id (for duplicate suppression), the remaining hop budget, and the
@@ -48,7 +50,12 @@ struct RequestMsg final : sim::Message {
   RequestMsg(NodeId initiator_, grid::JobSpec job_, FloodMeta flood_)
       : initiator{initiator_}, job{std::move(job_)}, flood{flood_} {}
   std::size_t wire_size() const override { return kRequestWireBytes; }
-  std::string type_name() const override { return kRequestType; }
+  sim::MessageTypeId type_id() const override { return static_type(); }
+  static sim::MessageTypeId static_type() {
+    static const sim::MessageTypeId id =
+        sim::MessageTypeRegistry::intern(kRequestType);
+    return id;
+  }
 };
 
 /// Offer: "Node's address | Job UUID | Cost". Sent to the initiator in the
@@ -61,7 +68,12 @@ struct AcceptMsg final : sim::Message {
   AcceptMsg(NodeId node_, JobId job_id_, double cost_)
       : node{node_}, job_id{job_id_}, cost{cost_} {}
   std::size_t wire_size() const override { return kAcceptWireBytes; }
-  std::string type_name() const override { return kAcceptType; }
+  sim::MessageTypeId type_id() const override { return static_type(); }
+  static sim::MessageTypeId static_type() {
+    static const sim::MessageTypeId id =
+        sim::MessageTypeRegistry::intern(kAcceptType);
+    return id;
+  }
 };
 
 /// Rescheduling advertisement:
@@ -75,7 +87,12 @@ struct InformMsg final : sim::Message {
   InformMsg(NodeId assignee_, grid::JobSpec job_, double cost_, FloodMeta flood_)
       : assignee{assignee_}, job{std::move(job_)}, cost{cost_}, flood{flood_} {}
   std::size_t wire_size() const override { return kInformWireBytes; }
-  std::string type_name() const override { return kInformType; }
+  sim::MessageTypeId type_id() const override { return static_type(); }
+  static sim::MessageTypeId static_type() {
+    static const sim::MessageTypeId id =
+        sim::MessageTypeRegistry::intern(kInformType);
+    return id;
+  }
 };
 
 /// Delegation: "Initiator's address | Job UUID | Job Profile". Sent by the
@@ -91,7 +108,12 @@ struct AssignMsg final : sim::Message {
   AssignMsg(NodeId initiator_, grid::JobSpec job_, bool reschedule_ = false)
       : initiator{initiator_}, job{std::move(job_)}, reschedule{reschedule_} {}
   std::size_t wire_size() const override { return kAssignWireBytes; }
-  std::string type_name() const override { return kAssignType; }
+  sim::MessageTypeId type_id() const override { return static_type(); }
+  static sim::MessageTypeId static_type() {
+    static const sim::MessageTypeId id =
+        sim::MessageTypeRegistry::intern(kAssignType);
+    return id;
+  }
 };
 
 /// Optional tracking notification to the initiator (paper §III-D:
@@ -105,7 +127,12 @@ struct NotifyMsg final : sim::Message {
   NotifyMsg(Kind kind_, JobId job_id_, NodeId current_assignee_)
       : kind{kind_}, job_id{job_id_}, current_assignee{current_assignee_} {}
   std::size_t wire_size() const override { return kNotifyWireBytes; }
-  std::string type_name() const override { return kNotifyType; }
+  sim::MessageTypeId type_id() const override { return static_type(); }
+  static sim::MessageTypeId static_type() {
+    static const sim::MessageTypeId id =
+        sim::MessageTypeRegistry::intern(kNotifyType);
+    return id;
+  }
 };
 
 }  // namespace aria::proto

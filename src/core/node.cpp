@@ -23,10 +23,26 @@ AriaNode::AriaNode(NodeContext ctx, NodeId self, grid::NodeProfile profile,
   assert(ctx_.sim && ctx_.net && ctx_.topo && ctx_.relay && ctx_.config &&
          ctx_.ert_error);
   assert(sched_);
+  sync_idle_gauge();  // a fresh node is idle
 }
 
 AriaNode::~AriaNode() {
   if (started_) stop();
+  if (counted_idle_ && ctx_.idle_gauge != nullptr) {
+    --*ctx_.idle_gauge;  // leave the gauge consistent for surviving nodes
+  }
+}
+
+void AriaNode::sync_idle_gauge() {
+  if (ctx_.idle_gauge == nullptr) return;
+  const bool now_idle = idle();
+  if (now_idle == counted_idle_) return;
+  counted_idle_ = now_idle;
+  if (now_idle) {
+    ++*ctx_.idle_gauge;
+  } else {
+    --*ctx_.idle_gauge;
+  }
 }
 
 void AriaNode::start() {
@@ -168,6 +184,14 @@ void AriaNode::deliver_assignment(const grid::JobSpec& job, NodeId initiator,
   accept_job(job, initiator, reschedule);
 }
 
+bool AriaNode::remove_queued(const JobId& id) {
+  if (!sched_->remove(id)) return false;
+  initiator_of_.erase(id);
+  pending_informs_.erase(id);
+  sync_idle_gauge();
+  return true;
+}
+
 void AriaNode::send_assign(NodeId target, const grid::JobSpec& spec,
                            NodeId initiator, bool reschedule) {
   if (target == self_) {
@@ -194,6 +218,7 @@ void AriaNode::accept_job(const grid::JobSpec& spec, NodeId initiator,
     notify_initiator_of(spec.id, NotifyMsg::Kind::kQueued);
   }
   kick_executor();
+  sync_idle_gauge();
 }
 
 // ---------------------------------------------------------------------------
@@ -299,6 +324,7 @@ void AriaNode::on_accept(const AcceptMsg& msg) {
   initiator_of_.erase(msg.job_id);
   pending_informs_.erase(pi);
   ++counters_.reschedules_out;
+  sync_idle_gauge();
 
   // Keep the initiator's picture fresh: announce where the job went. The
   // plain flag is the paper's optional notification; failsafe requires it.
@@ -500,6 +526,7 @@ void AriaNode::complete_running() {
     ctx_.observer->on_completed(id, self_, ctx_.sim->now(), art);
   }
   kick_executor();
+  sync_idle_gauge();
 }
 
 // ---------------------------------------------------------------------------

@@ -41,6 +41,10 @@ struct NodeContext {
   const AriaConfig* config{nullptr};
   const grid::ErtErrorModel* ert_error{nullptr};
   ProtocolObserver* observer{nullptr};  // may be null
+  /// Optional shared gauge of idle nodes: the node adds/removes itself as
+  /// its idle() state flips, so the engine samples utilization in O(1)
+  /// instead of scanning every node. Must outlive the node.
+  std::size_t* idle_gauge{nullptr};
 };
 
 class AriaNode {
@@ -66,6 +70,12 @@ class AriaNode {
   /// on_assigned observer event as a protocol delegation.
   void deliver_assignment(const grid::JobSpec& job, NodeId initiator,
                           bool reschedule = false);
+
+  /// Removes a queued (not executing) job and drops its bookkeeping. The
+  /// counterpart of deliver_assignment for external meta-schedulers; keeps
+  /// the idle gauge and initiator map consistent. Returns false if the job
+  /// is not queued here.
+  bool remove_queued(const JobId& id);
 
   /// Cost this node would quote for `job` right now (the ACCEPT value).
   double quote(const grid::JobSpec& job) const { return my_cost(job); }
@@ -148,6 +158,10 @@ class AriaNode {
   void arm_watchdog(const JobId& id);
   void watchdog_expired(const JobId& id);
 
+  /// Re-syncs this node's contribution to ctx_.idle_gauge after any queue
+  /// or executor transition.
+  void sync_idle_gauge();
+
   void flood_request(const grid::JobSpec& spec, std::size_t attempt);
   void decide_assignment(const JobId& id);
   void send_assign(NodeId target, const grid::JobSpec& spec, NodeId initiator,
@@ -177,6 +191,7 @@ class AriaNode {
   sim::EventHandle inform_timer_;
   sim::EventHandle reservation_wake_;
   bool started_{false};
+  bool counted_idle_{false};  // current contribution to ctx_.idle_gauge
   Counters counters_;
 };
 

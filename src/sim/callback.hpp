@@ -1,0 +1,111 @@
+// Move-only callable wrapper with small-buffer optimization.
+//
+// The event kernel stores one callback per scheduled event. std::function
+// forces copyability (so move-only captures like std::unique_ptr need a
+// shared_ptr shim) and its type-erasure layout is opaque. UniqueCallback is
+// the minimal alternative the hot path wants: move-only, so an Envelope's
+// unique_ptr can be captured directly, and with a 48-byte inline buffer
+// sized to hold every closure the simulation schedules (delivery lambdas,
+// timer ticks, protocol timeouts) without touching the heap.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace aria::sim {
+
+class UniqueCallback {
+ public:
+  /// Closures up to this size (and max_align_t alignment) are stored inline.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  UniqueCallback() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, UniqueCallback> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  UniqueCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_.buf)) Fn(std::forward<F>(f));
+      invoke_ = [](UniqueCallback& self) {
+        (*std::launder(reinterpret_cast<Fn*>(self.storage_.buf)))();
+      };
+      relocate_ = [](UniqueCallback& self, UniqueCallback* dst) noexcept {
+        Fn* fn = std::launder(reinterpret_cast<Fn*>(self.storage_.buf));
+        if (dst != nullptr) {
+          ::new (static_cast<void*>(dst->storage_.buf)) Fn(std::move(*fn));
+        }
+        fn->~Fn();
+      };
+    } else {
+      storage_.heap = new Fn(std::forward<F>(f));
+      invoke_ = [](UniqueCallback& self) {
+        (*static_cast<Fn*>(self.storage_.heap))();
+      };
+      relocate_ = [](UniqueCallback& self, UniqueCallback* dst) noexcept {
+        if (dst != nullptr) {
+          dst->storage_.heap = self.storage_.heap;
+        } else {
+          delete static_cast<Fn*>(self.storage_.heap);
+        }
+        self.storage_.heap = nullptr;
+      };
+    }
+  }
+
+  UniqueCallback(UniqueCallback&& other) noexcept { adopt(other); }
+
+  UniqueCallback& operator=(UniqueCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      adopt(other);
+    }
+    return *this;
+  }
+
+  UniqueCallback(const UniqueCallback&) = delete;
+  UniqueCallback& operator=(const UniqueCallback&) = delete;
+
+  ~UniqueCallback() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  /// Invokes the callable; the wrapper stays valid (periodic events call the
+  /// same closure every tick).
+  void operator()() { invoke_(*this); }
+
+  void reset() {
+    if (relocate_ != nullptr) relocate_(*this, nullptr);
+    invoke_ = nullptr;
+    relocate_ = nullptr;
+  }
+
+ private:
+  using Invoke = void (*)(UniqueCallback&);
+  /// Moves the callable into `dst` (or destroys it when dst == nullptr).
+  using Relocate = void (*)(UniqueCallback&, UniqueCallback*) noexcept;
+
+  void adopt(UniqueCallback& other) noexcept {
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    if (relocate_ != nullptr) relocate_(other, this);
+    other.invoke_ = nullptr;
+    other.relocate_ = nullptr;
+  }
+
+  union Storage {
+    alignas(std::max_align_t) unsigned char buf[kInlineBytes];
+    void* heap;
+  };
+
+  Storage storage_;
+  Invoke invoke_{nullptr};
+  Relocate relocate_{nullptr};
+};
+
+}  // namespace aria::sim

@@ -1,0 +1,63 @@
+#include "sim/message_types.hpp"
+
+#include <cassert>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace aria::sim {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  // Names are heap-stable (unique_ptr) so name() can hand out references
+  // that survive later registrations.
+  std::vector<std::unique_ptr<const std::string>> names;
+  std::unordered_map<std::string_view, std::uint16_t> index;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives static dtors
+  return *r;
+}
+
+}  // namespace
+
+MessageTypeId MessageTypeRegistry::intern(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock{r.mu};
+  if (const auto it = r.index.find(name); it != r.index.end()) {
+    return MessageTypeId{it->second};
+  }
+  assert(r.names.size() < MessageTypeId::kInvalid);
+  const auto id = static_cast<std::uint16_t>(r.names.size());
+  r.names.push_back(std::make_unique<const std::string>(name));
+  r.index.emplace(std::string_view{*r.names.back()}, id);
+  return MessageTypeId{id};
+}
+
+std::optional<MessageTypeId> MessageTypeRegistry::find(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock{r.mu};
+  if (const auto it = r.index.find(name); it != r.index.end()) {
+    return MessageTypeId{it->second};
+  }
+  return std::nullopt;
+}
+
+const std::string& MessageTypeRegistry::name(MessageTypeId id) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock{r.mu};
+  assert(id.valid() && id.index() < r.names.size());
+  return *r.names[id.index()];
+}
+
+std::size_t MessageTypeRegistry::count() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock{r.mu};
+  return r.names.size();
+}
+
+}  // namespace aria::sim

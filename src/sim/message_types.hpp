@@ -1,0 +1,61 @@
+// Interned message-type identifiers.
+//
+// Every Network::send meters the message in a TrafficLedger. Keying that
+// accounting by the type *name* made the flood path allocate a std::string
+// and walk a std::map per message; instead, each wire type registers its
+// name once and gets a dense MessageTypeId that indexes a flat counter
+// array. Names survive only for report formatting (name()) and for cold
+// string-keyed queries in tests and figure benches (find()).
+//
+// The registry is process-wide (message types are code, not data) and
+// guarded by a mutex; the hot path never takes it — interning happens once
+// per type, and ledger recording is a plain array index.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace aria::sim {
+
+/// Dense identifier for a wire message type; value-stable for the lifetime
+/// of the process.
+class MessageTypeId {
+ public:
+  constexpr MessageTypeId() = default;
+
+  constexpr bool valid() const { return value_ != kInvalid; }
+  constexpr std::size_t index() const { return value_; }
+
+  /// Rebuilds an id from a dense index (ledger iteration); the caller must
+  /// have obtained the index from a valid id.
+  static constexpr MessageTypeId from_index(std::size_t index) {
+    return MessageTypeId{static_cast<std::uint16_t>(index)};
+  }
+
+  friend constexpr bool operator==(MessageTypeId, MessageTypeId) = default;
+
+ private:
+  friend class MessageTypeRegistry;
+  constexpr explicit MessageTypeId(std::uint16_t v) : value_{v} {}
+  static constexpr std::uint16_t kInvalid = 0xFFFF;
+  std::uint16_t value_{kInvalid};
+};
+
+class MessageTypeRegistry {
+ public:
+  /// Returns the id for `name`, registering it on first use.
+  static MessageTypeId intern(std::string_view name);
+
+  /// Id for an already-registered name; nullopt if never interned.
+  static std::optional<MessageTypeId> find(std::string_view name);
+
+  /// The name `id` was registered under. `id` must be valid.
+  static const std::string& name(MessageTypeId id);
+
+  /// Number of registered types (upper bound for dense per-type arrays).
+  static std::size_t count();
+};
+
+}  // namespace aria::sim

@@ -7,24 +7,24 @@ namespace aria::sim {
 void Network::send(NodeId from, NodeId to, std::unique_ptr<Message> message) {
   assert(message);
   assert(from.valid() && to.valid());
-  const std::string type = message->type_name();
+  const MessageTypeId type = message->type_id();
   traffic_.record(type, message->wire_size());
   ++sent_;
 
   const Duration delay = latency_->latency(from, to, rng_);
-  // The envelope is moved into the event; shared_ptr smooths over
-  // std::function's copyability requirement.
-  auto box = std::make_shared<Envelope>(Envelope{from, to, std::move(message)});
-  sim_.schedule_after(delay, [this, box, type] {
-    auto it = nodes_.find(box->to);
-    if (it == nodes_.end() || !it->second.up) {
-      ++dropped_;
-      traffic_.record_drop(type);
-      return;
-    }
-    ++delivered_;
-    it->second.handler(std::move(*box));
-  });
+  // The message moves straight into the delivery closure (UniqueCallback is
+  // move-only, so no shared_ptr shim and no extra allocation).
+  sim_.schedule_after(
+      delay, [this, from, to, type, msg = std::move(message)]() mutable {
+        auto it = nodes_.find(to);
+        if (it == nodes_.end() || !it->second.up) {
+          ++dropped_;
+          traffic_.record_drop(type);
+          return;
+        }
+        ++delivered_;
+        it->second.handler(Envelope{from, to, std::move(msg)});
+      });
 }
 
 }  // namespace aria::sim

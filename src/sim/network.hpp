@@ -16,18 +16,26 @@
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "sim/latency.hpp"
+#include "sim/message_types.hpp"
 #include "sim/simulator.hpp"
 #include "sim/traffic.hpp"
 
 namespace aria::sim {
 
 /// Base class for everything that travels on the wire. `wire_size` feeds the
-/// traffic ledger; `type_name` keys the per-type accounting.
+/// traffic ledger; `type_id` keys the per-type accounting (an interned
+/// MessageTypeId — implementations register their name once, typically via
+/// a function-local static, so the send path never builds a string).
 class Message {
  public:
   virtual ~Message() = default;
   virtual std::size_t wire_size() const = 0;
-  virtual std::string type_name() const = 0;
+  virtual MessageTypeId type_id() const = 0;
+
+  /// Registered name of this type (report formatting only).
+  const std::string& type_name() const {
+    return MessageTypeRegistry::name(type_id());
+  }
 };
 
 struct Envelope {

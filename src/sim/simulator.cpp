@@ -1,17 +1,123 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace aria::sim {
 
+namespace {
+// 4-ary beats binary here: the heap holds 24-byte PODs, so one cache line
+// covers more than two children and the shallower tree wins on sift depth.
+constexpr std::size_t kArity = 4;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Slab
+// ---------------------------------------------------------------------------
+
+std::uint32_t Simulator::alloc_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::free_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.reset();
+  s.periodic = false;
+  s.in_heap = false;
+  ++s.generation;  // invalidates every outstanding handle and heap entry
+  free_slots_.push_back(slot);
+}
+
+void Simulator::cancel(std::uint32_t slot, std::uint32_t generation) {
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (s.generation != generation) return;  // already fired or cancelled
+  const bool orphans_heap_entry = s.in_heap;
+  // A periodic event cancelled from inside its own callback has no heap
+  // entry (it was popped for dispatch); freeing the slot here is what stops
+  // the re-arm.
+  free_slot(slot);
+  if (orphans_heap_entry) {
+    ++cancelled_pending_;
+    maybe_compact();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 4-ary heap over (at, seq)
+// ---------------------------------------------------------------------------
+
+void Simulator::heap_push(HeapEntry entry) {
+  heap_.push_back(entry);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!earlier(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void Simulator::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first_child = i * kArity + 1;
+    if (first_child >= n) return;
+    std::size_t best = first_child;
+    const std::size_t last_child = std::min(first_child + kArity, n);
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], heap_[i])) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+void Simulator::heap_pop_front() {
+  assert(!heap_.empty());
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void Simulator::maybe_compact() {
+  if (cancelled_pending_ < kCompactMinDead ||
+      cancelled_pending_ * 2 < heap_.size()) {
+    return;
+  }
+  std::erase_if(heap_, [this](const HeapEntry& e) { return !slot_live(e); });
+  // Rebuild: sift down every internal node, deepest first.
+  if (heap_.size() > 1) {
+    for (std::size_t i = (heap_.size() - 2) / kArity + 1; i-- > 0;) {
+      sift_down(i);
+    }
+  }
+  cancelled_pending_ = 0;
+  ++compactions_;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------------
+
 EventHandle Simulator::schedule_at(TimePoint at, Callback fn) {
   assert(fn);
   if (at < now_) at = now_;  // never schedule into the past
-  auto cancelled = std::make_shared<bool>(false);
-  EventHandle handle{cancelled};
-  queue_.push(Entry{at, next_seq_++, std::move(fn), std::move(cancelled)});
-  return handle;
+  const std::uint32_t slot = alloc_slot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.in_heap = true;
+  const std::uint32_t generation = s.generation;
+  heap_push(HeapEntry{at, next_seq_++, slot, generation});
+  return EventHandle{this, slot, generation};
 }
 
 EventHandle Simulator::schedule_after(Duration delay, Callback fn) {
@@ -22,50 +128,64 @@ EventHandle Simulator::schedule_after(Duration delay, Callback fn) {
 EventHandle Simulator::schedule_periodic(Duration phase, Duration period,
                                          Callback fn) {
   assert(period > Duration::zero());
-  // The shared flag spans all repetitions, so cancelling the returned handle
-  // stops the whole series.
-  auto cancelled = std::make_shared<bool>(false);
-  EventHandle handle{cancelled};
-
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, fn = std::move(fn), cancelled, tick]() {
-    fn();
-    if (*cancelled) return;
-    queue_.push(Entry{now_ + period, next_seq_++,
-                      [tick] { (*tick)(); }, cancelled});
-  };
   if (phase.is_negative()) phase = Duration::zero();
-  queue_.push(Entry{now_ + phase, next_seq_++, [tick] { (*tick)(); }, cancelled});
-  return handle;
+  const std::uint32_t slot = alloc_slot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.periodic = true;
+  s.period = period;
+  s.in_heap = true;
+  const std::uint32_t generation = s.generation;
+  heap_push(HeapEntry{now_ + phase, next_seq_++, slot, generation});
+  return EventHandle{this, slot, generation};
 }
 
-bool Simulator::pop_next(Entry& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; the Entry is copied cheaply except for
-    // the callback, so move it out via const_cast — safe because we pop
-    // immediately and never touch the moved-from top again.
-    Entry& top = const_cast<Entry&>(queue_.top());
-    if (*top.cancelled) {
-      queue_.pop();
-      continue;
-    }
-    out = std::move(top);
-    queue_.pop();
-    return true;
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+std::optional<TimePoint> Simulator::peek() {
+  while (!heap_.empty()) {
+    if (slot_live(heap_.front())) return heap_.front().at;
+    heap_pop_front();
+    --cancelled_pending_;
   }
-  return false;
+  return std::nullopt;
 }
 
 bool Simulator::step() {
-  Entry e;
-  if (!pop_next(e)) return false;
-  now_ = e.at;
-  ++fired_;
-  // Note: the cancelled flag is NOT set here — periodic events share one
-  // flag across repetitions. One-shot handles expire naturally when the
-  // Entry (the last shared_ptr owner) is destroyed after fn() returns.
-  e.fn();
-  return true;
+  for (;;) {
+    if (heap_.empty()) return false;
+    const HeapEntry top = heap_.front();
+    heap_pop_front();
+    if (!slot_live(top)) {  // cancelled: lazy skip
+      --cancelled_pending_;
+      continue;
+    }
+    slots_[top.slot].in_heap = false;
+    now_ = top.at;
+    ++fired_;
+    if (slots_[top.slot].periodic) {
+      // The callback runs outside its slot: it may cancel its own handle
+      // (which frees the slot) or schedule events that grow the slab.
+      Callback fn = std::move(slots_[top.slot].fn);
+      fn();
+      Slot& s = slots_[top.slot];  // re-acquire: the slab may have grown
+      if (s.generation == top.generation) {
+        s.fn = std::move(fn);
+        s.in_heap = true;
+        heap_push(HeapEntry{now_ + s.period, next_seq_++, top.slot,
+                            top.generation});
+      }
+    } else {
+      // Free before invoking: one-shot slots recycle even when the callback
+      // schedules new events (the generation bump keeps handles inert).
+      Callback fn = std::move(slots_[top.slot].fn);
+      free_slot(top.slot);
+      fn();
+    }
+    return true;
+  }
 }
 
 std::uint64_t Simulator::run() {
@@ -78,24 +198,14 @@ std::uint64_t Simulator::run() {
 std::uint64_t Simulator::run_until(TimePoint deadline) {
   stop_requested_ = false;
   std::uint64_t n = 0;
-  Entry e;
   while (!stop_requested_) {
-    // Peek: do not advance past the deadline.
-    if (!pop_next(e)) break;
-    if (e.at > deadline) {
-      // Push back; it stays pending for a later run.
-      queue_.push(std::move(e));
-      break;
-    }
-    now_ = e.at;
-    ++fired_;
-    e.fn();
+    const std::optional<TimePoint> next = peek();
+    if (!next || *next > deadline) break;  // no pop + push-back round trip
+    step();
     ++n;
   }
   if (now_ < deadline) now_ = deadline;
   return n;
 }
-
-std::size_t Simulator::pending_events() const { return queue_.size(); }
 
 }  // namespace aria::sim

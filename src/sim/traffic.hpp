@@ -1,10 +1,19 @@
 // Per-message-type traffic accounting (paper §V-E / Fig. 10).
+//
+// Counters are a flat array indexed by interned MessageTypeId — recording a
+// send is two increments, no string, no tree walk. String-keyed queries and
+// the name-sorted by_type() snapshot survive for reports, figures and
+// tests; they resolve names through the MessageTypeRegistry on the cold
+// path only.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "sim/message_types.hpp"
 
 namespace aria::sim {
 
@@ -15,52 +24,92 @@ class TrafficLedger {
     std::uint64_t bytes{0};
   };
 
-  void record(const std::string& type, std::uint64_t bytes) {
-    auto& e = by_type_[type];
-    ++e.messages;
-    e.bytes += bytes;
+  void record(MessageTypeId type, std::uint64_t bytes) {
+    Counter& c = at(type);
+    ++c.messages;
+    c.bytes += bytes;
   }
 
-  void record_drop(const std::string& type) { ++drops_[type]; }
+  /// Convenience for tests/tools; interns `type` on first use.
+  void record(std::string_view type, std::uint64_t bytes) {
+    record(MessageTypeRegistry::intern(type), bytes);
+  }
+
+  void record_drop(MessageTypeId type) { ++at(type).drops; }
+  void record_drop(std::string_view type) {
+    record_drop(MessageTypeRegistry::intern(type));
+  }
 
   Entry total() const {
     Entry t;
-    for (const auto& [_, e] : by_type_) {
-      t.messages += e.messages;
-      t.bytes += e.bytes;
+    for (const Counter& c : by_id_) {
+      t.messages += c.messages;
+      t.bytes += c.bytes;
     }
     return t;
   }
 
-  Entry of(const std::string& type) const {
-    auto it = by_type_.find(type);
-    return it == by_type_.end() ? Entry{} : it->second;
+  Entry of(MessageTypeId type) const {
+    if (!type.valid() || type.index() >= by_id_.size()) return Entry{};
+    const Counter& c = by_id_[type.index()];
+    return Entry{c.messages, c.bytes};
   }
 
-  std::uint64_t drops(const std::string& type) const {
-    auto it = drops_.find(type);
-    return it == drops_.end() ? 0 : it->second;
+  Entry of(std::string_view type) const {
+    const auto id = MessageTypeRegistry::find(type);
+    return id ? of(*id) : Entry{};
   }
 
-  const std::map<std::string, Entry>& by_type() const { return by_type_; }
+  std::uint64_t drops(MessageTypeId type) const {
+    if (!type.valid() || type.index() >= by_id_.size()) return 0;
+    return by_id_[type.index()].drops;
+  }
+
+  std::uint64_t drops(std::string_view type) const {
+    const auto id = MessageTypeRegistry::find(type);
+    return id ? drops(*id) : 0;
+  }
+
+  /// Name-sorted snapshot of every type with recorded sends (drops alone
+  /// do not list a type, matching the historical ledger shape).
+  std::map<std::string, Entry> by_type() const {
+    std::map<std::string, Entry> out;
+    for (std::size_t i = 0; i < by_id_.size(); ++i) {
+      const Counter& c = by_id_[i];
+      if (c.messages == 0 && c.bytes == 0) continue;
+      out.emplace(MessageTypeRegistry::name(MessageTypeId::from_index(i)),
+                  Entry{c.messages, c.bytes});
+    }
+    return out;
+  }
 
   void merge(const TrafficLedger& other) {
-    for (const auto& [k, e] : other.by_type_) {
-      auto& mine = by_type_[k];
-      mine.messages += e.messages;
-      mine.bytes += e.bytes;
+    if (other.by_id_.size() > by_id_.size()) {
+      by_id_.resize(other.by_id_.size());
     }
-    for (const auto& [k, n] : other.drops_) drops_[k] += n;
+    for (std::size_t i = 0; i < other.by_id_.size(); ++i) {
+      by_id_[i].messages += other.by_id_[i].messages;
+      by_id_[i].bytes += other.by_id_[i].bytes;
+      by_id_[i].drops += other.by_id_[i].drops;
+    }
   }
 
-  void clear() {
-    by_type_.clear();
-    drops_.clear();
-  }
+  void clear() { by_id_.clear(); }
 
  private:
-  std::map<std::string, Entry> by_type_;
-  std::map<std::string, std::uint64_t> drops_;
+  struct Counter {
+    std::uint64_t messages{0};
+    std::uint64_t bytes{0};
+    std::uint64_t drops{0};
+  };
+
+  Counter& at(MessageTypeId type) {
+    const std::size_t i = type.index();
+    if (i >= by_id_.size()) by_id_.resize(i + 1);
+    return by_id_[i];
+  }
+
+  std::vector<Counter> by_id_;
 };
 
 }  // namespace aria::sim

@@ -153,7 +153,7 @@ std::vector<proto::AriaNode*> GridSimulation::all_nodes() {
   return out;
 }
 
-std::size_t GridSimulation::idle_count() const {
+std::size_t GridSimulation::idle_count_scan() const {
   std::size_t n = 0;
   for (const auto& node : nodes_) {
     if (node->idle()) ++n;
@@ -226,6 +226,7 @@ void GridSimulation::spawn_node() {
   ctx.config = &config_.aria;
   ctx.ert_error = &ert_error_;
   ctx.observer = &tracker_;
+  ctx.idle_gauge = &idle_nodes_;
 
   std::string vo;
   if (config_.vo_count > 1) {
@@ -288,22 +289,23 @@ void GridSimulation::schedule_expansion() {
   if (!config_.expansion) return;
   const auto plan = *config_.expansion;
   Rng join_rng = rng_.fork(8);
-
-  // Recursive event chain: add one node, then schedule the next join with a
-  // jittered interval until the target size is reached.
-  auto add_next = std::make_shared<std::function<void()>>();
-  auto join_rng_ptr = std::make_shared<Rng>(join_rng);
-  *add_next = [this, plan, add_next, join_rng_ptr] {
-    if (nodes_.size() >= plan.target_node_count) return;
-    const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
-    overlay::join_node(topo_, id, plan.join_contacts, *join_rng_ptr);
-    spawn_node();
-    const Duration gap = join_rng_ptr->uniform_duration(
-        plan.mean_interval / 2, plan.mean_interval + plan.mean_interval / 2);
-    sim_.schedule_after(gap, [add_next] { (*add_next)(); });
-  };
   sim_.schedule_at(TimePoint::origin() + plan.start,
-                   [add_next] { (*add_next)(); });
+                   [this, plan, join_rng] { expansion_step(plan, join_rng); });
+}
+
+// Recursive event chain: add one node, then schedule the next join with a
+// jittered interval until the target size is reached. The RNG travels by
+// value from step to step so the jitter stream stays one sequence.
+void GridSimulation::expansion_step(const ScenarioConfig::Expansion& plan,
+                                    Rng join_rng) {
+  if (nodes_.size() >= plan.target_node_count) return;
+  const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
+  overlay::join_node(topo_, id, plan.join_contacts, join_rng);
+  spawn_node();
+  const Duration gap = join_rng.uniform_duration(
+      plan.mean_interval / 2, plan.mean_interval + plan.mean_interval / 2);
+  sim_.schedule_after(
+      gap, [this, plan, join_rng] { expansion_step(plan, join_rng); });
 }
 
 void GridSimulation::schedule_maintenance() {

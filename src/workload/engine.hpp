@@ -96,8 +96,12 @@ class GridSimulation {
   proto::AriaNode* node(NodeId id);
   std::vector<proto::AriaNode*> all_nodes();
 
-  /// Nodes that are neither executing nor holding queued jobs.
-  std::size_t idle_count() const;
+  /// Nodes that are neither executing nor holding queued jobs. O(1): nodes
+  /// maintain a shared gauge on every queue/executor transition.
+  std::size_t idle_count() const { return idle_nodes_; }
+
+  /// O(N) recount of idle_count(); debug cross-check for tests.
+  std::size_t idle_count_scan() const;
 
  private:
   void build_overlay();
@@ -105,6 +109,7 @@ class GridSimulation {
   void spawn_node();  // one node: profile + scheduler + protocol engine
   void schedule_workload();
   void schedule_expansion();
+  void expansion_step(const ScenarioConfig::Expansion& plan, Rng join_rng);
   void schedule_maintenance();
   void schedule_sampling();
   void submit_one(std::size_t index);
@@ -124,6 +129,8 @@ class GridSimulation {
   proto::JobTracker tracker_;
   std::unique_ptr<JobGenerator> jobgen_;
   Rng submit_rng_{0};
+  // Declared before nodes_: nodes decrement the gauge in their destructor.
+  std::size_t idle_nodes_{0};
   std::vector<std::unique_ptr<proto::AriaNode>> nodes_;
 
   metrics::Series idle_series_;

@@ -13,12 +13,18 @@ struct TestMsg final : Message {
   int payload;
   explicit TestMsg(int p) : payload{p} {}
   std::size_t wire_size() const override { return 100; }
-  std::string type_name() const override { return "TEST"; }
+  MessageTypeId type_id() const override {
+    static const MessageTypeId id = MessageTypeRegistry::intern("TEST");
+    return id;
+  }
 };
 
 struct BigMsg final : Message {
   std::size_t wire_size() const override { return 4096; }
-  std::string type_name() const override { return "BIG"; }
+  MessageTypeId type_id() const override {
+    static const MessageTypeId id = MessageTypeRegistry::intern("BIG");
+    return id;
+  }
 };
 
 class NetworkTest : public ::testing::Test {

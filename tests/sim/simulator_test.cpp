@@ -202,6 +202,152 @@ TEST(Simulator, FiredEventsCounter) {
   EXPECT_EQ(sim.fired_events(), 5u);
 }
 
+TEST(Simulator, CancelDuringDispatchOfEarlierEvent) {
+  // An event firing at t may cancel another event still queued — including
+  // one scheduled for the very same instant.
+  Simulator sim;
+  bool later_fired = false;
+  bool same_instant_fired = false;
+  EventHandle later = sim.schedule_after(20_s, [&] { later_fired = true; });
+  sim.schedule_after(10_s, [&] { later.cancel(); });
+  EventHandle same;
+  sim.schedule_after(30_s, [&] { same.cancel(); });
+  same = sim.schedule_after(30_s, [&] { same_instant_fired = true; });
+  sim.run();
+  EXPECT_FALSE(later_fired);
+  EXPECT_FALSE(same_instant_fired);
+  EXPECT_EQ(sim.fired_events(), 2u);
+}
+
+TEST(Simulator, CancelInsideOwnCallbackIsNoOp) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h;
+  h = sim.schedule_after(1_s, [&] {
+    ++fired;
+    h.cancel();  // already firing: must not corrupt the slot
+  });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(h.pending());
+  // The slot is recyclable afterwards.
+  bool again = false;
+  sim.schedule_after(1_s, [&] { again = true; });
+  sim.run();
+  EXPECT_TRUE(again);
+}
+
+TEST(Simulator, PeriodicSelfCancelFreesSlotForReuse) {
+  Simulator sim;
+  int count = 0;
+  EventHandle h;
+  h = sim.schedule_periodic(0_s, 1_s, [&] {
+    if (++count == 2) h.cancel();
+  });
+  sim.run();
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(h.pending());
+  const std::size_t slots = sim.slab_slots();
+  // A new event must recycle the freed slot, not grow the slab.
+  sim.schedule_after(1_s, [] {});
+  EXPECT_EQ(sim.slab_slots(), slots);
+  sim.run();
+}
+
+TEST(Simulator, CancelledPendingCountsAndLazySkip) {
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(sim.schedule_after(Duration::seconds(i + 1), [] {}));
+  }
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+  for (int i = 0; i < 4; ++i) handles[static_cast<std::size_t>(i)].cancel();
+  EXPECT_EQ(sim.cancelled_pending(), 4u);  // below threshold: no compaction
+  EXPECT_EQ(sim.compactions(), 0u);
+  EXPECT_EQ(sim.pending_events(), 6u);  // live events only
+  sim.run();
+  EXPECT_EQ(sim.fired_events(), 6u);
+  EXPECT_EQ(sim.cancelled_pending(), 0u);  // dead entries skipped on pop
+}
+
+TEST(Simulator, CompactionTriggersOnMassCancel) {
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  constexpr int kEvents = 300;
+  for (int i = 0; i < kEvents; ++i) {
+    handles.push_back(sim.schedule_after(Duration::seconds(i + 1), [] {}));
+  }
+  // Cancel all but every 10th: dead entries dominate -> heap compaction.
+  int live = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    if (i % 10 == 0) {
+      ++live;
+      continue;
+    }
+    handles[static_cast<std::size_t>(i)].cancel();
+  }
+  EXPECT_GE(sim.compactions(), 1u);
+  EXPECT_LT(sim.cancelled_pending(), 64u);  // swept below the threshold
+  EXPECT_EQ(sim.pending_events(), static_cast<std::size_t>(live));
+  sim.run();
+  EXPECT_EQ(sim.fired_events(), static_cast<std::uint64_t>(live));
+}
+
+TEST(Simulator, HandleInertAfterGenerationBump) {
+  Simulator sim;
+  bool old_fired = false;
+  bool new_fired = false;
+  EventHandle old = sim.schedule_after(10_s, [&] { old_fired = true; });
+  old.cancel();
+  // The freed slot is recycled by the next schedule; the stale handle's
+  // generation no longer matches, so it can neither observe nor cancel the
+  // new event.
+  EventHandle fresh = sim.schedule_after(5_s, [&] { new_fired = true; });
+  EXPECT_EQ(sim.slab_slots(), 1u);  // same slot, new generation
+  EXPECT_FALSE(old.pending());
+  EXPECT_TRUE(fresh.pending());
+  old.cancel();  // must not kill the recycled event
+  sim.run();
+  EXPECT_FALSE(old_fired);
+  EXPECT_TRUE(new_fired);
+}
+
+TEST(Simulator, PeekReturnsNextLiveEventTime) {
+  Simulator sim;
+  EXPECT_FALSE(sim.peek().has_value());
+  EventHandle first = sim.schedule_after(5_s, [] {});
+  sim.schedule_after(10_s, [] {});
+  ASSERT_TRUE(sim.peek().has_value());
+  EXPECT_EQ(*sim.peek(), TimePoint::origin() + 5_s);
+  first.cancel();
+  ASSERT_TRUE(sim.peek().has_value());  // dead top pruned
+  EXPECT_EQ(*sim.peek(), TimePoint::origin() + 10_s);
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+  sim.run();
+  EXPECT_FALSE(sim.peek().has_value());
+}
+
+TEST(Simulator, PeriodicReArmDoesNotGrowSlab) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_periodic(0_s, 1_s, [&] { ++count; });
+  sim.run_until(TimePoint::origin() + Duration::seconds(500));
+  EXPECT_EQ(count, 501);
+  EXPECT_EQ(sim.slab_slots(), 1u);  // one slot recycled every tick
+}
+
+TEST(Simulator, MoveOnlyCaptureInCallback) {
+  // UniqueCallback accepts move-only closures (the network captures the
+  // envelope's unique_ptr directly).
+  Simulator sim;
+  auto payload = std::make_unique<int>(7);
+  int seen = 0;
+  sim.schedule_after(1_s,
+                     [p = std::move(payload), &seen] { seen = *p; });
+  sim.run();
+  EXPECT_EQ(seen, 7);
+}
+
 TEST(Simulator, ManyEventsStressOrdering) {
   Simulator sim;
   TimePoint last = TimePoint::origin();

@@ -230,6 +230,45 @@ TEST(Engine, SingleNodeGridRunsEverythingLocally) {
   }
 }
 
+TEST(Engine, IdleGaugeMatchesScanThroughoutRun) {
+  // idle_count() is an O(1) gauge updated on node state transitions; the
+  // O(N) scan stays as the ground truth. Step the run in slices and verify
+  // the two agree at every boundary, busy phase included.
+  GridSimulation sim{small_scenario(), 12};
+  sim.build();
+  EXPECT_EQ(sim.idle_count(), sim.idle_count_scan());
+  const TimePoint horizon = TimePoint::origin() + 24_h;
+  for (TimePoint t = TimePoint::origin() + 10_min; t < horizon; t += 10_min) {
+    sim.simulator().run_until(t);
+    ASSERT_EQ(sim.idle_count(), sim.idle_count_scan())
+        << "gauge desync at " << sim.simulator().now().to_string();
+  }
+  sim.simulator().run_until(horizon);
+  EXPECT_EQ(sim.idle_count(), sim.idle_count_scan());
+  EXPECT_EQ(sim.idle_count(), 40u);  // all work drained by the horizon
+}
+
+TEST(Engine, IdleGaugeMatchesScanWhileGridExpands) {
+  // Node arrivals must register with the gauge too.
+  ScenarioConfig c = small_scenario("iExpanding");
+  c.node_count = 30;
+  c.job_count = 20;
+  c.expansion->start = 10_min;
+  c.expansion->mean_interval = 2_min;
+  c.expansion->target_node_count = 45;
+  GridSimulation sim{c, 13};
+  sim.build();
+  const TimePoint horizon = TimePoint::origin() + 24_h;
+  for (TimePoint t = TimePoint::origin() + 15_min; t < horizon; t += 15_min) {
+    sim.simulator().run_until(t);
+    ASSERT_EQ(sim.idle_count(), sim.idle_count_scan())
+        << "gauge desync at " << sim.simulator().now().to_string();
+  }
+  sim.simulator().run_until(horizon);
+  EXPECT_EQ(sim.node_count(), 45u);
+  EXPECT_EQ(sim.idle_count(), sim.idle_count_scan());
+}
+
 TEST(Engine, TrafficAccountingConsistent) {
   const RunResult r = run_scenario(small_scenario(), 11);
   const auto req = r.traffic.of("REQUEST");

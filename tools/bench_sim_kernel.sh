@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Measures the event-kernel hot paths that BENCH_sim_kernel.json tracks:
+# the simulator/network/traffic micro-benchmarks plus the Table-II macro
+# sweep. Run it once on the baseline commit and once on the candidate,
+# then diff the JSON medians.
+#
+#   ./tools/bench_sim_kernel.sh [build-dir] [out.json]
+#
+# Requires a Release build with ARIA_BUILD_BENCH=ON (the default).
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-bench_sim_kernel.json}"
+
+MICRO="$BUILD_DIR/bench/bench_micro_core"
+TABLE2="$BUILD_DIR/bench/bench_table2_scenarios"
+
+if [ ! -x "$MICRO" ]; then
+  echo "error: $MICRO not found -- build with -DARIA_BUILD_BENCH=ON first" >&2
+  exit 1
+fi
+
+echo "== micro: simulator / network / traffic hot paths (median of 3) =="
+"$MICRO" \
+  --benchmark_filter='Simulator|Network|Traffic' \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json
+
+if [ -x "$TABLE2" ]; then
+  echo "== macro: full Table-II scenario sweep (wall clock) =="
+  start=$(date +%s%N)
+  "$TABLE2" > /dev/null
+  end=$(date +%s%N)
+  echo "bench_table2_scenarios: $(( (end - start) / 1000000 )) ms"
+else
+  echo "note: $TABLE2 not built, skipping macro sweep" >&2
+fi
+
+echo "micro results written to $OUT"
