@@ -51,13 +51,33 @@ struct AriaConfig {
   /// the assignee crashed and re-floods the REQUEST. Implies NOTIFY
   /// traffic (metered separately from Fig. 10's four types).
   bool failsafe{false};
-  /// Watchdog deadline = job ERT * factor + margin, re-armed on every
-  /// assignment/start notification.
+  /// Watchdog deadline = inform_period * factor + margin + accept_timeout,
+  /// re-armed on every NOTIFY. Assignees heartbeat every inform_period
+  /// while they hold the job, so `factor` is the number of consecutive
+  /// heartbeats the initiator tolerates losing before presuming the
+  /// assignee dead; the deadline deliberately does NOT scale with the
+  /// job's ERT (crash detection on a long job would otherwise take hours).
   double failsafe_factor{3.0};
   Duration failsafe_margin{Duration::minutes(30)};
   /// After this many recovery re-floods the initiator stops watching the
   /// job (prevents an unbounded retry loop for unschedulable work).
   std::size_t failsafe_max_recoveries{8};
+
+  // --- acknowledged delegation (lossy-network hardening) -----------------
+  /// When on, every ASSIGN carries an attempt UUID and the receiver replies
+  /// with ASSIGN_ACK; a missing ACK triggers retransmission and, once
+  /// assign_max_retries is exhausted, a fresh discovery round. Off by
+  /// default: on a reliable network ASSIGNs cannot vanish, and the extra
+  /// ACK type would distort the Fig. 10 traffic breakdown.
+  bool assign_ack{false};
+  /// How long the delegator waits for an ASSIGN_ACK before retransmitting.
+  Duration assign_ack_timeout{Duration::seconds(10)};
+  /// Retransmissions to the same target before falling back to a new
+  /// discovery round (the target is presumed dead).
+  std::size_t assign_max_retries{2};
+  /// How long a receiver remembers acknowledged assign ids so delayed
+  /// retransmissions and network duplicates stay idempotent.
+  Duration assign_dedup_gc_delay{Duration::minutes(5)};
 
   // --- flood mechanics --------------------------------------------------
   /// Paper-literal: a node that satisfies a REQUEST/INFORM replies and does

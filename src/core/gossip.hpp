@@ -65,6 +65,9 @@ struct GossipMsg final : sim::Message {
     // 64 bytes of header + ~96 bytes per carried summary.
     return 64 + summaries.size() * 96;
   }
+  std::unique_ptr<sim::Message> clone() const override {
+    return std::make_unique<GossipMsg>(*this);
+  }
   sim::MessageTypeId type_id() const override { return static_type(); }
   static sim::MessageTypeId static_type() {
     static const sim::MessageTypeId id =

@@ -27,12 +27,14 @@ inline constexpr std::size_t kInformWireBytes = 1024;
 inline constexpr std::size_t kAssignWireBytes = 1024;
 inline constexpr std::size_t kAcceptWireBytes = 128;
 inline constexpr std::size_t kNotifyWireBytes = 128;
+inline constexpr std::size_t kAssignAckWireBytes = 128;
 
 inline constexpr const char* kRequestType = "REQUEST";
 inline constexpr const char* kAcceptType = "ACCEPT";
 inline constexpr const char* kInformType = "INFORM";
 inline constexpr const char* kAssignType = "ASSIGN";
 inline constexpr const char* kNotifyType = "NOTIFY";
+inline constexpr const char* kAssignAckType = "ASSIGN_ACK";
 
 /// Flood bookkeeping carried by REQUEST and INFORM.
 struct FloodMeta {
@@ -50,6 +52,9 @@ struct RequestMsg final : sim::Message {
   RequestMsg(NodeId initiator_, grid::JobSpec job_, FloodMeta flood_)
       : initiator{initiator_}, job{std::move(job_)}, flood{flood_} {}
   std::size_t wire_size() const override { return kRequestWireBytes; }
+  std::unique_ptr<sim::Message> clone() const override {
+    return std::make_unique<RequestMsg>(*this);
+  }
   sim::MessageTypeId type_id() const override { return static_type(); }
   static sim::MessageTypeId static_type() {
     static const sim::MessageTypeId id =
@@ -68,6 +73,9 @@ struct AcceptMsg final : sim::Message {
   AcceptMsg(NodeId node_, JobId job_id_, double cost_)
       : node{node_}, job_id{job_id_}, cost{cost_} {}
   std::size_t wire_size() const override { return kAcceptWireBytes; }
+  std::unique_ptr<sim::Message> clone() const override {
+    return std::make_unique<AcceptMsg>(*this);
+  }
   sim::MessageTypeId type_id() const override { return static_type(); }
   static sim::MessageTypeId static_type() {
     static const sim::MessageTypeId id =
@@ -87,6 +95,9 @@ struct InformMsg final : sim::Message {
   InformMsg(NodeId assignee_, grid::JobSpec job_, double cost_, FloodMeta flood_)
       : assignee{assignee_}, job{std::move(job_)}, cost{cost_}, flood{flood_} {}
   std::size_t wire_size() const override { return kInformWireBytes; }
+  std::unique_ptr<sim::Message> clone() const override {
+    return std::make_unique<InformMsg>(*this);
+  }
   sim::MessageTypeId type_id() const override { return static_type(); }
   static sim::MessageTypeId static_type() {
     static const sim::MessageTypeId id =
@@ -104,10 +115,19 @@ struct AssignMsg final : sim::Message {
   /// True when this delegation moves an already-assigned job (set by the
   /// departing assignee; a single flag, does not change the metered size).
   bool reschedule{false};
+  /// Identifies one delegation attempt when acknowledged delegation is on
+  /// (AriaConfig::assign_ack): retransmissions of the same attempt reuse it,
+  /// so the receiver can deduplicate. Nil when ACKs are off.
+  Uuid assign_id{};
 
-  AssignMsg(NodeId initiator_, grid::JobSpec job_, bool reschedule_ = false)
-      : initiator{initiator_}, job{std::move(job_)}, reschedule{reschedule_} {}
+  AssignMsg(NodeId initiator_, grid::JobSpec job_, bool reschedule_ = false,
+            Uuid assign_id_ = Uuid{})
+      : initiator{initiator_}, job{std::move(job_)}, reschedule{reschedule_},
+        assign_id{assign_id_} {}
   std::size_t wire_size() const override { return kAssignWireBytes; }
+  std::unique_ptr<sim::Message> clone() const override {
+    return std::make_unique<AssignMsg>(*this);
+  }
   sim::MessageTypeId type_id() const override { return static_type(); }
   static sim::MessageTypeId static_type() {
     static const sim::MessageTypeId id =
@@ -127,10 +147,35 @@ struct NotifyMsg final : sim::Message {
   NotifyMsg(Kind kind_, JobId job_id_, NodeId current_assignee_)
       : kind{kind_}, job_id{job_id_}, current_assignee{current_assignee_} {}
   std::size_t wire_size() const override { return kNotifyWireBytes; }
+  std::unique_ptr<sim::Message> clone() const override {
+    return std::make_unique<NotifyMsg>(*this);
+  }
   sim::MessageTypeId type_id() const override { return static_type(); }
   static sim::MessageTypeId static_type() {
     static const sim::MessageTypeId id =
         sim::MessageTypeRegistry::intern(kNotifyType);
+    return id;
+  }
+};
+
+/// Delegation receipt: "Node's address | Job UUID | Assign UUID". Sent back
+/// to the delegator when acknowledged delegation is on; absence within
+/// AriaConfig::assign_ack_timeout triggers a retransmission.
+struct AssignAckMsg final : sim::Message {
+  NodeId node;
+  JobId job_id;
+  Uuid assign_id;
+
+  AssignAckMsg(NodeId node_, JobId job_id_, Uuid assign_id_)
+      : node{node_}, job_id{job_id_}, assign_id{assign_id_} {}
+  std::size_t wire_size() const override { return kAssignAckWireBytes; }
+  std::unique_ptr<sim::Message> clone() const override {
+    return std::make_unique<AssignAckMsg>(*this);
+  }
+  sim::MessageTypeId type_id() const override { return static_type(); }
+  static sim::MessageTypeId static_type() {
+    static const sim::MessageTypeId id =
+        sim::MessageTypeRegistry::intern(kAssignAckType);
     return id;
   }
 };

@@ -63,8 +63,52 @@ void AriaNode::stop() {
   reservation_wake_.cancel();
   if (running_) running_->completion.cancel();
   for (auto& [id, pending] : pending_requests_) pending.timeout.cancel();
+  for (auto& [id, p] : pending_assigns_) p.timer.cancel();
   for (auto& [id, w] : watched_) w.timer.cancel();
   ctx_.net->detach(self_);
+}
+
+void AriaNode::crash() {
+  assert(started_ && !crashed_);
+  stop();
+  crashed_ = true;
+  // Volatile state is gone: the executing job, the queue, in-flight
+  // discovery rounds, advertisements, delegation retries and the ACK dedup
+  // set. watched_ deliberately survives — the list of jobs a user handed to
+  // this node models stable storage, and a restarted initiator must resume
+  // supervising them (stop() already cancelled the timers; restart()
+  // re-arms them).
+  running_.reset();
+  sched_->clear();
+  pending_requests_.clear();
+  pending_informs_.clear();
+  pending_assigns_.clear();
+  acked_assigns_.clear();
+  initiator_of_.clear();
+  sync_idle_gauge();  // crashed nodes are down, not idle
+}
+
+void AriaNode::restart() {
+  assert(crashed_ && !started_);
+  crashed_ = false;
+  start();
+  // Resume supervising every initiated job not yet known-completed; if its
+  // assignee also vanished meanwhile, the watchdog re-floods. The stored
+  // deadline survives the crash (stable storage) — re-arming the full span
+  // from `now` would let periodic churn starve the watchdog forever
+  // whenever this node's uptime is shorter than the span. A deadline that
+  // passed while we were down fires after one margin, leaving a live
+  // assignee's heartbeats time to arrive and disarm the false alarm.
+  for (auto& [id, w] : watched_) {
+    const TimePoint due = std::max(
+        w.deadline, ctx_.sim->now() + ctx_.config->failsafe_margin);
+    w.timer.cancel();
+    w.deadline = due;
+    const JobId job = id;
+    w.timer = ctx_.sim->schedule_after(
+        due - ctx_.sim->now(), [this, job] { watchdog_expired(job); });
+  }
+  sync_idle_gauge();
 }
 
 Duration AriaNode::running_remaining() const {
@@ -175,8 +219,10 @@ void AriaNode::decide_assignment(const JobId& id) {
   const grid::JobSpec spec = std::move(pending.spec);
   const NodeId winner = best->node;
   const bool reschedule = pending.recovery_reschedule;
+  const NodeId initiator =
+      pending.on_behalf_of.valid() ? pending.on_behalf_of : self_;
   pending_requests_.erase(it);
-  send_assign(winner, spec, self_, reschedule);
+  send_assign(winner, spec, initiator, reschedule);
 }
 
 void AriaNode::deliver_assignment(const grid::JobSpec& job, NodeId initiator,
@@ -200,8 +246,61 @@ void AriaNode::send_assign(NodeId target, const grid::JobSpec& spec,
     return;
   }
   ++counters_.assigns_sent;
-  ctx_.net->send(self_, target,
-                 std::make_unique<AssignMsg>(initiator, spec, reschedule));
+  if (!ctx_.config->assign_ack) {
+    ctx_.net->send(self_, target,
+                   std::make_unique<AssignMsg>(initiator, spec, reschedule));
+    return;
+  }
+  // Acknowledged delegation: remember the attempt and retransmit until the
+  // target confirms (or is presumed dead and a new discovery round starts).
+  PendingAssign& p = pending_assigns_[spec.id];
+  p.timer.cancel();  // a previous attempt for this job is superseded
+  p.spec = spec;
+  p.target = target;
+  p.initiator = initiator;
+  p.reschedule = reschedule;
+  p.assign_id = Uuid::generate(rng_);
+  p.sends = 1;
+  const JobId id = spec.id;
+  p.timer = ctx_.sim->schedule_after(ctx_.config->assign_ack_timeout,
+                                     [this, id] { assign_ack_expired(id); });
+  ctx_.net->send(self_, target, std::make_unique<AssignMsg>(
+                                    initiator, spec, reschedule, p.assign_id));
+}
+
+void AriaNode::assign_ack_expired(const JobId& id) {
+  auto it = pending_assigns_.find(id);
+  if (it == pending_assigns_.end()) return;
+  PendingAssign& p = it->second;
+  if (p.sends <= ctx_.config->assign_max_retries) {
+    ++p.sends;
+    ++counters_.assign_retries;
+    ctx_.net->send(self_, p.target,
+                   std::make_unique<AssignMsg>(p.initiator, p.spec,
+                                               p.reschedule, p.assign_id));
+    p.timer = ctx_.sim->schedule_after(ctx_.config->assign_ack_timeout,
+                                       [this, id] { assign_ack_expired(id); });
+    return;
+  }
+  // Target presumed dead. Re-flood on the original initiator's behalf; the
+  // job may end up executing twice if the target was alive after all (only
+  // the ACKs were lost) — at-least-once semantics, resolved by the tracker.
+  const grid::JobSpec spec = std::move(p.spec);
+  const NodeId initiator = p.initiator;
+  const bool reschedule = p.reschedule;
+  pending_assigns_.erase(it);
+  ARIA_WARN << self_.to_string() << ": no ASSIGN_ACK for job "
+            << id.to_string() << " after " << ctx_.config->assign_max_retries
+            << " retries; rediscovering";
+  if (pending_requests_.contains(id)) return;  // a round is already running
+  ++counters_.assign_rediscoveries;
+  if (ctx_.observer) ctx_.observer->on_recovery(id, 1, ctx_.sim->now());
+  auto [pending, inserted] = pending_requests_.try_emplace(id);
+  assert(inserted);
+  pending->second.spec = spec;
+  pending->second.recovery_reschedule = reschedule;
+  pending->second.on_behalf_of = initiator;
+  flood_request(pending->second.spec, 1);
 }
 
 void AriaNode::accept_job(const grid::JobSpec& spec, NodeId initiator,
@@ -233,7 +332,9 @@ void AriaNode::handle(sim::Envelope env) {
   } else if (auto* inf = dynamic_cast<const InformMsg*>(env.message.get())) {
     on_inform(env.from, *inf);
   } else if (auto* asg = dynamic_cast<const AssignMsg*>(env.message.get())) {
-    on_assign(*asg);
+    on_assign(env.from, *asg);
+  } else if (auto* ack = dynamic_cast<const AssignAckMsg*>(env.message.get())) {
+    on_assign_ack(*ack);
   } else if (auto* ntf = dynamic_cast<const NotifyMsg*>(env.message.get())) {
     on_notify(*ntf);
   }
@@ -341,8 +442,30 @@ void AriaNode::on_accept(const AcceptMsg& msg) {
   send_assign(msg.node, spec, initiator, /*reschedule=*/true);
 }
 
-void AriaNode::on_assign(const AssignMsg& msg) {
+void AriaNode::on_assign(NodeId from, const AssignMsg& msg) {
+  if (ctx_.config->assign_ack && !msg.assign_id.is_nil()) {
+    // Always confirm — a duplicate usually means the previous ACK was lost.
+    ++counters_.assign_acks_sent;
+    ctx_.net->send(self_, from, std::make_unique<AssignAckMsg>(
+                                    self_, msg.job.id, msg.assign_id));
+    if (!acked_assigns_.insert(msg.assign_id).second) {
+      return;  // retransmission or network duplicate; already enqueued
+    }
+    const Uuid assign_id = msg.assign_id;
+    ctx_.sim->schedule_after(ctx_.config->assign_dedup_gc_delay,
+                             [this, assign_id] {
+                               acked_assigns_.erase(assign_id);
+                             });
+  }
   accept_job(msg.job, msg.initiator, msg.reschedule);
+}
+
+void AriaNode::on_assign_ack(const AssignAckMsg& msg) {
+  auto it = pending_assigns_.find(msg.job_id);
+  if (it == pending_assigns_.end()) return;  // late ACK; already resolved
+  if (it->second.assign_id != msg.assign_id) return;  // stale attempt
+  it->second.timer.cancel();
+  pending_assigns_.erase(it);
 }
 
 // ---------------------------------------------------------------------------
@@ -387,11 +510,20 @@ void AriaNode::arm_watchdog(const JobId& id) {
   if (it == watched_.end()) return;
   Watchdog& w = it->second;
   w.timer.cancel();
-  const Duration deadline = w.spec.ert.scaled(ctx_.config->failsafe_factor) +
-                            ctx_.config->failsafe_margin +
-                            ctx_.config->accept_timeout;
+  // The assignee heartbeats every inform_period while it holds the job
+  // (queued or executing), so the deadline is a function of the heartbeat
+  // cadence, NOT of the job's length: failsafe_factor is the number of
+  // consecutive heartbeats the initiator tolerates losing before it
+  // presumes the assignee dead. An ERT-scaled span would make crash
+  // detection on long jobs take hours — longer than a churn cycle — and
+  // strand them inside a finite horizon.
+  const Duration span = ctx_.config->inform_period.scaled(
+                            ctx_.config->failsafe_factor) +
+                        ctx_.config->failsafe_margin +
+                        ctx_.config->accept_timeout;
+  w.deadline = ctx_.sim->now() + span;
   w.timer =
-      ctx_.sim->schedule_after(deadline, [this, id] { watchdog_expired(id); });
+      ctx_.sim->schedule_after(span, [this, id] { watchdog_expired(id); });
 }
 
 void AriaNode::watchdog_expired(const JobId& id) {
@@ -403,14 +535,16 @@ void AriaNode::watchdog_expired(const JobId& id) {
     arm_watchdog(id);
     return;
   }
-  // A discovery round for it is already in flight: keep watching.
-  if (pending_requests_.contains(id)) {
+  // A discovery round or delegation retry is already in flight: keep
+  // watching rather than starting a competing one.
+  if (pending_requests_.contains(id) || pending_assigns_.contains(id)) {
     arm_watchdog(id);
     return;
   }
   if (w.recoveries >= ctx_.config->failsafe_max_recoveries) {
     ARIA_WARN << self_.to_string() << ": giving up on recovering job "
               << id.to_string() << " after " << w.recoveries << " attempts";
+    if (ctx_.observer) ctx_.observer->on_abandoned(id, ctx_.sim->now());
     watched_.erase(it);
     return;
   }

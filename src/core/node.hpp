@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -62,6 +63,20 @@ class AriaNode {
   /// Detaches from the network and cancels timers (node departure).
   void stop();
 
+  /// Simulates a node failure: detaches from the network and wipes all
+  /// volatile state — the queue, the executing job, in-flight discovery
+  /// rounds, advertisements and delegation retries. The failsafe watchdog
+  /// table for jobs this node *initiated* survives (it models the user's
+  /// stable storage), so a restarted initiator resumes supervising its
+  /// jobs. Driven by the fault plane's churn schedule.
+  void crash();
+
+  /// Rejoins after a crash: reattaches, restarts the INFORM timer, and
+  /// re-arms every surviving failsafe watchdog.
+  void restart();
+
+  bool crashed() const { return crashed_; }
+
   /// User entry point: this node becomes the initiator of `job`.
   void submit(grid::JobSpec job);
 
@@ -89,8 +104,9 @@ class AriaNode {
 
   bool executing() const { return running_.has_value(); }
   std::size_t queue_length() const { return sched_->size(); }
-  /// Idle = not executing and nothing queued (Fig. 3's utilization metric).
-  bool idle() const { return !executing() && sched_->empty(); }
+  /// Idle = up, not executing, and nothing queued (Fig. 3's utilization
+  /// metric; a crashed node is down, not idle).
+  bool idle() const { return !crashed_ && !executing() && sched_->empty(); }
 
   /// Estimated remaining runtime of the executing job (>= 0; based on ERTp,
   /// since the actual running time is unknown until completion).
@@ -110,12 +126,31 @@ class AriaNode {
     std::uint64_t reschedules_out{0};  // jobs this node gave away
     std::uint64_t reschedules_in{0};   // jobs this node won via INFORM
     std::uint64_t recoveries{0};       // failsafe re-submissions issued
+    std::uint64_t assign_acks_sent{0};   // ASSIGN_ACK replies (assign_ack on)
+    std::uint64_t assign_retries{0};     // ASSIGN retransmissions
+    std::uint64_t assign_rediscoveries{0};  // ACKs exhausted, re-flooded
   };
   const Counters& counters() const { return counters_; }
 
   /// Failsafe: number of initiated jobs still being watched (not yet
   /// known-completed). Always 0 when config.failsafe is off.
   std::size_t watched_jobs() const { return watched_.size(); }
+  /// Failsafe introspection for tests: is this initiated job still watched,
+  /// and does it have a live watchdog timer?
+  bool watching(const JobId& id) const { return watched_.contains(id); }
+  bool watchdog_armed(const JobId& id) const {
+    const auto it = watched_.find(id);
+    return it != watched_.end() && it->second.timer.pending();
+  }
+  /// Does this node currently hold the job (queued or executing)?
+  bool holds(const JobId& id) const {
+    return sched_->contains(id) ||
+           (running_ && running_->job.spec.id == id);
+  }
+  /// Is a discovery round or an unacknowledged delegation in flight here?
+  bool discovering(const JobId& id) const {
+    return pending_requests_.contains(id) || pending_assigns_.contains(id);
+  }
 
  private:
   struct PendingRequest {
@@ -126,6 +161,10 @@ class AriaNode {
     /// Failsafe recovery of a job whose earlier ASSIGN was confirmed: the
     /// eventual re-assignment is a reschedule, not a first delegation.
     bool recovery_reschedule{false};
+    /// When a departing assignee's delegation fails (ACK retries exhausted)
+    /// it re-floods on the original initiator's behalf; the eventual ASSIGN
+    /// must still carry that initiator, not this node.
+    NodeId on_behalf_of{};
   };
   struct PendingInform {
     double advertised_cost{0.0};
@@ -134,6 +173,11 @@ class AriaNode {
   struct Watchdog {
     grid::JobSpec spec;
     sim::EventHandle timer;
+    /// Absolute expiry, persisted across the initiator's own crashes
+    /// (stable storage). restart() must NOT restart the full span from
+    /// `now`: under periodic churn with an uptime shorter than the span
+    /// the watchdog would be re-armed forever and never fire.
+    TimePoint deadline{};
     NodeId last_known{};       // most recent assignee we heard from
     bool assign_confirmed{false};  // some node confirmed queueing the job
     std::size_t recoveries{0};
@@ -144,12 +188,24 @@ class AriaNode {
     Duration art;
     sim::EventHandle completion;
   };
+  /// One unacknowledged delegation attempt (AriaConfig::assign_ack).
+  struct PendingAssign {
+    grid::JobSpec spec;
+    NodeId target{};
+    NodeId initiator{};
+    bool reschedule{false};
+    Uuid assign_id{};
+    std::size_t sends{1};
+    sim::EventHandle timer;
+  };
 
   void handle(sim::Envelope env);
   void on_request(NodeId from, const RequestMsg& msg);
   void on_accept(const AcceptMsg& msg);
   void on_inform(NodeId from, const InformMsg& msg);
-  void on_assign(const AssignMsg& msg);
+  void on_assign(NodeId from, const AssignMsg& msg);
+  void on_assign_ack(const AssignAckMsg& msg);
+  void assign_ack_expired(const JobId& id);
   void on_notify(const NotifyMsg& msg);
 
   /// Failsafe: sends (or locally applies) a lifecycle NOTIFY to the job's
@@ -185,12 +241,18 @@ class AriaNode {
   std::unordered_map<JobId, PendingRequest> pending_requests_;
   std::unordered_map<JobId, PendingInform> pending_informs_;
   std::unordered_map<JobId, Watchdog> watched_;
+  /// Delegations awaiting an ASSIGN_ACK (empty when assign_ack is off).
+  std::unordered_map<JobId, PendingAssign> pending_assigns_;
+  /// Assign ids already accepted, so retransmissions and network duplicates
+  /// re-ACK without re-enqueueing (entries GC after assign_dedup_gc_delay).
+  std::unordered_set<Uuid> acked_assigns_;
   /// Initiator address for every job currently queued or running here.
   std::unordered_map<JobId, NodeId> initiator_of_;
 
   sim::EventHandle inform_timer_;
   sim::EventHandle reservation_wake_;
   bool started_{false};
+  bool crashed_{false};
   bool counted_idle_{false};  // current contribution to ctx_.idle_gauge
   Counters counters_;
 };

@@ -54,6 +54,13 @@ class ProtocolObserver {
                            TimePoint at) {
     (void)id; (void)attempt; (void)at;
   }
+
+  /// The initiator exhausted failsafe_max_recoveries and stopped watching
+  /// the job; it will never be re-flooded again. Terminal, like
+  /// on_unschedulable, but reached from the recovery path.
+  virtual void on_abandoned(const JobId& id, TimePoint at) {
+    (void)id; (void)at;
+  }
 };
 
 }  // namespace aria::proto

@@ -1,6 +1,16 @@
 #include "core/tracker.hpp"
 
 namespace aria::proto {
+namespace {
+
+bool was_assigned(const JobRecord& r, NodeId node) {
+  for (const auto& [assignee, at] : r.assignments) {
+    if (assignee == node) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 JobRecord* JobTracker::must_find(const JobId& id, const char* context) {
   auto it = records_.find(id);
@@ -39,11 +49,15 @@ void JobTracker::on_assigned(const grid::JobSpec& job, NodeId node,
                              TimePoint at, bool reschedule) {
   JobRecord* r = must_find(job.id, "assignment");
   if (r == nullptr) return;
-  if (r->started && !r->recovering) {
+  // A job that has undergone a recovery is tracked with at-least-once
+  // semantics for the rest of its life: the presumed-dead assignee may have
+  // been alive all along (only its ACKs/NOTIFYs were lost) and race the
+  // recovery round, so re-assignment after a start is legitimate there.
+  if (r->started && r->recoveries == 0) {
     violations_.push_back("job " + job.id.to_string() +
                           " assigned after execution started");
   }
-  if (!r->recovering && reschedule != !r->assignments.empty()) {
+  if (r->recoveries == 0 && reschedule != !r->assignments.empty()) {
     violations_.push_back("job " + job.id.to_string() +
                           " reschedule flag inconsistent with history");
   }
@@ -54,17 +68,23 @@ void JobTracker::on_assigned(const grid::JobSpec& job, NodeId node,
 void JobTracker::on_started(const JobId& id, NodeId node, TimePoint at) {
   JobRecord* r = must_find(id, "start");
   if (r == nullptr) return;
-  if (r->started && !r->recovering) {
+  if (r->started && r->recoveries == 0) {
     violations_.push_back("job " + id.to_string() + " started twice");
     return;
   }
-  if (r->assignments.empty() || r->assignments.back().first != node) {
+  // Normally only the latest assignee may start the job; after a recovery
+  // any node it was ever assigned to may (the original assignee races the
+  // recovery assignee — at-least-once).
+  const bool assigned_here =
+      r->recoveries > 0
+          ? was_assigned(*r, node)
+          : !r->assignments.empty() && r->assignments.back().first == node;
+  if (!assigned_here) {
     violations_.push_back("job " + id.to_string() +
                           " started on a node it was not assigned to");
   }
-  r->started = at;
+  if (!r->started) r->started = at;
   r->executor = node;
-  r->recovering = false;
   ++r->executions;
 }
 
@@ -78,12 +98,23 @@ void JobTracker::on_completed(const JobId& id, NodeId node, TimePoint at,
     return;
   }
   if (r->completed) {
-    violations_.push_back("job " + id.to_string() + " completed twice");
+    // After a failsafe recovery the job runs at-least-once: if the original
+    // assignee was alive all along (only its NOTIFYs were lost), both the
+    // original and the recovered execution legitimately complete. The first
+    // completion wins; replays are dropped silently.
+    if (r->recoveries == 0) {
+      violations_.push_back("job " + id.to_string() + " completed twice");
+    }
     return;
   }
   if (r->executor != node) {
-    violations_.push_back("job " + id.to_string() +
-                          " completed on a different node than it started");
+    if (r->recoveries > 0 && was_assigned(*r, node)) {
+      // The racing execution finished first; record the actual winner.
+      r->executor = node;
+    } else {
+      violations_.push_back("job " + id.to_string() +
+                            " completed on a different node than it started");
+    }
   }
   r->completed = at;
   r->art = art;
@@ -93,9 +124,30 @@ void JobTracker::on_completed(const JobId& id, NodeId node, TimePoint at,
 void JobTracker::on_recovery(const JobId& id, std::size_t, TimePoint) {
   if (JobRecord* r = must_find(id, "recovery")) {
     ++r->recoveries;
-    r->recovering = true;
     ++recoveries_;
   }
+}
+
+void JobTracker::on_abandoned(const JobId& id, TimePoint) {
+  JobRecord* r = must_find(id, "abandonment");
+  if (r == nullptr) return;
+  if (r->done()) {
+    violations_.push_back("job " + id.to_string() +
+                          " abandoned after completing");
+    return;
+  }
+  if (!r->abandoned) {
+    r->abandoned = true;
+    ++abandoned_;
+  }
+}
+
+std::size_t JobTracker::stranded_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, r] : records_) {
+    if (!r.terminal()) ++n;
+  }
+  return n;
 }
 
 const JobRecord* JobTracker::find(const JobId& id) const {

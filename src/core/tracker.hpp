@@ -30,14 +30,15 @@ struct JobRecord {
   std::size_t retries{0};
   std::size_t recoveries{0};  // failsafe re-submissions
   bool unschedulable{false};
-  /// Set between a failsafe recovery and the next execution start; while
-  /// true, re-assignment and restart are legitimate (at-least-once
-  /// semantics) instead of lifecycle violations.
-  bool recovering{false};
+  /// The initiator exhausted its recovery budget and stopped watching.
+  bool abandoned{false};
   /// Number of times execution began (> 1 only after crash recoveries).
   std::size_t executions{0};
 
   bool done() const { return completed.has_value(); }
+  /// A job is terminal once it completed or was given up on; under faults
+  /// every submitted job must end terminal (no stranded jobs).
+  bool terminal() const { return done() || unschedulable || abandoned; }
   std::size_t reschedule_count() const {
     return assignments.empty() ? 0 : assignments.size() - 1;
   }
@@ -70,6 +71,7 @@ class JobTracker final : public ProtocolObserver {
                     Duration art) override;
   void on_recovery(const JobId& id, std::size_t attempt,
                    TimePoint at) override;
+  void on_abandoned(const JobId& id, TimePoint at) override;
 
   const std::unordered_map<JobId, JobRecord>& records() const {
     return records_;
@@ -79,8 +81,13 @@ class JobTracker final : public ProtocolObserver {
   std::size_t submitted_count() const { return records_.size(); }
   std::size_t completed_count() const { return completed_; }
   std::size_t unschedulable_count() const { return unschedulable_; }
+  std::size_t abandoned_count() const { return abandoned_; }
   std::uint64_t total_reschedules() const { return reschedules_; }
   std::uint64_t total_recoveries() const { return recoveries_; }
+
+  /// Submitted jobs that never reached a terminal state (completed,
+  /// unschedulable, or abandoned). Must be 0 at the end of any run.
+  std::size_t stranded_count() const;
 
   /// Lifecycle violations seen so far; empty on a healthy run.
   const std::vector<std::string>& violations() const { return violations_; }
@@ -92,6 +99,7 @@ class JobTracker final : public ProtocolObserver {
   std::vector<std::string> violations_;
   std::size_t completed_{0};
   std::size_t unschedulable_{0};
+  std::size_t abandoned_{0};
   std::uint64_t reschedules_{0};
   std::uint64_t recoveries_{0};
 };

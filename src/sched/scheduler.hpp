@@ -71,6 +71,10 @@ class LocalScheduler {
   /// Removes a waiting job (it was rescheduled to another node).
   bool remove(const JobId& id);
 
+  /// Drops every queued job at once (crash simulation: a node's queue is
+  /// volatile state and does not survive a restart).
+  void clear() { queue_.clear(); }
+
   bool contains(const JobId& id) const;
   const QueuedJob* find(const JobId& id) const;
   std::size_t size() const { return queue_.size(); }

@@ -1,0 +1,65 @@
+#include "sim/fault.hpp"
+
+namespace aria::sim {
+
+namespace {
+
+// splitmix64 finalizer — stateless, so partition sides need no per-node
+// registration and nodes joining mid-run (expansion) hash consistently.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool FaultPlane::minority_side(std::size_t index, NodeId node) const {
+  const std::uint64_t h = mix64(
+      mix64(config_.seed ^ (static_cast<std::uint64_t>(index) + 1)) ^
+      node.value());
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < config_.partitions[index].fraction;
+}
+
+bool FaultPlane::partitioned(NodeId from, NodeId to, TimePoint now) const {
+  for (std::size_t i = 0; i < config_.partitions.size(); ++i) {
+    const auto& p = config_.partitions[i];
+    const TimePoint start = TimePoint::origin() + p.start;
+    if (now < start || now >= start + p.duration) continue;
+    if (minority_side(i, from) != minority_side(i, to)) return true;
+  }
+  return false;
+}
+
+FaultPlane::Verdict FaultPlane::on_send(NodeId from, NodeId to,
+                                        TimePoint now) {
+  Verdict v;
+  if (!config_.partitions.empty() && partitioned(from, to, now)) {
+    v.drop = true;
+    v.partitioned = true;
+    ++counters_.partition_drops;
+    return v;
+  }
+  if (config_.loss > 0.0 && rng_.bernoulli(config_.loss)) {
+    v.drop = true;
+    ++counters_.lost;
+    return v;
+  }
+  if (config_.duplicate > 0.0 && rng_.bernoulli(config_.duplicate)) {
+    v.duplicate = true;
+    v.duplicate_lag =
+        rng_.uniform_duration(Duration::millis(1), config_.duplicate_lag_max);
+    ++counters_.duplicated;
+  }
+  if (config_.spike > 0.0 && rng_.bernoulli(config_.spike)) {
+    v.extra_delay =
+        rng_.uniform_duration(config_.spike_min, config_.spike_max);
+    ++counters_.delayed;
+  }
+  return v;
+}
+
+}  // namespace aria::sim

@@ -1,0 +1,147 @@
+// Deterministic fault injection for the simulated network and grid.
+//
+// The FaultPlane decides, per message and per node, which adversities a run
+// suffers: probabilistic loss and duplication, latency spikes, scheduled
+// network partitions with heal times, and node crash/restart schedules
+// (churn). Every decision is drawn from a dedicated RNG stream seeded
+// independently of the main simulation seed, so
+//
+//   * a run with faults disabled is byte-identical to a build without the
+//     fault plane (Network::send never consults it), and
+//   * a (scenario seed, fault seed) pair reproduces the exact same fault
+//     schedule — fault scenarios are as replayable as fault-free ones.
+//
+// The plane only *decides*; enforcement lives where the state is:
+// Network::send consults on_send() for message faults, GridSimulation
+// drives crash/restart schedules through AriaNode::crash()/restart().
+// See docs/faults.md for the full model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace aria::sim {
+
+/// Everything injectable in one run. Defaults are all-off; `enabled` is the
+/// master switch the hot path tests first.
+struct FaultConfig {
+  bool enabled{false};
+  /// Seed of the fault decision stream. Engines mix in the per-run seed
+  /// (see GridSimulation) so repeated runs see different fault schedules
+  /// while staying individually reproducible.
+  std::uint64_t seed{0};
+
+  // --- per-message faults ----------------------------------------------
+  /// Probability that a sent message never arrives.
+  double loss{0.0};
+  /// Probability that a message is delivered twice (the copy arrives up to
+  /// `duplicate_lag_max` after the original).
+  double duplicate{0.0};
+  Duration duplicate_lag_max{Duration::millis(500)};
+  /// Probability of a link-level latency spike, adding a uniform extra
+  /// delay in [spike_min, spike_max] on top of the latency model.
+  double spike{0.0};
+  Duration spike_min{Duration::millis(200)};
+  Duration spike_max{Duration::seconds(2)};
+
+  // --- churn (node crash/restart schedules) -----------------------------
+  struct Churn {
+    /// Mean time a churning node stays up between crashes; actual spans
+    /// are jittered uniformly in [mean/2, 3*mean/2].
+    Duration mean_uptime{Duration::hours(2)};
+    /// Mean outage length, jittered the same way.
+    Duration mean_downtime{Duration::minutes(10)};
+    /// Fraction of the initial grid subject to churn (drawn per node).
+    double node_fraction{0.2};
+    /// Churn starts after this offset (lets the overlay converge first).
+    Duration start{Duration::minutes(30)};
+  };
+  std::optional<Churn> churn{};
+
+  // --- partitions --------------------------------------------------------
+  /// A pairwise/group partition: for [start, start + duration) the grid is
+  /// split in two sides (a stateless per-node hash puts ~`fraction` of the
+  /// nodes on the minority side); messages crossing sides are dropped.
+  /// Windows may overlap; a message is blocked if any active window
+  /// separates the endpoints.
+  struct Partition {
+    Duration start{};
+    Duration duration{};
+    double fraction{0.5};
+  };
+  std::vector<Partition> partitions{};
+
+  bool any_message_faults() const {
+    return enabled &&
+           (loss > 0.0 || duplicate > 0.0 || spike > 0.0 ||
+            !partitions.empty());
+  }
+};
+
+class FaultPlane {
+ public:
+  /// Outcome of one send. `drop` covers both random loss and partition
+  /// blocking (`partitioned` tells them apart for the counters).
+  struct Verdict {
+    bool drop{false};
+    bool partitioned{false};
+    bool duplicate{false};
+    Duration duplicate_lag{};
+    Duration extra_delay{};
+  };
+
+  /// Injected-event totals, for reconciling metrics against the schedule.
+  struct Counters {
+    std::uint64_t lost{0};
+    std::uint64_t duplicated{0};
+    std::uint64_t delayed{0};
+    std::uint64_t partition_drops{0};
+    std::uint64_t crashes{0};
+    std::uint64_t restarts{0};
+
+    std::uint64_t injected_drops() const { return lost + partition_drops; }
+  };
+
+  explicit FaultPlane(FaultConfig config)
+      : config_{std::move(config)}, rng_{config_.seed} {}
+
+  const FaultConfig& config() const { return config_; }
+
+  /// Cheap master-switch test; Network::send short-circuits on this.
+  bool active() const { return config_.enabled; }
+
+  /// Draws the fault verdict for one message. Deterministic in call order
+  /// for a fixed fault seed. Zero-probability faults consume no RNG draws,
+  /// so an enabled plane with all rates at zero behaves identically to a
+  /// disabled one.
+  Verdict on_send(NodeId from, NodeId to, TimePoint now);
+
+  /// True when an active partition window separates `from` and `to`.
+  bool partitioned(NodeId from, NodeId to, TimePoint now) const;
+
+  /// Which side of partition `index` a node falls on (stateless hash of
+  /// (fault seed, partition index, node); true = minority side).
+  bool minority_side(std::size_t index, NodeId node) const;
+
+  /// Independent stream for churn schedules, so message faults and churn
+  /// timing never perturb each other.
+  Rng churn_rng() const { return Rng{config_.seed}.fork(0xC0FFu); }
+
+  // --- lifecycle accounting (incremented by the churn driver) ------------
+  void count_crash() { ++counters_.crashes; }
+  void count_restart() { ++counters_.restarts; }
+
+  const Counters& counters() const { return counters_; }
+
+ private:
+  FaultConfig config_;
+  Rng rng_;
+  Counters counters_;
+};
+
+}  // namespace aria::sim

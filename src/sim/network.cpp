@@ -4,14 +4,9 @@
 
 namespace aria::sim {
 
-void Network::send(NodeId from, NodeId to, std::unique_ptr<Message> message) {
-  assert(message);
-  assert(from.valid() && to.valid());
-  const MessageTypeId type = message->type_id();
-  traffic_.record(type, message->wire_size());
-  ++sent_;
-
-  const Duration delay = latency_->latency(from, to, rng_);
+void Network::schedule_delivery(NodeId from, NodeId to, MessageTypeId type,
+                                Duration delay,
+                                std::unique_ptr<Message> message) {
   // The message moves straight into the delivery closure (UniqueCallback is
   // move-only, so no shared_ptr shim and no extra allocation).
   sim_.schedule_after(
@@ -25,6 +20,40 @@ void Network::send(NodeId from, NodeId to, std::unique_ptr<Message> message) {
         ++delivered_;
         it->second.handler(Envelope{from, to, std::move(msg)});
       });
+}
+
+void Network::send(NodeId from, NodeId to, std::unique_ptr<Message> message) {
+  assert(message);
+  assert(from.valid() && to.valid());
+  const MessageTypeId type = message->type_id();
+  traffic_.record(type, message->wire_size());
+  ++sent_;
+
+  // Fault injection: one cheap null/flag test on the fault-free path; all
+  // fault RNG draws happen on a dedicated stream inside the plane, so the
+  // latency RNG below never shifts when faults are disabled.
+  if (faults_ != nullptr && faults_->active()) {
+    const FaultPlane::Verdict v = faults_->on_send(from, to, sim_.now());
+    if (v.drop) {
+      ++faulted_;
+      traffic_.record_fault(type);
+      return;
+    }
+    const Duration delay =
+        latency_->latency(from, to, rng_) + v.extra_delay;
+    if (v.duplicate) {
+      if (auto copy = message->clone()) {
+        ++duplicated_;
+        schedule_delivery(from, to, type, delay + v.duplicate_lag,
+                          std::move(copy));
+      }
+    }
+    schedule_delivery(from, to, type, delay, std::move(message));
+    return;
+  }
+
+  const Duration delay = latency_->latency(from, to, rng_);
+  schedule_delivery(from, to, type, delay, std::move(message));
 }
 
 }  // namespace aria::sim

@@ -5,6 +5,11 @@
 // between any pair of nodes"). Topology constraints — who forwards to whom —
 // live in the protocol layer. Every send is metered in a TrafficLedger;
 // messages to unregistered or down nodes are dropped and counted.
+//
+// An optional FaultPlane (see sim/fault.hpp) can be attached to inject
+// loss, duplication and latency spikes per message; without one — or with
+// one whose master switch is off — the send path is exactly the historic
+// fault-free path, down to the RNG draws.
 #pragma once
 
 #include <cassert>
@@ -15,6 +20,7 @@
 
 #include "common/ids.hpp"
 #include "common/rng.hpp"
+#include "sim/fault.hpp"
 #include "sim/latency.hpp"
 #include "sim/message_types.hpp"
 #include "sim/simulator.hpp"
@@ -36,6 +42,11 @@ class Message {
   const std::string& type_name() const {
     return MessageTypeRegistry::name(type_id());
   }
+
+  /// Deep copy, used only by fault-plane duplication. The default makes a
+  /// type non-clonable (never duplicated); copyable message types override
+  /// with a one-line copy.
+  virtual std::unique_ptr<Message> clone() const { return nullptr; }
 };
 
 struct Envelope {
@@ -81,12 +92,22 @@ class Network {
   /// wire even if the destination is down at delivery time).
   void send(NodeId from, NodeId to, std::unique_ptr<Message> message);
 
+  /// Attaches a fault plane (non-owning; must outlive the network). Null or
+  /// an inactive plane leaves the send path byte-identical to fault-free.
+  void set_fault_plane(FaultPlane* plane) { faults_ = plane; }
+  FaultPlane* fault_plane() const { return faults_; }
+
   TrafficLedger& traffic() { return traffic_; }
   const TrafficLedger& traffic() const { return traffic_; }
 
   std::uint64_t sent_messages() const { return sent_; }
   std::uint64_t delivered_messages() const { return delivered_; }
+  /// Organic failures only: destination unknown or down at delivery time.
   std::uint64_t dropped_messages() const { return dropped_; }
+  /// Fault-plane injections: random loss + partition blocking.
+  std::uint64_t faulted_messages() const { return faulted_; }
+  /// Extra deliveries injected by fault-plane duplication.
+  std::uint64_t duplicated_messages() const { return duplicated_; }
 
  private:
   struct NodeState {
@@ -94,14 +115,20 @@ class Network {
     bool up{true};
   };
 
+  void schedule_delivery(NodeId from, NodeId to, MessageTypeId type,
+                         Duration delay, std::unique_ptr<Message> message);
+
   Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
   Rng rng_;
   TrafficLedger traffic_;
+  FaultPlane* faults_{nullptr};
   std::unordered_map<NodeId, NodeState> nodes_;
   std::uint64_t sent_{0};
   std::uint64_t delivered_{0};
   std::uint64_t dropped_{0};
+  std::uint64_t faulted_{0};
+  std::uint64_t duplicated_{0};
 };
 
 }  // namespace aria::sim

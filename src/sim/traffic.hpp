@@ -35,9 +35,18 @@ class TrafficLedger {
     record(MessageTypeRegistry::intern(type), bytes);
   }
 
+  /// Delivery failed organically: destination unknown or down.
   void record_drop(MessageTypeId type) { ++at(type).drops; }
   void record_drop(std::string_view type) {
     record_drop(MessageTypeRegistry::intern(type));
+  }
+
+  /// Delivery failed because the fault plane injected it (loss/partition).
+  /// Kept separate from drops so "the destination crashed" and "the wire
+  /// ate it" stay distinguishable in reports and tests.
+  void record_fault(MessageTypeId type) { ++at(type).faulted; }
+  void record_fault(std::string_view type) {
+    record_fault(MessageTypeRegistry::intern(type));
   }
 
   Entry total() const {
@@ -70,6 +79,28 @@ class TrafficLedger {
     return id ? drops(*id) : 0;
   }
 
+  std::uint64_t faulted(MessageTypeId type) const {
+    if (!type.valid() || type.index() >= by_id_.size()) return 0;
+    return by_id_[type.index()].faulted;
+  }
+
+  std::uint64_t faulted(std::string_view type) const {
+    const auto id = MessageTypeRegistry::find(type);
+    return id ? faulted(*id) : 0;
+  }
+
+  std::uint64_t total_drops() const {
+    std::uint64_t n = 0;
+    for (const Counter& c : by_id_) n += c.drops;
+    return n;
+  }
+
+  std::uint64_t total_faulted() const {
+    std::uint64_t n = 0;
+    for (const Counter& c : by_id_) n += c.faulted;
+    return n;
+  }
+
   /// Name-sorted snapshot of every type with recorded sends (drops alone
   /// do not list a type, matching the historical ledger shape).
   std::map<std::string, Entry> by_type() const {
@@ -91,6 +122,7 @@ class TrafficLedger {
       by_id_[i].messages += other.by_id_[i].messages;
       by_id_[i].bytes += other.by_id_[i].bytes;
       by_id_[i].drops += other.by_id_[i].drops;
+      by_id_[i].faulted += other.by_id_[i].faulted;
     }
   }
 
@@ -100,7 +132,8 @@ class TrafficLedger {
   struct Counter {
     std::uint64_t messages{0};
     std::uint64_t bytes{0};
-    std::uint64_t drops{0};
+    std::uint64_t drops{0};    // organic: destination unknown or down
+    std::uint64_t faulted{0};  // injected: fault-plane loss or partition
   };
 
   Counter& at(MessageTypeId type) {

@@ -15,6 +15,32 @@ bool parse_size(const std::string& text, std::size_t& out) {
   return true;
 }
 
+bool parse_probability(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  if (v < 0.0 || v > 1.0) return false;
+  out = v;
+  return true;
+}
+
+/// "START,DURATION" in minutes, both positive.
+bool parse_partition(const std::string& text, std::pair<double, double>& out) {
+  const auto comma = text.find(',');
+  if (comma == std::string::npos) return false;
+  const std::string head = text.substr(0, comma);
+  const std::string rest = text.substr(comma + 1);
+  char* end = nullptr;
+  const double start = std::strtod(head.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  const double duration = std::strtod(rest.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  if (start < 0.0 || duration <= 0.0) return false;
+  out = {start, duration};
+  return true;
+}
+
 }  // namespace
 
 std::optional<std::string> parse_cli(const std::vector<std::string>& args,
@@ -80,6 +106,35 @@ std::optional<std::string> parse_cli(const std::vector<std::string>& args,
         return "--jobs requires a positive integer";
       }
       out.jobs = n;
+    } else if (a == "--loss") {
+      const auto v = next("--loss");
+      if (!v || !parse_probability(*v, out.loss)) {
+        return "--loss requires a probability in [0,1]";
+      }
+    } else if (a == "--dup") {
+      const auto v = next("--dup");
+      if (!v || !parse_probability(*v, out.duplicate)) {
+        return "--dup requires a probability in [0,1]";
+      }
+    } else if (a == "--spike") {
+      const auto v = next("--spike");
+      if (!v || !parse_probability(*v, out.spike)) {
+        return "--spike requires a probability in [0,1]";
+      }
+    } else if (a == "--churn") {
+      out.churn = true;
+    } else if (a == "--partition") {
+      const auto v = next("--partition");
+      std::pair<double, double> window;
+      if (!v || !parse_partition(*v, window)) {
+        return "--partition requires START,DURATION in minutes";
+      }
+      out.partitions.push_back(window);
+    } else if (a == "--fault-seed") {
+      const auto v = next("--fault-seed");
+      std::size_t n = 0;
+      if (!v || !parse_size(*v, n)) return "--fault-seed requires an integer";
+      out.fault_seed = n;
     } else {
       return "unknown option: " + a;
     }
@@ -104,6 +159,16 @@ usage: aria_sim [options]
   --csv DIR           write idle/completed series as CSV into DIR
   --quiet             print only the summary block
   -h, --help          this text
+
+fault injection (see docs/faults.md; any of these enables the fault plane,
+acknowledged delegation, and — with --churn — the failsafe):
+  --loss P            drop each message with probability P
+  --dup P             deliver each message twice with probability P
+  --spike P           add a latency spike with probability P
+  --churn             crash/restart a fraction of the nodes on a schedule
+  --partition S,D     split the grid for D minutes starting at minute S
+                      (repeatable for multiple windows)
+  --fault-seed S      fault schedule seed (default: derived from --seed)
 )";
 }
 
@@ -119,6 +184,28 @@ ScenarioConfig resolve_scenario(const CliOptions& options) {
     cfg.overlay_family = ScenarioConfig::OverlayFamily::kRandomRegular;
   } else if (options.overlay == "smallworld") {
     cfg.overlay_family = ScenarioConfig::OverlayFamily::kSmallWorld;
+  }
+  if (options.any_faults()) {
+    cfg.faults.enabled = true;
+    cfg.faults.seed = options.fault_seed != 0 ? options.fault_seed
+                                              : options.seed ^ 0xFA017D15ULL;
+    cfg.faults.loss = options.loss;
+    cfg.faults.duplicate = options.duplicate;
+    cfg.faults.spike = options.spike;
+    if (options.churn) {
+      cfg.faults.churn = sim::FaultConfig::Churn{};
+      // Crashed assignees lose their queues; without the failsafe those
+      // jobs would be stranded forever.
+      cfg.aria.failsafe = true;
+    }
+    for (const auto& [start, duration] : options.partitions) {
+      cfg.faults.partitions.push_back(sim::FaultConfig::Partition{
+          Duration::seconds_f(start * 60.0),
+          Duration::seconds_f(duration * 60.0), 0.5});
+    }
+    // A lossy wire can eat an ASSIGN outright; acknowledged delegation is
+    // the matching protocol hardening.
+    cfg.aria.assign_ack = true;
   }
   return cfg;
 }

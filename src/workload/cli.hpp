@@ -2,8 +2,10 @@
 // the library so it is unit-testable; the tool itself is a thin main().
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "workload/scenario.hpp"
@@ -26,6 +28,21 @@ struct CliOptions {
   /// Directory to drop CSV series into (empty = no CSV output).
   std::string csv_dir{};
   bool quiet{false};
+
+  // --- fault injection (any flag set turns the fault plane on) -----------
+  double loss{0.0};       // per-message loss probability
+  double duplicate{0.0};  // per-message duplication probability
+  double spike{0.0};      // per-message latency-spike probability
+  bool churn{false};      // node crash/restart schedules
+  /// Partition windows as "START,DURATION" in minutes (repeatable flag).
+  std::vector<std::pair<double, double>> partitions;
+  /// Fault stream seed; 0 = derive from the run seed.
+  std::uint64_t fault_seed{0};
+
+  bool any_faults() const {
+    return loss > 0.0 || duplicate > 0.0 || spike > 0.0 || churn ||
+           !partitions.empty();
+  }
 };
 
 /// Parses argv (excluding argv[0]). On error returns the message; on

@@ -170,6 +170,17 @@ void GridSimulation::build() {
       std::make_unique<sim::GeoLatencyModel>(
           sim::GeoLatencyModel::Params{.seed = seed_ ^ 0xA51C17ULL}),
       rng_.fork(1));
+  if (config_.faults.enabled) {
+    // Mix the per-run seed into the fault stream: repeated runs of the same
+    // scenario see different fault schedules, while any (run seed, fault
+    // seed) pair replays exactly. The stream stays disjoint from the main
+    // RNG tree, so enabling the plane with all rates at zero perturbs
+    // nothing.
+    sim::FaultConfig fc = config_.faults;
+    fc.seed = fc.seed ^ (seed_ * 0x9E3779B97F4A7C15ULL);
+    faults_ = std::make_unique<sim::FaultPlane>(fc);
+    net_->set_fault_plane(faults_.get());
+  }
   relay_ = std::make_unique<overlay::FloodRelay>(topo_, rng_.fork(2));
   submit_rng_ = rng_.fork(3);
   jobgen_ = std::make_unique<JobGenerator>(config_.jobs, rng_.fork(4));
@@ -180,6 +191,7 @@ void GridSimulation::build() {
   schedule_expansion();
   schedule_maintenance();
   schedule_sampling();
+  schedule_churn();
 }
 
 void GridSimulation::build_overlay() {
@@ -271,8 +283,19 @@ void GridSimulation::submit_one(std::size_t index) {
           ? std::function<bool(const grid::JobRequirements&)>{feasible_in_vo}
           : std::function<bool(const grid::JobRequirements&)>{});
   job.requirements.virtual_org = pinned_vo;
-  const auto pick = static_cast<std::size_t>(submit_rng_.uniform_int(
+  auto pick = static_cast<std::size_t>(submit_rng_.uniform_int(
       0, static_cast<std::int64_t>(nodes_.size()) - 1));
+  // Users cannot hand a job to a machine that is down: probe forward to the
+  // next alive node. On fault-free runs this is a single bool test per
+  // submission — no extra RNG draws, so the fault-free stream is untouched.
+  for (std::size_t probes = 0; nodes_[pick]->crashed(); ++probes) {
+    if (probes >= nodes_.size()) {
+      ARIA_WARN << "no alive node to submit job " << job.id.to_string()
+                << "; dropping submission";
+      return;
+    }
+    pick = (pick + 1) % nodes_.size();
+  }
   nodes_[pick]->submit(std::move(job));
 }
 
@@ -308,6 +331,58 @@ void GridSimulation::expansion_step(const ScenarioConfig::Expansion& plan,
       gap, [this, plan, join_rng] { expansion_step(plan, join_rng); });
 }
 
+// Churn: each selected node flips between up and down forever, on spans
+// jittered uniformly in [mean/2, 3*mean/2]. Selection and every span come
+// from the plane's dedicated churn stream (one private fork per node), so
+// the schedule is a pure function of the fault seed — message faults, the
+// workload, and the overlay never shift it. Only the initial grid churns;
+// expansion joiners are treated as stable.
+void GridSimulation::schedule_churn() {
+  if (!faults_ || !faults_->config().churn) return;
+  const sim::FaultConfig::Churn plan = *faults_->config().churn;
+  Rng pick_rng = faults_->churn_rng();
+  for (std::size_t i = 0; i < config_.node_count; ++i) {
+    const bool churns = pick_rng.bernoulli(plan.node_fraction);
+    Rng node_rng = pick_rng.fork(1 + i);
+    if (!churns) continue;
+    const NodeId id{static_cast<std::uint32_t>(i)};
+    const Duration first_up =
+        plan.start +
+        node_rng.uniform_duration(plan.mean_uptime / 2,
+                                  plan.mean_uptime + plan.mean_uptime / 2);
+    sim_.schedule_at(TimePoint::origin() + first_up,
+                     [this, id, plan, node_rng] {
+                       churn_crash(id, plan, node_rng);
+                     });
+  }
+}
+
+void GridSimulation::churn_crash(NodeId id, sim::FaultConfig::Churn plan,
+                                 Rng rng) {
+  proto::AriaNode* n = node(id);
+  if (n == nullptr || n->crashed()) return;
+  n->crash();
+  faults_->count_crash();
+  const Duration down = rng.uniform_duration(
+      plan.mean_downtime / 2, plan.mean_downtime + plan.mean_downtime / 2);
+  sim_.schedule_after(down, [this, id, plan, rng] {
+    churn_restart(id, plan, rng);
+  });
+}
+
+void GridSimulation::churn_restart(NodeId id, sim::FaultConfig::Churn plan,
+                                   Rng rng) {
+  proto::AriaNode* n = node(id);
+  if (n == nullptr || !n->crashed()) return;
+  n->restart();
+  faults_->count_restart();
+  const Duration up = rng.uniform_duration(
+      plan.mean_uptime / 2, plan.mean_uptime + plan.mean_uptime / 2);
+  sim_.schedule_after(up, [this, id, plan, rng] {
+    churn_crash(id, plan, rng);
+  });
+}
+
 void GridSimulation::schedule_maintenance() {
   if (!maintainer_) return;  // static overlay families have no ants
   sim_.schedule_periodic(config_.maintenance_period, config_.maintenance_period,
@@ -337,6 +412,12 @@ RunResult GridSimulation::run() {
   r.traffic = net_->traffic();
   r.idle_series = idle_series_;
   r.node_count_series = node_count_series_;
+  if (faults_) {
+    r.faults_enabled = true;
+    r.faults = faults_->counters();
+    r.faulted_messages = net_->faulted_messages();
+    r.duplicated_messages = net_->duplicated_messages();
+  }
   r.final_node_count = nodes_.size();
   r.overlay_links = topo_.link_count();
   r.overlay_avg_degree = topo_.average_degree();

@@ -15,6 +15,7 @@
 #include "overlay/blatant.hpp"
 #include "overlay/flooding.hpp"
 #include "overlay/topology.hpp"
+#include "sim/fault.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "sim/traffic.hpp"
@@ -32,6 +33,12 @@ struct RunResult {
   sim::TrafficLedger traffic;
   metrics::Series idle_series;        // idle-node count over time
   metrics::Series node_count_series;  // grid size over time (expansion)
+
+  // --- fault plane (zero / false on fault-free runs) --------------------
+  bool faults_enabled{false};
+  sim::FaultPlane::Counters faults{};
+  std::uint64_t faulted_messages{0};     // injected loss + partition drops
+  std::uint64_t duplicated_messages{0};  // extra deliveries injected
 
   std::size_t final_node_count{0};
   std::size_t overlay_links{0};
@@ -68,6 +75,11 @@ struct RunResult {
   metrics::LoadBalance execution_balance() const;
   /// Load-balance over busy seconds (sum of actual running times) per node.
   metrics::LoadBalance busy_time_balance() const;
+
+  /// Submitted jobs with no terminal state (completed / unschedulable /
+  /// abandoned). Must be 0 even under faults — the no-stranded-jobs
+  /// guarantee the failsafe provides.
+  std::size_t stranded() const { return tracker.stranded_count(); }
 };
 
 /// One grid simulation. Construct, optionally inspect/customize after
@@ -112,6 +124,9 @@ class GridSimulation {
   void expansion_step(const ScenarioConfig::Expansion& plan, Rng join_rng);
   void schedule_maintenance();
   void schedule_sampling();
+  void schedule_churn();
+  void churn_crash(NodeId id, sim::FaultConfig::Churn plan, Rng rng);
+  void churn_restart(NodeId id, sim::FaultConfig::Churn plan, Rng rng);
   void submit_one(std::size_t index);
 
   ScenarioConfig config_;
@@ -122,6 +137,8 @@ class GridSimulation {
   // detach from the network and cancel simulator events).
   sim::Simulator sim_;
   overlay::Topology topo_;
+  /// Null on fault-free runs; must outlive net_ (which holds a raw pointer).
+  std::unique_ptr<sim::FaultPlane> faults_;
   std::unique_ptr<sim::Network> net_;
   std::unique_ptr<overlay::FloodRelay> relay_;
   std::unique_ptr<overlay::BlatantMaintainer> maintainer_;

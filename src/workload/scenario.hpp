@@ -9,6 +9,7 @@
 #include "core/config.hpp"
 #include "grid/job.hpp"
 #include "sched/scheduler.hpp"
+#include "sim/fault.hpp"
 #include "workload/jobgen.hpp"
 
 namespace aria::workload {
@@ -59,6 +60,11 @@ struct ScenarioConfig {
     std::size_t join_contacts{2};
   };
   std::optional<Expansion> expansion{};
+
+  // --- fault injection ------------------------------------------------------
+  /// All-off by default; Table II scenarios never enable faults, so the
+  /// baseline figures stay untouched. See docs/faults.md.
+  sim::FaultConfig faults{};
 
   // --- simulation ----------------------------------------------------------
   Duration horizon{Duration::hours(41) + Duration::minutes(40)};

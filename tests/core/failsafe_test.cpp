@@ -67,7 +67,7 @@ TEST_F(FailsafeTest, RecoversJobLostToSwallowedAssign) {
   initiator.submit(std::move(job));
   g.run_for(1_s + 5_ms);            // decision fired, ASSIGN in flight
   g.net().set_up(winner.id(), false);  // crash
-  // Watchdog = ERT * 1.0 + 10m margin + timeout -> fires ~1h11m in.
+  // Watchdog = inform_period * 1.0 + 10m margin + timeout -> fires ~11m in.
   g.run_for(4_h);
 
   const JobRecord* rec = g.tracker.find(id);
@@ -110,7 +110,7 @@ TEST_F(FailsafeTest, HeartbeatsPreventFalseRecoveryOfLongQueuedJobs) {
   // the watchdog deadline. Heartbeats must keep resetting the timer.
   auto& node = g.add_node(SchedulerKind::kFcfs, 1.0);
   for (int i = 0; i < 4; ++i) {
-    auto job = g.make_job(1_h);  // watchdog ~1h11m, total queue ~4h
+    auto job = g.make_job(1_h);  // watchdog ~11m, total queue ~4h
     node.submit(std::move(job));
   }
   g.run_for(6_h);

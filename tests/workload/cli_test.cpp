@@ -5,6 +5,8 @@
 namespace aria::workload {
 namespace {
 
+using namespace aria::literals;
+
 TEST(Cli, DefaultsWhenNoArgs) {
   CliOptions o;
   EXPECT_FALSE(parse_cli({}, o).has_value());
@@ -75,6 +77,71 @@ TEST(Cli, FailsafeAndOverlayFlags) {
   EXPECT_TRUE(parse_cli({"--overlay"}, bad).has_value());
 }
 
+TEST(Cli, ParsesFaultFlags) {
+  CliOptions o;
+  const auto err = parse_cli({"--loss", "0.05", "--dup", "0.02", "--spike",
+                              "0.1", "--churn", "--partition", "120,30",
+                              "--partition", "300,15", "--fault-seed", "99"},
+                             o);
+  EXPECT_FALSE(err.has_value()) << *err;
+  EXPECT_DOUBLE_EQ(o.loss, 0.05);
+  EXPECT_DOUBLE_EQ(o.duplicate, 0.02);
+  EXPECT_DOUBLE_EQ(o.spike, 0.1);
+  EXPECT_TRUE(o.churn);
+  ASSERT_EQ(o.partitions.size(), 2u);
+  EXPECT_DOUBLE_EQ(o.partitions[0].first, 120.0);
+  EXPECT_DOUBLE_EQ(o.partitions[0].second, 30.0);
+  EXPECT_EQ(o.fault_seed, 99u);
+  EXPECT_TRUE(o.any_faults());
+}
+
+TEST(Cli, RejectsBadFaultValues) {
+  CliOptions o;
+  EXPECT_TRUE(parse_cli({"--loss", "1.5"}, o).has_value());
+  EXPECT_TRUE(parse_cli({"--loss", "-0.1"}, o).has_value());
+  EXPECT_TRUE(parse_cli({"--dup", "nope"}, o).has_value());
+  EXPECT_TRUE(parse_cli({"--partition", "120"}, o).has_value());
+  EXPECT_TRUE(parse_cli({"--partition", "x,30"}, o).has_value());
+  for (const char* flag : {"--loss", "--dup", "--spike", "--partition",
+                           "--fault-seed"}) {
+    CliOptions o2;
+    EXPECT_TRUE(parse_cli({flag}, o2).has_value()) << flag;
+  }
+}
+
+TEST(Cli, FaultFlagsArmThePlaneAndTheHardenings) {
+  CliOptions o;
+  ASSERT_FALSE(parse_cli({"--loss", "0.05", "--churn", "--partition",
+                          "120,30", "--seed", "7"},
+                         o)
+                   .has_value());
+  const ScenarioConfig cfg = resolve_scenario(o);
+  EXPECT_TRUE(cfg.faults.enabled);
+  EXPECT_DOUBLE_EQ(cfg.faults.loss, 0.05);
+  ASSERT_TRUE(cfg.faults.churn.has_value());
+  ASSERT_EQ(cfg.faults.partitions.size(), 1u);
+  EXPECT_EQ(cfg.faults.partitions[0].start, 120_min);
+  EXPECT_EQ(cfg.faults.partitions[0].duration, 30_min);
+  // Loss implies acknowledged delegation; churn implies the failsafe.
+  EXPECT_TRUE(cfg.aria.assign_ack);
+  EXPECT_TRUE(cfg.aria.failsafe);
+  // Fault seed derives from --seed when not given explicitly.
+  EXPECT_NE(cfg.faults.seed, 0u);
+
+  CliOptions o2 = o;
+  o2.fault_seed = 123;
+  EXPECT_EQ(resolve_scenario(o2).faults.seed, 123u);
+}
+
+TEST(Cli, NoFaultFlagsLeaveThePlaneOff) {
+  CliOptions o;
+  ASSERT_FALSE(parse_cli({"--scenario", "iMixed"}, o).has_value());
+  EXPECT_FALSE(o.any_faults());
+  const ScenarioConfig cfg = resolve_scenario(o);
+  EXPECT_FALSE(cfg.faults.enabled);
+  EXPECT_FALSE(cfg.aria.assign_ack);
+}
+
 TEST(Cli, RejectsUnknownOption) {
   CliOptions o;
   const auto err = parse_cli({"--frobnicate"}, o);
@@ -102,7 +169,9 @@ TEST(Cli, UsageMentionsEveryFlag) {
   const std::string usage = cli_usage();
   for (const char* flag : {"--list", "--scenario", "--runs", "--seed",
                            "--nodes", "--jobs", "--resched", "--no-resched",
-                           "--failsafe", "--overlay", "--csv", "--quiet"}) {
+                           "--failsafe", "--overlay", "--csv", "--quiet",
+                           "--loss", "--dup", "--spike", "--churn",
+                           "--partition", "--fault-seed"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }

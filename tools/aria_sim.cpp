@@ -86,6 +86,36 @@ int main(int argc, char** argv) {
               << " MiB\n";
   }
 
+  // Printed only when the fault plane ran, so fault-free output stays
+  // byte-identical to historical runs.
+  std::size_t stranded = 0;
+  if (cfg.faults.enabled) {
+    std::uint64_t lost = 0, duplicated = 0, delayed = 0, partition_drops = 0;
+    std::uint64_t crashes = 0, restarts = 0, recoveries = 0;
+    std::size_t abandoned = 0;
+    for (const auto& r : results) {
+      lost += r.faults.lost;
+      duplicated += r.faults.duplicated;
+      delayed += r.faults.delayed;
+      partition_drops += r.faults.partition_drops;
+      crashes += r.faults.crashes;
+      restarts += r.faults.restarts;
+      recoveries += r.tracker.total_recoveries();
+      abandoned += r.tracker.abandoned_count();
+      stranded += r.stranded();
+    }
+    std::cout << "\nfault injection (totals over " << results.size()
+              << " run(s)):\n"
+              << "  messages lost: " << lost << ", duplicated: " << duplicated
+              << ", delayed: " << delayed
+              << ", partition drops: " << partition_drops << "\n"
+              << "  node crashes: " << crashes << ", restarts: " << restarts
+              << "\n"
+              << "  failsafe recoveries: " << recoveries
+              << ", jobs abandoned: " << abandoned
+              << ", jobs stranded: " << stranded << "\n";
+  }
+
   bool violations = false;
   for (const auto& r : results) {
     if (!r.tracker.violations().empty()) violations = true;
@@ -110,5 +140,5 @@ int main(int argc, char** argv) {
     }
     std::cout << "CSV series written to " << options.csv_dir << "\n";
   }
-  return violations ? 1 : 0;
+  return (violations || stranded != 0) ? 1 : 0;
 }

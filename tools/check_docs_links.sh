@@ -1,0 +1,50 @@
+#!/bin/sh
+# Checks that every intra-repo markdown link resolves to a real file.
+#
+# Scans all tracked *.md files for inline links [text](target) and flags
+# targets that are relative paths (not http(s)/mailto, not pure #anchors)
+# pointing at files that do not exist. Anchors on existing files are
+# accepted without heading validation — this catches moved/renamed files,
+# the failure mode docs actually suffer.
+#
+# Usage: tools/check_docs_links.sh [root]
+set -u
+
+root=${1:-.}
+cd "$root" || exit 2
+
+if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  files=$(git ls-files '*.md')
+else
+  files=$(find . -name '*.md' -not -path './build*/*' | sed 's|^\./||')
+fi
+
+status=0
+for f in $files; do
+  dir=$(dirname "$f")
+  # Pull out every (…) target of an inline markdown link. One link per
+  # line keeps the loop simple; grep -o isolates the parenthesized part.
+  targets=$(grep -o '](\([^)]*\))' "$f" 2>/dev/null \
+            | sed 's/^](//; s/)$//')
+  [ -n "$targets" ] || continue
+  for t in $targets; do
+    case $t in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path=${t%%#*}             # strip any anchor
+    [ -n "$path" ] || continue
+    case $path in
+      /*) resolved=".$path" ;;          # repo-absolute
+      *)  resolved="$dir/$path" ;;      # relative to the linking file
+    esac
+    if [ ! -e "$resolved" ]; then
+      echo "$f: broken link -> $t"
+      status=1
+    fi
+  done
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "all intra-repo markdown links resolve"
+fi
+exit $status
