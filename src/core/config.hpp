@@ -7,6 +7,7 @@
 #include <cstddef>
 
 #include "common/time.hpp"
+#include "overlay/liveness.hpp"
 
 namespace aria::proto {
 
@@ -86,6 +87,12 @@ struct AriaConfig {
   /// When a flood can no longer be in flight its dedup state is dropped
   /// after this long (memory bound; must exceed hops * max latency).
   Duration flood_gc_delay{Duration::seconds(60)};
+
+  // --- self-healing overlay plane (docs/overlay.md) ----------------------
+  /// PING/PONG liveness probing, dead-neighbor eviction, and churn-aware
+  /// link repair. Off by default: with healing off nodes send no probe
+  /// traffic at all, keeping fault-free runs byte-identical.
+  overlay::HealingParams healing{};
 };
 
 }  // namespace aria::proto

@@ -13,7 +13,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/ids.hpp"
 #include "common/uuid.hpp"
@@ -28,6 +31,12 @@ inline constexpr std::size_t kAssignWireBytes = 1024;
 inline constexpr std::size_t kAcceptWireBytes = 128;
 inline constexpr std::size_t kNotifyWireBytes = 128;
 inline constexpr std::size_t kAssignAckWireBytes = 128;
+// Healing-plane control traffic: PING/LINK_REQ are a bare (address, seq)
+// pair; PONG/LINK_ACK additionally carry a small live-neighbor sample.
+inline constexpr std::size_t kPingWireBytes = 64;
+inline constexpr std::size_t kPongWireBytes = 256;
+inline constexpr std::size_t kLinkReqWireBytes = 64;
+inline constexpr std::size_t kLinkAckWireBytes = 256;
 
 inline constexpr const char* kRequestType = "REQUEST";
 inline constexpr const char* kAcceptType = "ACCEPT";
@@ -35,6 +44,10 @@ inline constexpr const char* kInformType = "INFORM";
 inline constexpr const char* kAssignType = "ASSIGN";
 inline constexpr const char* kNotifyType = "NOTIFY";
 inline constexpr const char* kAssignAckType = "ASSIGN_ACK";
+inline constexpr const char* kPingType = "PING";
+inline constexpr const char* kPongType = "PONG";
+inline constexpr const char* kLinkReqType = "LINK_REQ";
+inline constexpr const char* kLinkAckType = "LINK_ACK";
 
 /// Flood bookkeeping carried by REQUEST and INFORM.
 struct FloodMeta {
@@ -176,6 +189,88 @@ struct AssignAckMsg final : sim::Message {
   static sim::MessageTypeId static_type() {
     static const sim::MessageTypeId id =
         sim::MessageTypeRegistry::intern(kAssignAckType);
+    return id;
+  }
+};
+
+// --- self-healing overlay plane (docs/overlay.md) --------------------------
+
+/// Liveness probe: "Prober's address | Probe sequence number". One per
+/// tracked neighbor per probe round.
+struct PingMsg final : sim::Message {
+  NodeId from;
+  std::uint32_t seq;
+
+  PingMsg(NodeId from_, std::uint32_t seq_) : from{from_}, seq{seq_} {}
+  std::size_t wire_size() const override { return kPingWireBytes; }
+  std::unique_ptr<sim::Message> clone() const override {
+    return std::make_unique<PingMsg>(*this);
+  }
+  sim::MessageTypeId type_id() const override { return static_type(); }
+  static sim::MessageTypeId static_type() {
+    static const sim::MessageTypeId id =
+        sim::MessageTypeRegistry::intern(kPingType);
+    return id;
+  }
+};
+
+/// Probe answer echoing the PING's sequence number, plus a bounded sample of
+/// the responder's live neighbors — the neighbor-exchange gossip that feeds
+/// every node's repair-contact cache.
+struct PongMsg final : sim::Message {
+  NodeId from;
+  std::uint32_t seq;
+  std::vector<NodeId> contacts;
+
+  PongMsg(NodeId from_, std::uint32_t seq_, std::vector<NodeId> contacts_)
+      : from{from_}, seq{seq_}, contacts{std::move(contacts_)} {}
+  std::size_t wire_size() const override { return kPongWireBytes; }
+  std::unique_ptr<sim::Message> clone() const override {
+    return std::make_unique<PongMsg>(*this);
+  }
+  sim::MessageTypeId type_id() const override { return static_type(); }
+  static sim::MessageTypeId static_type() {
+    static const sim::MessageTypeId id =
+        sim::MessageTypeRegistry::intern(kPongType);
+    return id;
+  }
+};
+
+/// Repair request: "Requester's address". Sent to a cached contact when the
+/// live degree drops below the floor, or to remembered neighbors when a
+/// restarted node rejoins.
+struct LinkReqMsg final : sim::Message {
+  NodeId from;
+
+  explicit LinkReqMsg(NodeId from_) : from{from_} {}
+  std::size_t wire_size() const override { return kLinkReqWireBytes; }
+  std::unique_ptr<sim::Message> clone() const override {
+    return std::make_unique<LinkReqMsg>(*this);
+  }
+  sim::MessageTypeId type_id() const override { return static_type(); }
+  static sim::MessageTypeId static_type() {
+    static const sim::MessageTypeId id =
+        sim::MessageTypeRegistry::intern(kLinkReqType);
+    return id;
+  }
+};
+
+/// Repair confirmation, carrying the accepter's live-neighbor sample so the
+/// (possibly freshly restarted) requester seeds its contact cache.
+struct LinkAckMsg final : sim::Message {
+  NodeId from;
+  std::vector<NodeId> contacts;
+
+  LinkAckMsg(NodeId from_, std::vector<NodeId> contacts_)
+      : from{from_}, contacts{std::move(contacts_)} {}
+  std::size_t wire_size() const override { return kLinkAckWireBytes; }
+  std::unique_ptr<sim::Message> clone() const override {
+    return std::make_unique<LinkAckMsg>(*this);
+  }
+  sim::MessageTypeId type_id() const override { return static_type(); }
+  static sim::MessageTypeId static_type() {
+    static const sim::MessageTypeId id =
+        sim::MessageTypeRegistry::intern(kLinkAckType);
     return id;
   }
 };

@@ -9,7 +9,16 @@ namespace aria::proto {
 
 namespace {
 constexpr std::size_t kMaxBackoffFactor = 8;
+
+// splitmix64-style mix so consecutive node ids seed well-separated probe
+// streams (the probe plane must not touch the protocol RNG tree).
+std::uint64_t probe_seed(NodeId self) {
+  std::uint64_t z = 0x9E3779B97F4A7C15ULL + self.value();
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
 }
+}  // namespace
 
 AriaNode::AriaNode(NodeContext ctx, NodeId self, grid::NodeProfile profile,
                    std::unique_ptr<sched::LocalScheduler> scheduler, Rng rng,
@@ -19,9 +28,11 @@ AriaNode::AriaNode(NodeContext ctx, NodeId self, grid::NodeProfile profile,
       profile_{std::move(profile)},
       sched_{std::move(scheduler)},
       rng_{rng},
-      vo_{std::move(virtual_org)} {
+      vo_{std::move(virtual_org)},
+      probe_rng_{probe_seed(self)} {
   assert(ctx_.sim && ctx_.net && ctx_.topo && ctx_.relay && ctx_.config &&
          ctx_.ert_error);
+  assert(!ctx_.config->healing.enabled || ctx_.healing_topo != nullptr);
   assert(sched_);
   sync_idle_gauge();  // a fresh node is idle
 }
@@ -55,11 +66,21 @@ void AriaNode::start() {
       rng_.uniform_duration(Duration::zero(), ctx_.config->inform_period);
   inform_timer_ = ctx_.sim->schedule_periodic(
       phase, ctx_.config->inform_period, [this] { inform_tick(); });
+  if (ctx_.config->healing.enabled) {
+    // Probe phase comes from the probe stream: enabling healing must not
+    // consume draws the protocol plane would otherwise make.
+    const Duration probe_phase = probe_rng_.uniform_duration(
+        Duration::zero(), ctx_.config->healing.probe_period);
+    probe_timer_ = ctx_.sim->schedule_periodic(
+        probe_phase, ctx_.config->healing.probe_period,
+        [this] { probe_tick(); });
+  }
 }
 
 void AriaNode::stop() {
   started_ = false;
   inform_timer_.cancel();
+  probe_timer_.cancel();
   reservation_wake_.cancel();
   if (running_) running_->completion.cancel();
   for (auto& [id, pending] : pending_requests_) pending.timeout.cancel();
@@ -85,6 +106,14 @@ void AriaNode::crash() {
   pending_assigns_.clear();
   acked_assigns_.clear();
   initiator_of_.clear();
+  if (ctx_.config->healing.enabled) {
+    // The liveness view is volatile, but the neighbor *addresses* model
+    // stable storage (a deployment keeps its bootstrap list on disk): the
+    // rejoin path LINK_REQs them on restart. Snapshot before the survivors
+    // start evicting this node's links.
+    stable_contacts_ = ctx_.topo->neighbors(self_);
+    view_.clear();
+  }
   sync_idle_gauge();  // crashed nodes are down, not idle
 }
 
@@ -107,6 +136,15 @@ void AriaNode::restart() {
     const JobId job = id;
     w.timer = ctx_.sim->schedule_after(
         due - ctx_.sim->now(), [this, job] { watchdog_expired(job); });
+  }
+  if (ctx_.config->healing.enabled) {
+    // Rejoin: ask every remembered neighbor to re-establish the link. The
+    // dead ones simply never answer; the live ones LINK_ACK and reseed the
+    // contact cache, after which normal repair tops the degree back up.
+    for (NodeId c : stable_contacts_) {
+      ++view_.stats().rejoin_requests;
+      ctx_.net->send(self_, c, std::make_unique<LinkReqMsg>(self_));
+    }
   }
   sync_idle_gauge();
 }
@@ -159,7 +197,7 @@ void AriaNode::flood_request(const grid::JobSpec& spec, std::size_t attempt) {
   it->second.offers.clear();
 
   const Uuid flood_id = Uuid::generate(rng_);
-  ctx_.relay->mark_seen(self_, flood_id);
+  ctx_.relay->mark_seen(self_, flood_id, ctx_.sim->now());
   schedule_flood_gc(flood_id);
 
   // The initiator may compete for its own job (no wire traffic involved).
@@ -337,12 +375,24 @@ void AriaNode::handle(sim::Envelope env) {
     on_assign_ack(*ack);
   } else if (auto* ntf = dynamic_cast<const NotifyMsg*>(env.message.get())) {
     on_notify(*ntf);
+  } else if (ctx_.config->healing.enabled) {
+    if (auto* ping = dynamic_cast<const PingMsg*>(env.message.get())) {
+      on_ping(env.from, *ping);
+    } else if (auto* pong = dynamic_cast<const PongMsg*>(env.message.get())) {
+      on_pong(*pong);
+    } else if (auto* lr = dynamic_cast<const LinkReqMsg*>(env.message.get())) {
+      on_link_req(env.from, *lr);
+    } else if (auto* la = dynamic_cast<const LinkAckMsg*>(env.message.get())) {
+      on_link_ack(*la);
+    }
   }
   // Unknown message types are ignored.
 }
 
 void AriaNode::on_request(NodeId from, const RequestMsg& msg) {
-  if (!ctx_.relay->mark_seen(self_, msg.flood.flood_id)) return;  // duplicate
+  if (!ctx_.relay->mark_seen(self_, msg.flood.flood_id, ctx_.sim->now())) {
+    return;  // duplicate
+  }
 
   bool replied = false;
   if (can_bid(msg.job)) {
@@ -368,7 +418,9 @@ void AriaNode::on_request(NodeId from, const RequestMsg& msg) {
 }
 
 void AriaNode::on_inform(NodeId from, const InformMsg& msg) {
-  if (!ctx_.relay->mark_seen(self_, msg.flood.flood_id)) return;
+  if (!ctx_.relay->mark_seen(self_, msg.flood.flood_id, ctx_.sim->now())) {
+    return;
+  }
 
   bool replied = false;
   if (msg.assignee != self_ && can_bid(msg.job)) {
@@ -591,7 +643,7 @@ void AriaNode::inform_tick() {
         sched_->current_cost(id, running_remaining(), ctx_.sim->now());
 
     const Uuid flood_id = Uuid::generate(rng_);
-    ctx_.relay->mark_seen(self_, flood_id);
+    ctx_.relay->mark_seen(self_, flood_id, ctx_.sim->now());
     schedule_flood_gc(flood_id);
     const FloodMeta meta{
         flood_id, static_cast<std::uint32_t>(ctx_.config->inform_hops - 1),
@@ -661,6 +713,118 @@ void AriaNode::complete_running() {
   }
   kick_executor();
   sync_idle_gauge();
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing plane (docs/overlay.md)
+// ---------------------------------------------------------------------------
+
+void AriaNode::probe_tick() {
+  const overlay::HealingParams& hp = ctx_.config->healing;
+  ++view_.stats().probe_rounds;
+
+  // Re-sync against the overlay: the ant-based maintainer (and the repair
+  // path itself) adds and removes links between rounds, and the view must
+  // follow the node's *current* neighbor list.
+  for (NodeId n : ctx_.topo->neighbors(self_)) {
+    if (!view_.tracked(n)) view_.track(n);
+  }
+  for (NodeId n : view_.tracked_peers()) {
+    if (!ctx_.topo->has_link(self_, n)) view_.untrack(n);
+  }
+
+  for (NodeId peer : view_.tracked_peers()) {
+    if (view_.outstanding(peer)) {
+      // The previous round's probe went unanswered.
+      if (view_.record_miss(peer, hp) ==
+          overlay::NeighborView::Transition::kEvicted) {
+        evict_neighbor(peer);
+        continue;
+      }
+    }
+    ++probe_seq_;
+    view_.probe_sent(peer, probe_seq_);
+    ctx_.net->send(self_, peer, std::make_unique<PingMsg>(self_, probe_seq_));
+  }
+
+  maybe_repair();
+}
+
+void AriaNode::evict_neighbor(NodeId peer) {
+  view_.untrack(peer);
+  // Both endpoints drop the link from their local neighbor sets; the
+  // simulation stores their union, so one remove_link models both. A peer
+  // that was merely partitioned converges to the same decision about us
+  // from its own missed probes.
+  if (ctx_.healing_topo != nullptr) {
+    ctx_.healing_topo->remove_link(self_, peer);
+  }
+}
+
+void AriaNode::maybe_repair() {
+  const overlay::HealingParams& hp = ctx_.config->healing;
+  std::size_t attempts = 0;
+  std::size_t pending = 0;
+  while (view_.live_degree() + pending < hp.degree_floor &&
+         attempts < hp.repair_attempts) {
+    const NodeId contact = view_.take_contact();
+    if (!contact.valid()) break;  // cache exhausted; refills via PONG gossip
+    ++attempts;
+    ++pending;
+    ctx_.net->send(self_, contact, std::make_unique<LinkReqMsg>(self_));
+  }
+}
+
+std::vector<NodeId> AriaNode::contact_sample() {
+  const overlay::HealingParams& hp = ctx_.config->healing;
+  std::vector<NodeId> live = view_.live_neighbors();
+  if (live.empty()) live = ctx_.topo->neighbors(self_);
+  if (live.size() <= hp.gossip_contacts) return live;
+  return probe_rng_.sample(live, hp.gossip_contacts);
+}
+
+void AriaNode::on_ping(NodeId from, const PingMsg& msg) {
+  if (!view_.tracked(from)) {
+    // The sender probed before our first round synced the view; admit it
+    // lazily if the link really exists, otherwise ignore the stray probe
+    // (answering would keep an evicted link half-alive).
+    if (!ctx_.topo->has_link(self_, from)) return;
+    view_.track(from);
+  }
+  ctx_.net->send(self_, from,
+                 std::make_unique<PongMsg>(self_, msg.seq, contact_sample()));
+}
+
+void AriaNode::on_pong(const PongMsg& msg) {
+  const overlay::HealingParams& hp = ctx_.config->healing;
+  view_.pong_received(msg.from, msg.seq);
+  for (NodeId c : msg.contacts) {
+    view_.learn_contact(c, self_, hp.contact_cache);
+  }
+}
+
+void AriaNode::on_link_req(NodeId from, const LinkReqMsg& msg) {
+  // Accept unconditionally: a requester is either repairing a degree hole
+  // or rejoining after a crash, and turning it away re-fragments the grid.
+  (void)msg;
+  if (ctx_.healing_topo != nullptr) {
+    ctx_.healing_topo->add_link(self_, from);
+  }
+  view_.track(from);
+  ctx_.net->send(self_, from,
+                 std::make_unique<LinkAckMsg>(self_, contact_sample()));
+}
+
+void AriaNode::on_link_ack(const LinkAckMsg& msg) {
+  const overlay::HealingParams& hp = ctx_.config->healing;
+  if (ctx_.healing_topo != nullptr) {
+    ctx_.healing_topo->add_link(self_, msg.from);
+  }
+  if (!view_.tracked(msg.from)) ++view_.stats().repair_links;
+  view_.track(msg.from);
+  for (NodeId c : msg.contacts) {
+    view_.learn_contact(c, self_, hp.contact_cache);
+  }
 }
 
 // ---------------------------------------------------------------------------

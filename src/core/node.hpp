@@ -25,6 +25,7 @@
 #include "grid/job.hpp"
 #include "grid/resources.hpp"
 #include "overlay/flooding.hpp"
+#include "overlay/liveness.hpp"
 #include "overlay/topology.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/network.hpp"
@@ -46,6 +47,12 @@ struct NodeContext {
   /// its idle() state flips, so the engine samples utilization in O(1)
   /// instead of scanning every node. Must outlive the node.
   std::size_t* idle_gauge{nullptr};
+  /// Mutable topology handle for the self-healing plane: eviction drops the
+  /// overlay link, repair re-adds one. Required (and only consulted) when
+  /// config->healing.enabled; the plane models both endpoints updating
+  /// their local neighbor sets, which the simulation stores as their union
+  /// (see overlay/topology.hpp).
+  overlay::Topology* healing_topo{nullptr};
 };
 
 class AriaNode {
@@ -132,6 +139,10 @@ class AriaNode {
   };
   const Counters& counters() const { return counters_; }
 
+  /// Self-healing plane: this node's local liveness view of its overlay
+  /// neighbors (empty when healing is off). See docs/overlay.md.
+  const overlay::NeighborView& neighbor_view() const { return view_; }
+
   /// Failsafe: number of initiated jobs still being watched (not yet
   /// known-completed). Always 0 when config.failsafe is off.
   std::size_t watched_jobs() const { return watched_.size(); }
@@ -208,6 +219,23 @@ class AriaNode {
   void assign_ack_expired(const JobId& id);
   void on_notify(const NotifyMsg& msg);
 
+  // --- self-healing plane (docs/overlay.md) ------------------------------
+  /// One probe round: re-syncs the view against the overlay neighbor list,
+  /// records misses (suspect/evict), pings every tracked peer without an
+  /// outstanding probe, then tops the live degree back up via repair.
+  void probe_tick();
+  void on_ping(NodeId from, const PingMsg& msg);
+  void on_pong(const PongMsg& msg);
+  void on_link_req(NodeId from, const LinkReqMsg& msg);
+  void on_link_ack(const LinkAckMsg& msg);
+  /// Evicts `peer`: drops the overlay link and forgets the view entry.
+  void evict_neighbor(NodeId peer);
+  /// While the live degree sits below the floor, spends cached contacts on
+  /// LINK_REQ attempts (bounded per round).
+  void maybe_repair();
+  /// Bounded live-neighbor sample piggybacked on PONG / LINK_ACK.
+  std::vector<NodeId> contact_sample();
+
   /// Failsafe: sends (or locally applies) a lifecycle NOTIFY to the job's
   /// initiator.
   void notify_initiator_of(const JobId& id, NotifyMsg::Kind kind);
@@ -255,6 +283,19 @@ class AriaNode {
   bool crashed_{false};
   bool counted_idle_{false};  // current contribution to ctx_.idle_gauge
   Counters counters_;
+
+  // --- self-healing plane state (all inert when healing is off) ----------
+  overlay::NeighborView view_;
+  sim::EventHandle probe_timer_;
+  /// Probe-plane randomness is a separate stream seeded from the node id
+  /// only: gossip samples and probe phases never perturb the protocol RNG,
+  /// so healing-off runs stay byte-identical whether or not the plane is
+  /// compiled in.
+  Rng probe_rng_;
+  /// Neighbor addresses snapshotted at crash time (stable storage): the
+  /// rejoin path LINK_REQs them on restart.
+  std::vector<NodeId> stable_contacts_;
+  std::uint32_t probe_seq_{0};
 };
 
 }  // namespace aria::proto

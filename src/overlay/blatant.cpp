@@ -16,17 +16,32 @@ NodeId BlatantMaintainer::random_walk(NodeId origin) const {
   for (std::size_t step = 0; step < params_.walk_length; ++step) {
     const auto& ns = topo_.neighbors(cur);
     if (ns.empty()) break;
-    // Avoid immediate backtracking when another option exists.
+    // Avoid immediate backtracking when another option exists; never step
+    // onto a crashed node (an ant is a message, and dead machines receive
+    // none). A dead pick burns the attempt without becoming `next`, so the
+    // walk can no longer land on an invalid/dead hop when every draw fails.
     NodeId next = kInvalidNode;
     for (int attempt = 0; attempt < 4; ++attempt) {
       const auto pick = ns[static_cast<std::size_t>(
           rng_.uniform_int(0, static_cast<std::int64_t>(ns.size()) - 1))];
+      if (!alive(pick)) continue;
       next = pick;
       if (pick != prev || ns.size() == 1) break;
+    }
+    if (!next.valid()) {
+      // All draws hit dead neighbors: fall back to a deterministic scan so
+      // the ant keeps moving whenever any live hop exists at all.
+      for (NodeId n : ns) {
+        if (!alive(n)) continue;
+        next = n;
+        if (n != prev) break;  // prefer progress over backtracking
+      }
+      if (!next.valid()) break;  // stranded: every neighbor is dead
     }
     prev = cur;
     cur = next;
   }
+  assert(cur == kInvalidNode || topo_.has_node(cur));
   return cur;
 }
 
@@ -64,8 +79,11 @@ void BlatantMaintainer::tick() {
   // Snapshot the node set: ants may mutate the topology while iterating.
   const auto nodes = topo_.nodes();
   for (NodeId n : nodes) {
-    if (rng_.bernoulli(params_.discovery_rate)) discovery_ant(n);
-    if (rng_.bernoulli(params_.pruning_rate)) pruning_ant(n);
+    // Draw first, gate second: crashed origins emit no ants, but the
+    // Bernoulli stream stays identical to the all-alive run, so enabling
+    // the liveness oracle cannot perturb fault-free topologies.
+    if (rng_.bernoulli(params_.discovery_rate) && alive(n)) discovery_ant(n);
+    if (rng_.bernoulli(params_.pruning_rate) && alive(n)) pruning_ant(n);
   }
 }
 

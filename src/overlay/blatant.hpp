@@ -13,6 +13,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "common/rng.hpp"
 #include "overlay/topology.hpp"
@@ -48,6 +50,16 @@ class BlatantMaintainer {
 
   BlatantMaintainer(Topology& topo, BlatantParams params, Rng rng);
 
+  /// Installs a liveness oracle for churn-aware maintenance: crashed nodes
+  /// emit no ants and random walks do not step onto them (an ant is a
+  /// message exchange, and dead machines exchange nothing). Unset, every
+  /// node counts as alive. The per-node Bernoulli draws are made before the
+  /// oracle is consulted, so installing it leaves fault-free runs
+  /// bit-identical.
+  void set_liveness(std::function<bool(NodeId)> alive) {
+    liveness_ = std::move(alive);
+  }
+
   /// One maintenance round: every node emits ants with the configured
   /// probabilities.
   void tick();
@@ -69,11 +81,13 @@ class BlatantMaintainer {
 
  private:
   NodeId random_walk(NodeId origin) const;
+  bool alive(NodeId n) const { return !liveness_ || liveness_(n); }
 
   Topology& topo_;
   BlatantParams params_;
   mutable Rng rng_;
   Stats stats_;
+  std::function<bool(NodeId)> liveness_;
 };
 
 }  // namespace aria::overlay

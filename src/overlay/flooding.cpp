@@ -2,13 +2,31 @@
 
 namespace aria::overlay {
 
-bool FloodRelay::mark_seen(NodeId node, const Uuid& id) {
-  return seen_[id].insert(node).second;
+bool FloodRelay::mark_seen(NodeId node, const Uuid& id, TimePoint now) {
+  if (!ttl_.is_zero()) sweep(now);
+  auto [it, inserted] = seen_.try_emplace(id);
+  if (inserted) {
+    it->second.first_seen = now;
+    if (!ttl_.is_zero()) expiry_.emplace_back(now, id);
+  }
+  return it->second.nodes.insert(node).second;
 }
 
 bool FloodRelay::has_seen(NodeId node, const Uuid& id) const {
   auto it = seen_.find(id);
-  return it != seen_.end() && it->second.contains(node);
+  return it != seen_.end() && it->second.nodes.contains(node);
+}
+
+void FloodRelay::sweep(TimePoint now) {
+  while (!expiry_.empty() && expiry_.front().first + ttl_ <= now) {
+    const auto& [stamp, id] = expiry_.front();
+    auto it = seen_.find(id);
+    // Only reclaim the entry this record described; if the flood was
+    // forgotten and later re-created, first_seen differs and the newer
+    // record owns it.
+    if (it != seen_.end() && it->second.first_seen == stamp) seen_.erase(it);
+    expiry_.pop_front();
+  }
 }
 
 std::vector<NodeId> FloodRelay::pick_targets(NodeId node, std::size_t fanout,

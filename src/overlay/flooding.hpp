@@ -5,15 +5,24 @@
 // each node relays a given flood instance at most once. FloodRelay provides
 // the two pieces of per-node state/logic that implement this: duplicate
 // suppression keyed by flood id, and randomized target selection.
+//
+// Dedup state is bounded two ways: the protocol explicitly forget()s a flood
+// once it can no longer be in flight, and a TTL sweep (set_ttl) reclaims any
+// entry a late duplicate re-created after that forget — without the sweep
+// such stragglers accumulated forever. The sweep is keyed purely on sim time
+// passed into mark_seen, so it draws no randomness and stays deterministic.
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
 #include "common/rng.hpp"
+#include "common/time.hpp"
 #include "common/uuid.hpp"
 #include "overlay/topology.hpp"
 
@@ -23,9 +32,11 @@ class FloodRelay {
  public:
   FloodRelay(const Topology& topo, Rng rng) : topo_{&topo}, rng_{rng} {}
 
-  /// Records that `node` has seen flood `id`. Returns true the first time
-  /// (i.e., the node should process/relay), false on duplicates.
-  bool mark_seen(NodeId node, const Uuid& id);
+  /// Records that `node` has seen flood `id` at sim time `now`. Returns true
+  /// the first time (i.e., the node should process/relay), false on
+  /// duplicates. Also sweeps entries whose TTL expired before `now`.
+  bool mark_seen(NodeId node, const Uuid& id,
+                 TimePoint now = TimePoint::origin());
 
   bool has_seen(NodeId node, const Uuid& id) const;
 
@@ -40,12 +51,28 @@ class FloodRelay {
   /// once a flood can no longer be in flight, bounding memory).
   void forget(const Uuid& id) { seen_.erase(id); }
 
+  /// Enables the TTL sweep: entries untouched by forget() are reclaimed once
+  /// `ttl` has passed since they were first seen. Zero disables (default).
+  void set_ttl(Duration ttl) { ttl_ = ttl; }
+
   std::size_t tracked_floods() const { return seen_.size(); }
 
  private:
+  struct Entry {
+    std::unordered_set<NodeId> nodes;
+    TimePoint first_seen{TimePoint::origin()};
+  };
+
+  void sweep(TimePoint now);
+
   const Topology* topo_;
   Rng rng_;
-  std::unordered_map<Uuid, std::unordered_set<NodeId>> seen_;
+  Duration ttl_{Duration::zero()};
+  std::unordered_map<Uuid, Entry> seen_;
+  // (first_seen, id) in insertion order; a stale record whose first_seen no
+  // longer matches the live entry (the flood was forgotten and re-created)
+  // is skipped — the re-creation enqueued its own record.
+  std::deque<std::pair<TimePoint, Uuid>> expiry_;
 };
 
 }  // namespace aria::overlay

@@ -117,6 +117,29 @@ bool Topology::connected() const {
   return seen.size() == adj_.size();
 }
 
+bool Topology::connected_among(
+    const std::function<bool(NodeId)>& alive) const {
+  std::size_t alive_count = 0;
+  NodeId start = kInvalidNode;
+  for (const auto& [n, _] : adj_) {
+    if (!alive(n)) continue;
+    ++alive_count;
+    if (!start.valid()) start = n;
+  }
+  if (alive_count <= 1) return true;
+  std::unordered_set<NodeId> seen{start};
+  std::deque<NodeId> frontier{start};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (NodeId v : neighbors(u)) {
+      if (!alive(v)) continue;
+      if (seen.insert(v).second) frontier.push_back(v);
+    }
+  }
+  return seen.size() == alive_count;
+}
+
 double Topology::average_path_length() const {
   if (adj_.size() < 2) return 0.0;
   std::uint64_t total = 0;

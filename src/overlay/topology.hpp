@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -54,6 +55,13 @@ class Topology {
 
   /// True when every node can reach every other (vacuously true when empty).
   bool connected() const;
+
+  /// Connectivity of the subgraph induced by nodes where `alive` is true:
+  /// every alive node can reach every other through alive nodes only
+  /// (vacuously true for fewer than two alive nodes). Used by the healing
+  /// plane's metrics and tests to ask whether the *live* grid reconverged
+  /// after churn.
+  bool connected_among(const std::function<bool(NodeId)>& alive) const;
 
   /// Exact mean shortest-path length over all reachable ordered pairs;
   /// 0 for fewer than two nodes.

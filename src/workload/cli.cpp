@@ -66,6 +66,8 @@ std::optional<std::string> parse_cli(const std::vector<std::string>& args,
       out.rescheduling = false;
     } else if (a == "--failsafe") {
       out.failsafe = true;
+    } else if (a == "--healing") {
+      out.healing = true;
     } else if (a == "--overlay") {
       const auto v = next("--overlay");
       if (!v || (*v != "blatant" && *v != "random" && *v != "smallworld")) {
@@ -155,6 +157,9 @@ usage: aria_sim [options]
   --resched           force dynamic rescheduling on
   --no-resched        force dynamic rescheduling off
   --failsafe          enable initiator-side crash recovery (NOTIFY traffic)
+  --healing           enable the self-healing overlay plane: PING/PONG
+                      liveness probes, dead-neighbor eviction, churn-aware
+                      link repair (docs/overlay.md)
   --overlay KIND      overlay family: blatant (default) | random | smallworld
   --csv DIR           write idle/completed series as CSV into DIR
   --quiet             print only the summary block
@@ -180,6 +185,7 @@ ScenarioConfig resolve_scenario(const CliOptions& options) {
     cfg.aria.dynamic_rescheduling = *options.rescheduling;
   }
   if (options.failsafe) cfg.aria.failsafe = true;
+  if (options.healing) cfg.aria.healing.enabled = true;
   if (options.overlay == "random") {
     cfg.overlay_family = ScenarioConfig::OverlayFamily::kRandomRegular;
   } else if (options.overlay == "smallworld") {

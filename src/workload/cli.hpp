@@ -23,6 +23,8 @@ struct CliOptions {
   std::size_t jobs{0};
   std::optional<bool> rescheduling{};
   bool failsafe{false};
+  /// Self-healing overlay plane (PING/PONG liveness, eviction, repair).
+  bool healing{false};
   /// "blatant" (default), "random", or "smallworld".
   std::string overlay{};
   /// Directory to drop CSV series into (empty = no CSV output).

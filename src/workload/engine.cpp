@@ -1,5 +1,6 @@
 #include "workload/engine.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 
@@ -106,6 +107,11 @@ double RunResult::traffic_mib_total() const {
   return static_cast<double>(traffic.total().bytes) / (1024.0 * 1024.0);
 }
 
+double RunResult::probe_traffic_mib() const {
+  return traffic_mib(proto::kPingType) + traffic_mib(proto::kPongType) +
+         traffic_mib(proto::kLinkReqType) + traffic_mib(proto::kLinkAckType);
+}
+
 metrics::LoadBalance RunResult::execution_balance() const {
   std::vector<double> per_node(final_node_count, 0.0);
   for (const auto& [id, r] : tracker.records()) {
@@ -182,6 +188,10 @@ void GridSimulation::build() {
     net_->set_fault_plane(faults_.get());
   }
   relay_ = std::make_unique<overlay::FloodRelay>(topo_, rng_.fork(2));
+  // Entries a late duplicate re-creates after the protocol's explicit
+  // forget() would otherwise live forever; the TTL sweep reclaims them on
+  // the same schedule the protocol already uses.
+  relay_->set_ttl(config_.aria.flood_gc_delay);
   submit_rng_ = rng_.fork(3);
   jobgen_ = std::make_unique<JobGenerator>(config_.jobs, rng_.fork(4));
 
@@ -203,6 +213,14 @@ void GridSimulation::build_overlay() {
                                         config_.bootstrap_avg_degree, boot_rng);
       maintainer_ = std::make_unique<overlay::BlatantMaintainer>(
           topo_, overlay::BlatantParams{}, rng_.fork(6));
+      // Churn-aware ants: crashed machines neither emit ants nor appear on
+      // walks. Null-safe (converge() below runs before any node exists) and
+      // draw-preserving, so fault-free topologies are unchanged.
+      maintainer_->set_liveness([this](NodeId id) {
+        const proto::AriaNode* n =
+            id.index() < nodes_.size() ? nodes_[id.index()].get() : nullptr;
+        return n == nullptr || !n->crashed();
+      });
       // Let the ants reshape the bootstrap graph before traffic starts.
       maintainer_->converge(/*max_rounds=*/40, /*quiet_rounds=*/3);
       break;
@@ -239,6 +257,7 @@ void GridSimulation::spawn_node() {
   ctx.ert_error = &ert_error_;
   ctx.observer = &tracker_;
   ctx.idle_gauge = &idle_nodes_;
+  if (config_.aria.healing.enabled) ctx.healing_topo = &topo_;
 
   std::string vo;
   if (config_.vo_count > 1) {
@@ -292,6 +311,7 @@ void GridSimulation::submit_one(std::size_t index) {
     if (probes >= nodes_.size()) {
       ARIA_WARN << "no alive node to submit job " << job.id.to_string()
                 << "; dropping submission";
+      ++submissions_dropped_;
       return;
     }
     pick = (pick + 1) % nodes_.size();
@@ -396,7 +416,29 @@ void GridSimulation::schedule_sampling() {
                                             static_cast<double>(idle_count()));
                            node_count_series_.add(
                                sim_.now(), static_cast<double>(nodes_.size()));
+                           if (config_.aria.healing.enabled) {
+                             sample_live_connectivity();
+                           }
                          });
+}
+
+// Piggybacks on the metrics sampler (no extra events): is the subgraph of
+// currently-alive nodes connected? Consecutive disconnected samples bound
+// the worst observed time-to-heal.
+void GridSimulation::sample_live_connectivity() {
+  const bool ok = topo_.connected_among([this](NodeId id) {
+    const proto::AriaNode* n =
+        id.index() < nodes_.size() ? nodes_[id.index()].get() : nullptr;
+    return n != nullptr && !n->crashed();
+  });
+  if (ok) {
+    disconnect_streak_ = 0;
+    return;
+  }
+  ++live_disconnected_samples_;
+  ++disconnect_streak_;
+  max_disconnect_streak_ =
+      std::max(max_disconnect_streak_, disconnect_streak_);
 }
 
 RunResult GridSimulation::run() {
@@ -417,6 +459,27 @@ RunResult GridSimulation::run() {
     r.faults = faults_->counters();
     r.faulted_messages = net_->faulted_messages();
     r.duplicated_messages = net_->duplicated_messages();
+  }
+  r.submissions_dropped = submissions_dropped_;
+  if (config_.aria.healing.enabled) {
+    r.healing_enabled = true;
+    for (const auto& n : nodes_) {
+      const auto& s = n->neighbor_view().stats();
+      r.neighbor_evictions += s.evictions;
+      r.false_suspicions += s.false_suspicions;
+      r.repair_links += s.repair_links;
+      r.rejoin_requests += s.rejoin_requests;
+      r.probe_rounds += s.probe_rounds;
+    }
+    r.live_disconnected_samples = live_disconnected_samples_;
+    r.max_heal_minutes =
+        static_cast<double>(max_disconnect_streak_) *
+        config_.metrics_sample_period.to_minutes();
+    r.live_subgraph_connected_at_end = topo_.connected_among([this](NodeId id) {
+      const proto::AriaNode* n =
+          id.index() < nodes_.size() ? nodes_[id.index()].get() : nullptr;
+      return n != nullptr && !n->crashed();
+    });
   }
   r.final_node_count = nodes_.size();
   r.overlay_links = topo_.link_count();

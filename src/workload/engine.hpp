@@ -39,6 +39,23 @@ struct RunResult {
   sim::FaultPlane::Counters faults{};
   std::uint64_t faulted_messages{0};     // injected loss + partition drops
   std::uint64_t duplicated_messages{0};  // extra deliveries injected
+  /// Submissions that found no alive node to accept them (whole-grid
+  /// outage); these jobs never reach the tracker, so stranded() adds them.
+  std::uint64_t submissions_dropped{0};
+
+  // --- self-healing overlay plane (all zero when healing is off) --------
+  bool healing_enabled{false};
+  std::uint64_t neighbor_evictions{0};   // links dropped after missed probes
+  std::uint64_t false_suspicions{0};     // suspected peers that answered
+  std::uint64_t repair_links{0};         // links re-established via LINK_ACK
+  std::uint64_t rejoin_requests{0};      // LINK_REQs sent by restarted nodes
+  std::uint64_t probe_rounds{0};         // summed over nodes
+  /// Metric samples at which the live-node subgraph was disconnected.
+  std::uint64_t live_disconnected_samples{0};
+  /// Longest consecutive disconnected streak, in minutes (an upper bound on
+  /// the worst time-to-heal, quantized to the sampling period).
+  double max_heal_minutes{0.0};
+  bool live_subgraph_connected_at_end{true};
 
   std::size_t final_node_count{0};
   std::size_t overlay_links{0};
@@ -69,6 +86,8 @@ struct RunResult {
   /// Total bytes per message type / per node, in MiB.
   double traffic_mib(const std::string& type) const;
   double traffic_mib_total() const;
+  /// Healing-plane control traffic (PING + PONG + LINK_REQ + LINK_ACK).
+  double probe_traffic_mib() const;
 
   /// Load-balance over executed-job counts per node (paper abstract:
   /// "improving the overall performance in terms of ... load-balancing").
@@ -77,9 +96,13 @@ struct RunResult {
   metrics::LoadBalance busy_time_balance() const;
 
   /// Submitted jobs with no terminal state (completed / unschedulable /
-  /// abandoned). Must be 0 even under faults — the no-stranded-jobs
-  /// guarantee the failsafe provides.
-  std::size_t stranded() const { return tracker.stranded_count(); }
+  /// abandoned) plus submissions dropped before reaching any node. Must be
+  /// 0 even under faults — the no-stranded-jobs guarantee the failsafe
+  /// provides.
+  std::size_t stranded() const {
+    return tracker.stranded_count() +
+           static_cast<std::size_t>(submissions_dropped);
+  }
 };
 
 /// One grid simulation. Construct, optionally inspect/customize after
@@ -124,6 +147,7 @@ class GridSimulation {
   void expansion_step(const ScenarioConfig::Expansion& plan, Rng join_rng);
   void schedule_maintenance();
   void schedule_sampling();
+  void sample_live_connectivity();
   void schedule_churn();
   void churn_crash(NodeId id, sim::FaultConfig::Churn plan, Rng rng);
   void churn_restart(NodeId id, sim::FaultConfig::Churn plan, Rng rng);
@@ -152,6 +176,11 @@ class GridSimulation {
 
   metrics::Series idle_series_;
   metrics::Series node_count_series_;
+  std::uint64_t submissions_dropped_{0};
+  // Healing-plane sampling state (live-subgraph connectivity over time).
+  std::uint64_t live_disconnected_samples_{0};
+  std::uint64_t disconnect_streak_{0};
+  std::uint64_t max_disconnect_streak_{0};
   bool built_{false};
 };
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+#include <unordered_set>
+
 #include "overlay/bootstrap.hpp"
 
 namespace aria::overlay {
@@ -111,6 +114,81 @@ TEST(Blatant, StatsCountAnts) {
   m.tick();
   EXPECT_EQ(m.stats().discovery_ants, 50u);
   EXPECT_EQ(m.stats().pruning_ants, 50u);
+}
+
+TEST(Blatant, CrashedOriginsEmitNoAnts) {
+  Rng rng{11};
+  Topology t = bootstrap_random(60, 4.0, rng);
+  BlatantParams p;
+  p.discovery_rate = 1.0;
+  p.pruning_rate = 1.0;
+  BlatantMaintainer m{t, p, rng.fork(1)};
+  std::unordered_set<NodeId> dead;
+  for (std::uint32_t i = 0; i < 30; ++i) dead.insert(NodeId{i});
+  m.set_liveness([&dead](NodeId n) { return !dead.contains(n); });
+  m.tick();
+  // At rate 1.0 every *live* node emits both ants; dead origins none.
+  EXPECT_EQ(m.stats().discovery_ants, 30u);
+  EXPECT_EQ(m.stats().pruning_ants, 30u);
+}
+
+TEST(Blatant, LivenessGateDoesNotPerturbAllAliveRuns) {
+  // Installing an all-true oracle must leave the topology bit-identical:
+  // the Bernoulli draws happen before the gate, and walks consult the
+  // oracle only on picks (which all pass).
+  Rng rng{12};
+  Topology plain = bootstrap_random(120, 4.0, rng);
+  Topology gated = plain;
+  BlatantMaintainer m1{plain, BlatantParams{}, Rng{99}};
+  BlatantMaintainer m2{gated, BlatantParams{}, Rng{99}};
+  m2.set_liveness([](NodeId) { return true; });
+  for (int round = 0; round < 20; ++round) {
+    m1.tick();
+    m2.tick();
+  }
+  EXPECT_EQ(plain.link_count(), gated.link_count());
+  for (NodeId n : plain.nodes()) {
+    EXPECT_EQ(plain.neighbors(n), gated.neighbors(n));
+  }
+}
+
+TEST(Blatant, WalksNeverLandOnDeadNodes) {
+  // Discovery ants add links only between the origin and the walk's end;
+  // with half the grid dead, no new link may touch a dead node.
+  Rng rng{13};
+  Topology t = bootstrap_random(80, 5.0, rng);
+  const std::size_t before = t.link_count();
+  BlatantParams p;
+  p.discovery_rate = 1.0;
+  p.pruning_rate = 0.0;
+  p.alpha = 2;  // aggressive: almost every walked pair wants a shortcut
+  p.beta = 2;
+  BlatantMaintainer m{t, p, rng.fork(1)};
+  auto dead = [](NodeId n) { return n.value() % 2 == 1; };
+  m.set_liveness([&dead](NodeId n) { return !dead(n); });
+  std::unordered_map<NodeId, std::vector<NodeId>> old_links;
+  for (NodeId n : t.nodes()) old_links[n] = t.neighbors(n);
+  for (int round = 0; round < 10; ++round) m.tick();
+  EXPECT_GT(t.link_count(), before);
+  for (NodeId n : t.nodes()) {
+    if (!dead(n)) continue;
+    // A dead node's neighbor list may only have shrunk (pruning is off, so
+    // it is in fact unchanged) — discovery never attached to it.
+    EXPECT_EQ(t.neighbors(n), old_links[n]);
+  }
+}
+
+TEST(Blatant, WalkSurroundedByDeadNeighborsStaysPut) {
+  // Star topology, all leaves dead: the walk cannot leave the center, the
+  // ant terminates without adding links, and nothing crashes (the
+  // fallback-scan path when every anti-backtrack draw hits a dead pick).
+  Rng rng{14};
+  Topology t;
+  for (std::uint32_t i = 1; i <= 5; ++i) t.add_link(NodeId{0}, NodeId{i});
+  BlatantMaintainer m{t, BlatantParams{}, rng};
+  m.set_liveness([](NodeId n) { return n == NodeId{0}; });
+  for (int i = 0; i < 20; ++i) m.discovery_ant(NodeId{0});
+  EXPECT_EQ(t.link_count(), 5u);
 }
 
 TEST(Blatant, IntegratesJoinedNodes) {

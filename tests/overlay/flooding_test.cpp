@@ -105,6 +105,78 @@ TEST(FloodRelay, PickTargetsIsRandomized) {
   EXPECT_EQ(seen.size(), 8u);  // over time every neighbor gets picked
 }
 
+TEST(FloodRelay, TtlSweepReclaimsExpiredEntries) {
+  Topology t;
+  Rng rng{20};
+  FloodRelay relay{t, rng.fork(1)};
+  relay.set_ttl(Duration::seconds(60));
+  const Uuid a = make_id(rng), b = make_id(rng);
+  relay.mark_seen(NodeId{1}, a, TimePoint::origin());
+  relay.mark_seen(NodeId{1}, b, TimePoint::origin() + Duration::seconds(30));
+  EXPECT_EQ(relay.tracked_floods(), 2u);
+  // At t=60 `a` expires but `b` (first seen at 30) does not.
+  const Uuid c = make_id(rng);
+  relay.mark_seen(NodeId{2}, c, TimePoint::origin() + Duration::seconds(60));
+  EXPECT_EQ(relay.tracked_floods(), 2u);  // b + c
+  EXPECT_FALSE(relay.has_seen(NodeId{1}, a));
+  EXPECT_TRUE(relay.has_seen(NodeId{1}, b));
+}
+
+TEST(FloodRelay, LateDuplicateAfterForgetIsEventuallyReclaimed) {
+  // The leak this fixes: the protocol forget()s a flood once it can no
+  // longer be in flight, but a straggler duplicate arriving later
+  // re-created the entry and nothing ever deleted it again.
+  Topology t;
+  Rng rng{21};
+  FloodRelay relay{t, rng.fork(1)};
+  relay.set_ttl(Duration::seconds(60));
+  const Uuid id = make_id(rng);
+  relay.mark_seen(NodeId{1}, id, TimePoint::origin());
+  relay.forget(id);
+  // The straggler re-creates the entry at t=90...
+  EXPECT_TRUE(relay.mark_seen(
+      NodeId{1}, id, TimePoint::origin() + Duration::seconds(90)));
+  EXPECT_EQ(relay.tracked_floods(), 1u);
+  // ...and the TTL sweep reclaims it one ttl later, without an explicit
+  // forget. The stale expiry record from the first sighting must not have
+  // reclaimed the re-created entry early (checked at t=120 < 90+60).
+  const Uuid other = make_id(rng);
+  relay.mark_seen(NodeId{2}, other,
+                  TimePoint::origin() + Duration::seconds(120));
+  EXPECT_TRUE(relay.has_seen(NodeId{1}, id));
+  relay.mark_seen(NodeId{2}, other,
+                  TimePoint::origin() + Duration::seconds(151));
+  EXPECT_FALSE(relay.has_seen(NodeId{1}, id));
+}
+
+TEST(FloodRelay, ZeroTtlNeverSweeps) {
+  Topology t;
+  Rng rng{22};
+  FloodRelay relay{t, rng.fork(1)};
+  const Uuid id = make_id(rng);
+  relay.mark_seen(NodeId{1}, id, TimePoint::origin());
+  relay.mark_seen(NodeId{2}, id, TimePoint::origin() + Duration::hours(24));
+  EXPECT_TRUE(relay.has_seen(NodeId{1}, id));
+  EXPECT_EQ(relay.tracked_floods(), 1u);
+}
+
+TEST(FloodRelay, SweepKeepsBoundedUnderStragglerChurn) {
+  // Continuous stream of distinct floods with time advancing: the tracked
+  // set must stay bounded by what fits inside one TTL window.
+  Topology t;
+  Rng rng{23};
+  FloodRelay relay{t, rng.fork(1)};
+  relay.set_ttl(Duration::seconds(60));
+  for (int i = 0; i < 1000; ++i) {
+    const Uuid id = make_id(rng);
+    const TimePoint now = TimePoint::origin() + Duration::seconds(i);
+    relay.mark_seen(NodeId{1}, id, now);
+    relay.forget(id);
+    relay.mark_seen(NodeId{1}, id, now);  // straggler re-creation
+  }
+  EXPECT_LE(relay.tracked_floods(), 61u);
+}
+
 // Simulated flood over a real topology: verify hop/fanout bounds control
 // coverage the way the protocol relies on.
 std::size_t flood_coverage(const Topology& t, NodeId origin, std::size_t hops,

@@ -4,6 +4,7 @@
 //   aria_sim --scenario iMixed --runs 3 --seed 7
 //   aria_sim --scenario HighLoad --resched --nodes 200 --jobs 400 --csv out/
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -91,7 +92,7 @@ int main(int argc, char** argv) {
   std::size_t stranded = 0;
   if (cfg.faults.enabled) {
     std::uint64_t lost = 0, duplicated = 0, delayed = 0, partition_drops = 0;
-    std::uint64_t crashes = 0, restarts = 0, recoveries = 0;
+    std::uint64_t crashes = 0, restarts = 0, recoveries = 0, dropped = 0;
     std::size_t abandoned = 0;
     for (const auto& r : results) {
       lost += r.faults.lost;
@@ -102,6 +103,7 @@ int main(int argc, char** argv) {
       restarts += r.faults.restarts;
       recoveries += r.tracker.total_recoveries();
       abandoned += r.tracker.abandoned_count();
+      dropped += r.submissions_dropped;
       stranded += r.stranded();
     }
     std::cout << "\nfault injection (totals over " << results.size()
@@ -113,7 +115,41 @@ int main(int argc, char** argv) {
               << "\n"
               << "  failsafe recoveries: " << recoveries
               << ", jobs abandoned: " << abandoned
+              << ", submissions dropped: " << dropped
               << ", jobs stranded: " << stranded << "\n";
+  }
+
+  // Printed only when the healing plane ran (same byte-identity contract as
+  // the fault block above).
+  if (cfg.aria.healing.enabled) {
+    std::uint64_t evictions = 0, false_susp = 0, repairs = 0, rejoins = 0;
+    std::uint64_t rounds = 0, disconnected = 0;
+    double max_heal = 0.0, probe_mib = 0.0;
+    bool end_connected = true;
+    for (const auto& r : results) {
+      evictions += r.neighbor_evictions;
+      false_susp += r.false_suspicions;
+      repairs += r.repair_links;
+      rejoins += r.rejoin_requests;
+      rounds += r.probe_rounds;
+      disconnected += r.live_disconnected_samples;
+      max_heal = std::max(max_heal, r.max_heal_minutes);
+      probe_mib += r.probe_traffic_mib();
+      end_connected = end_connected && r.live_subgraph_connected_at_end;
+    }
+    std::cout << "\noverlay health (totals over " << results.size()
+              << " run(s)):\n"
+              << "  evictions: " << evictions
+              << ", false suspicions: " << false_susp
+              << ", repair links: " << repairs
+              << ", rejoin requests: " << rejoins << "\n"
+              << "  probe rounds: " << rounds << ", probe traffic: "
+              << metrics::Table::num(probe_mib, 2) << " MiB\n"
+              << "  live subgraph disconnected samples: " << disconnected
+              << ", worst heal window: "
+              << metrics::Table::num(max_heal, 1) << " min"
+              << ", connected at end: " << (end_connected ? "yes" : "NO")
+              << "\n";
   }
 
   bool violations = false;
