@@ -8,6 +8,7 @@
 #include <compare>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <string>
 
@@ -25,7 +26,13 @@ class NodeId {
 
   constexpr auto operator<=>(const NodeId&) const = default;
 
-  std::string to_string() const { return "n" + std::to_string(v_); }
+  // snprintf instead of "n" + std::to_string: the concatenation pattern
+  // trips GCC 12's -Wrestrict false positive (PR105329) under -O2 -Werror.
+  std::string to_string() const {
+    char buf[16];
+    return {buf, static_cast<std::size_t>(
+                     std::snprintf(buf, sizeof buf, "n%u", v_))};
+  }
 
  private:
   std::uint32_t v_{UINT32_MAX};

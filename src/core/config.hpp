@@ -4,6 +4,7 @@
 // 3-minute improvement threshold for rescheduling.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 
 #include "common/time.hpp"
@@ -11,17 +12,70 @@
 
 namespace aria::proto {
 
+/// Shared discovery-retry policy (docs/protocol.md §1). Both discovery
+/// schemes — ARiA's REQUEST re-floods and the gossip baseline's cache-miss
+/// retries — give up the same way: wait, try again, declare the job
+/// unschedulable after a bounded number of attempts. One struct keeps the
+/// two knob sets from drifting apart.
+struct DiscoveryRetryPolicy {
+  /// Base wait before the next attempt.
+  Duration backoff{Duration::seconds(10)};
+  /// The wait doubles per attempt up to backoff * max_backoff_factor;
+  /// 1 means a fixed interval (the gossip baseline's historical behavior).
+  std::size_t max_backoff_factor{8};
+  /// Attempts before the job is declared unschedulable (0 = retry forever).
+  std::size_t max_attempts{25};
+
+  /// Wait after attempt `attempt` (1-based) drew no candidate.
+  Duration wait_after(std::size_t attempt) const {
+    std::size_t factor = max_backoff_factor;
+    if (attempt >= 1 && attempt - 1 < 63) {
+      factor = std::min(max_backoff_factor, std::size_t{1} << (attempt - 1));
+    }
+    return backoff * static_cast<std::int64_t>(factor);
+  }
+  /// Was `attempt` (1-based) the last one allowed?
+  bool exhausted(std::size_t attempt) const {
+    return max_attempts != 0 && attempt >= max_attempts;
+  }
+};
+
+/// Overload-robustness plane (docs/overload.md): bounded queues, admission
+/// control with an explicit REJECT answer, cost-aware bid suppression, and
+/// shed-and-forward rescheduling. Off by default — with the plane off queues
+/// are unbounded, no REJECT traffic exists, and runs stay byte-identical to
+/// the unhardened protocol.
+struct OverloadParams {
+  bool enabled{false};
+  /// Queue bound = max(1, round(capacity_per_perf * performance_index)):
+  /// faster machines drain faster, so they may hold proportionally more.
+  double capacity_per_perf{6.0};
+  /// Admission watermark in backlog terms (remaining runtime of the
+  /// executing job + ERTp of everything queued): an ASSIGN arriving while
+  /// the backlog exceeds this is answered with REJECT instead of silently
+  /// enqueued. Length-bounded sheds catch short-job pileups; this cost
+  /// watermark catches long-job ones.
+  Duration admission_backlog{Duration::hours(10)};
+  /// Cost-aware bidding hysteresis: stop answering REQUEST/INFORM once the
+  /// backlog exceeds bid_stop * admission_backlog, resume only after it
+  /// drains below bid_resume * admission_backlog (no flapping around one
+  /// threshold).
+  double bid_stop{0.75};
+  double bid_resume{0.5};
+  /// How long a shed job's INFORM burst collects offers before falling back
+  /// to a discovery round on the initiator's behalf.
+  Duration shed_offer_timeout{Duration::seconds(10)};
+};
+
 struct AriaConfig {
   // --- submission phase -----------------------------------------------
   std::size_t request_hops{9};
   std::size_t request_fanout{4};
   /// How long an initiator collects ACCEPT offers before deciding.
   Duration accept_timeout{Duration::seconds(5)};
-  /// Backoff before re-flooding a REQUEST that drew no offers; doubles per
-  /// attempt (capped at 8x).
-  Duration request_retry_backoff{Duration::seconds(10)};
-  /// Attempts before a job is declared unschedulable (0 = retry forever).
-  std::size_t max_request_attempts{25};
+  /// Re-flood policy for REQUESTs that drew no offers: 10s base backoff
+  /// doubling per attempt (capped at 8x), at most 25 attempts.
+  DiscoveryRetryPolicy retry{};
   /// May the initiator offer itself as a candidate when it matches?
   bool initiator_self_candidate{true};
 
@@ -93,6 +147,12 @@ struct AriaConfig {
   /// link repair. Off by default: with healing off nodes send no probe
   /// traffic at all, keeping fault-free runs byte-identical.
   overlay::HealingParams healing{};
+
+  // --- overload-robustness plane (docs/overload.md) ----------------------
+  /// Bounded queues, admission REJECTs, bid suppression under saturation,
+  /// and shed-and-forward. Off by default with the same byte-identity
+  /// contract as the fault and healing planes.
+  OverloadParams overload{};
 };
 
 }  // namespace aria::proto

@@ -130,13 +130,13 @@ void GossipNode::try_assign(const grid::JobSpec& job, std::size_t attempt) {
   for (const auto& [id, s] : cache_) consider(s);
 
   if (best == nullptr) {
-    if (attempt >= ctx_.config->max_attempts) {
+    if (ctx_.config->retry.exhausted(attempt)) {
       if (ctx_.observer) ctx_.observer->on_unschedulable(job.id, now);
       return;
     }
     if (ctx_.observer) ctx_.observer->on_request_retry(job.id, attempt + 1, now);
     grid::JobSpec copy = job;
-    ctx_.sim->schedule_after(ctx_.config->retry_interval,
+    ctx_.sim->schedule_after(ctx_.config->retry.wait_after(attempt),
                              [this, copy = std::move(copy), attempt] {
                                try_assign(copy, attempt + 1);
                              });

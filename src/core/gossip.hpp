@@ -24,6 +24,7 @@
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
+#include "core/config.hpp"
 #include "core/messages.hpp"
 #include "core/observer.hpp"
 #include "grid/job.hpp"
@@ -43,9 +44,13 @@ struct GossipConfig {
   std::size_t summaries_per_message{8};
   /// Cached summaries older than this are ignored for scheduling.
   Duration max_summary_age{Duration::minutes(5)};
-  /// Re-gossip/retry interval when no cached candidate matches a job.
-  Duration retry_interval{Duration::seconds(30)};
-  std::size_t max_attempts{40};
+  /// Retry policy when no cached candidate matches a job. Shares
+  /// DiscoveryRetryPolicy with ARiA's REQUEST re-floods (docs/protocol.md
+  /// §1) so the two discovery schemes cannot drift apart; the gossip
+  /// baseline keeps its historical fixed 30s interval (factor cap 1 = no
+  /// exponential growth) and 40-attempt cap.
+  DiscoveryRetryPolicy retry{Duration::seconds(30), /*max_backoff_factor=*/1,
+                             /*max_attempts=*/40};
 };
 
 /// A node's advertised state: enough to estimate the ETTC a job would see.

@@ -31,6 +31,10 @@ inline constexpr std::size_t kAssignWireBytes = 1024;
 inline constexpr std::size_t kAcceptWireBytes = 128;
 inline constexpr std::size_t kNotifyWireBytes = 128;
 inline constexpr std::size_t kAssignAckWireBytes = 128;
+// Overload plane: a REJECT returns the full job profile to the delegator
+// (who no longer holds the spec once the ASSIGN left), so it meters like
+// the profile-carrying types.
+inline constexpr std::size_t kRejectWireBytes = 1024;
 // Healing-plane control traffic: PING/LINK_REQ are a bare (address, seq)
 // pair; PONG/LINK_ACK additionally carry a small live-neighbor sample.
 inline constexpr std::size_t kPingWireBytes = 64;
@@ -44,6 +48,7 @@ inline constexpr const char* kInformType = "INFORM";
 inline constexpr const char* kAssignType = "ASSIGN";
 inline constexpr const char* kNotifyType = "NOTIFY";
 inline constexpr const char* kAssignAckType = "ASSIGN_ACK";
+inline constexpr const char* kRejectType = "REJECT";
 inline constexpr const char* kPingType = "PING";
 inline constexpr const char* kPongType = "PONG";
 inline constexpr const char* kLinkReqType = "LINK_REQ";
@@ -189,6 +194,37 @@ struct AssignAckMsg final : sim::Message {
   static sim::MessageTypeId static_type() {
     static const sim::MessageTypeId id =
         sim::MessageTypeRegistry::intern(kAssignAckType);
+    return id;
+  }
+};
+
+/// Admission refusal (overload plane, docs/overload.md): "Rejecter's address
+/// | Job Profile | Initiator's address | reschedule flag". A node over its
+/// admission watermark answers an ASSIGN with this instead of enqueueing;
+/// the delegator treats it like an exhausted ACK and re-discovers
+/// immediately. Carries the full spec because the delegator dropped its copy
+/// when the ASSIGN went out. `reject_id` is fresh per refusal so network
+/// duplicates of one REJECT can be deduplicated without suppressing a later,
+/// genuine second refusal of the same job.
+struct RejectMsg final : sim::Message {
+  NodeId node;
+  grid::JobSpec job;
+  NodeId initiator;
+  bool reschedule{false};
+  Uuid reject_id{};
+
+  RejectMsg(NodeId node_, grid::JobSpec job_, NodeId initiator_,
+            bool reschedule_, Uuid reject_id_)
+      : node{node_}, job{std::move(job_)}, initiator{initiator_},
+        reschedule{reschedule_}, reject_id{reject_id_} {}
+  std::size_t wire_size() const override { return kRejectWireBytes; }
+  std::unique_ptr<sim::Message> clone() const override {
+    return std::make_unique<RejectMsg>(*this);
+  }
+  sim::MessageTypeId type_id() const override { return static_type(); }
+  static sim::MessageTypeId static_type() {
+    static const sim::MessageTypeId id =
+        sim::MessageTypeRegistry::intern(kRejectType);
     return id;
   }
 };

@@ -2,14 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "common/logging.hpp"
 
 namespace aria::proto {
 
 namespace {
-constexpr std::size_t kMaxBackoffFactor = 8;
-
 // splitmix64-style mix so consecutive node ids seed well-separated probe
 // streams (the probe plane must not touch the protocol RNG tree).
 std::uint64_t probe_seed(NodeId self) {
@@ -34,6 +33,14 @@ AriaNode::AriaNode(NodeContext ctx, NodeId self, grid::NodeProfile profile,
          ctx_.ert_error);
   assert(!ctx_.config->healing.enabled || ctx_.healing_topo != nullptr);
   assert(sched_);
+  if (ctx_.config->overload.enabled) {
+    // Queue bound scales with the machine's speed: a 2x performance index
+    // drains twice as fast, so it may hold twice the work.
+    const double cap =
+        ctx_.config->overload.capacity_per_perf * profile_.performance_index;
+    sched_->set_capacity(std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(cap))));
+  }
   sync_idle_gauge();  // a fresh node is idle
 }
 
@@ -85,6 +92,7 @@ void AriaNode::stop() {
   if (running_) running_->completion.cancel();
   for (auto& [id, pending] : pending_requests_) pending.timeout.cancel();
   for (auto& [id, p] : pending_assigns_) p.timer.cancel();
+  for (auto& [id, s] : shed_jobs_) s.timer.cancel();
   for (auto& [id, w] : watched_) w.timer.cancel();
   ctx_.net->detach(self_);
 }
@@ -106,6 +114,10 @@ void AriaNode::crash() {
   pending_assigns_.clear();
   acked_assigns_.clear();
   initiator_of_.clear();
+  shed_jobs_.clear();  // in-flight shed buffers die with the node; the
+                       // initiator's failsafe watchdog recovers those jobs
+  seen_rejects_.clear();
+  bids_suppressed_ = false;
   if (ctx_.config->healing.enabled) {
     // The liveness view is volatile, but the neighbor *addresses* model
     // stable storage (a deployment keeps its bootstrap list on disk): the
@@ -202,7 +214,11 @@ void AriaNode::flood_request(const grid::JobSpec& spec, std::size_t attempt) {
 
   // The initiator may compete for its own job (no wire traffic involved).
   if (ctx_.config->initiator_self_candidate && can_bid(spec)) {
-    it->second.offers.emplace_back(self_, spec.id, my_cost(spec));
+    if (overload_on() && bid_gate_closed()) {
+      ++counters_.bids_suppressed;  // saturated: don't bid on own job either
+    } else {
+      it->second.offers.emplace_back(self_, spec.id, my_cost(spec));
+    }
   }
 
   const auto targets = ctx_.relay->pick_targets(
@@ -227,8 +243,7 @@ void AriaNode::decide_assignment(const JobId& id) {
 
   if (pending.offers.empty()) {
     const std::size_t next_attempt = pending.attempt + 1;
-    if (ctx_.config->max_request_attempts != 0 &&
-        pending.attempt >= ctx_.config->max_request_attempts) {
+    if (ctx_.config->retry.exhausted(pending.attempt)) {
       ARIA_WARN << self_.to_string() << ": job " << id.to_string()
                 << " unschedulable after " << pending.attempt << " attempts";
       if (ctx_.observer) ctx_.observer->on_unschedulable(id, ctx_.sim->now());
@@ -238,10 +253,7 @@ void AriaNode::decide_assignment(const JobId& id) {
     if (ctx_.observer) {
       ctx_.observer->on_request_retry(id, next_attempt, ctx_.sim->now());
     }
-    const auto factor = std::min<std::size_t>(
-        kMaxBackoffFactor, std::size_t{1} << (pending.attempt - 1));
-    const Duration backoff =
-        ctx_.config->request_retry_backoff * static_cast<std::int64_t>(factor);
+    const Duration backoff = ctx_.config->retry.wait_after(pending.attempt);
     ctx_.sim->schedule_after(backoff, [this, id, next_attempt] {
       auto again = pending_requests_.find(id);
       if (again == pending_requests_.end()) return;
@@ -279,6 +291,16 @@ bool AriaNode::remove_queued(const JobId& id) {
 void AriaNode::send_assign(NodeId target, const grid::JobSpec& spec,
                            NodeId initiator, bool reschedule) {
   if (target == self_) {
+    if (overload_on() && admission_over()) {
+      // The backlog crossed the watermark between the self-bid and this
+      // decision; refuse locally exactly like a wire REJECT would.
+      ++counters_.rejects_sent;
+      if (ctx_.observer) {
+        ctx_.observer->on_rejected(spec.id, self_, ctx_.sim->now());
+      }
+      handle_reject(spec, initiator, reschedule);
+      return;
+    }
     // Local delegation needs no wire message.
     accept_job(spec, initiator, reschedule);
     return;
@@ -343,10 +365,21 @@ void AriaNode::assign_ack_expired(const JobId& id) {
 
 void AriaNode::accept_job(const grid::JobSpec& spec, NodeId initiator,
                           bool reschedule) {
-  // Nodes may not decline jobs they offered to take (paper §III-A).
+  // Nodes may not decline jobs they offered to take (paper §III-A). Under
+  // the overload plane the bounded queue may still evict — the job (or a
+  // policy-chosen victim) is then shed-and-forwarded, never dropped.
   initiator_of_[spec.id] = initiator;
-  sched_->enqueue(sched::QueuedJob{
-      spec, spec.ert_on(profile_.performance_index), ctx_.sim->now(), 0});
+  sched::QueuedJob incoming{
+      spec, spec.ert_on(profile_.performance_index), ctx_.sim->now(), 0};
+  std::optional<sched::QueuedJob> victim;
+  if (overload_on()) {
+    victim = sched_->enqueue_bounded(std::move(incoming), running_remaining(),
+                                     ctx_.sim->now());
+  } else {
+    sched_->enqueue(std::move(incoming));
+  }
+  counters_.peak_queue_depth =
+      std::max<std::uint64_t>(counters_.peak_queue_depth, sched_->size());
   if (reschedule) ++counters_.reschedules_in;
   if (ctx_.observer) {
     ctx_.observer->on_assigned(spec, self_, ctx_.sim->now(), reschedule);
@@ -354,6 +387,7 @@ void AriaNode::accept_job(const grid::JobSpec& spec, NodeId initiator,
   if (ctx_.config->failsafe) {
     notify_initiator_of(spec.id, NotifyMsg::Kind::kQueued);
   }
+  if (victim) shed_job(std::move(*victim));
   kick_executor();
   sync_idle_gauge();
 }
@@ -375,6 +409,8 @@ void AriaNode::handle(sim::Envelope env) {
     on_assign_ack(*ack);
   } else if (auto* ntf = dynamic_cast<const NotifyMsg*>(env.message.get())) {
     on_notify(*ntf);
+  } else if (auto* rej = dynamic_cast<const RejectMsg*>(env.message.get())) {
+    on_reject(env.from, *rej);
   } else if (ctx_.config->healing.enabled) {
     if (auto* ping = dynamic_cast<const PingMsg*>(env.message.get())) {
       on_ping(env.from, *ping);
@@ -396,11 +432,17 @@ void AriaNode::on_request(NodeId from, const RequestMsg& msg) {
 
   bool replied = false;
   if (can_bid(msg.job)) {
-    ++counters_.accepts_sent;
-    ctx_.net->send(self_, msg.initiator,
-                   std::make_unique<AcceptMsg>(self_, msg.job.id,
-                                               my_cost(msg.job)));
-    replied = true;
+    if (overload_on() && bid_gate_closed()) {
+      // Saturated: withhold the bid so discovery routes around this node.
+      // Not replying means the flood still forwards below.
+      ++counters_.bids_suppressed;
+    } else {
+      ++counters_.accepts_sent;
+      ctx_.net->send(self_, msg.initiator,
+                     std::make_unique<AcceptMsg>(self_, msg.job.id,
+                                                 my_cost(msg.job)));
+      replied = true;
+    }
   }
   // Paper-literal forwarding rule: satisfied requests stop here.
   if (replied && !ctx_.config->forward_on_match) return;
@@ -427,10 +469,14 @@ void AriaNode::on_inform(NodeId from, const InformMsg& msg) {
     const double cost = my_cost(msg.job);
     // Reply only when the improvement clears the threshold (paper §III-D).
     if (cost < msg.cost - ctx_.config->reschedule_threshold.to_seconds()) {
-      ++counters_.accepts_sent;
-      ctx_.net->send(self_, msg.assignee,
-                     std::make_unique<AcceptMsg>(self_, msg.job.id, cost));
-      replied = true;
+      if (overload_on() && bid_gate_closed()) {
+        ++counters_.bids_suppressed;  // would have offered, but saturated
+      } else {
+        ++counters_.accepts_sent;
+        ctx_.net->send(self_, msg.assignee,
+                       std::make_unique<AcceptMsg>(self_, msg.job.id, cost));
+        replied = true;
+      }
     }
   }
   if (replied && !ctx_.config->forward_on_match) return;
@@ -456,7 +502,32 @@ void AriaNode::on_accept(const AcceptMsg& msg) {
     return;
   }
 
-  // Case 2: a rescheduling proposal for a job this node currently holds.
+  // Case 2: an offer for a job this node shed from its bounded queue. The
+  // job's only home is the shed buffer, so the first viable offer wins —
+  // there is no local cost to re-verify against.
+  if (auto sh = shed_jobs_.find(msg.job_id); sh != shed_jobs_.end()) {
+    ShedJob shed = std::move(sh->second);
+    shed.timer.cancel();
+    shed_jobs_.erase(sh);
+    ++counters_.sheds_rescheduled;
+    ++counters_.reschedules_out;
+    if ((ctx_.config->notify_initiator || ctx_.config->failsafe) &&
+        shed.initiator.valid()) {
+      if (shed.initiator == self_) {
+        on_notify(
+            NotifyMsg{NotifyMsg::Kind::kRescheduled, msg.job_id, msg.node});
+      } else {
+        ctx_.net->send(self_, shed.initiator,
+                       std::make_unique<NotifyMsg>(
+                           NotifyMsg::Kind::kRescheduled, msg.job_id,
+                           msg.node));
+      }
+    }
+    send_assign(msg.node, shed.spec, shed.initiator, /*reschedule=*/true);
+    return;
+  }
+
+  // Case 3: a rescheduling proposal for a job this node currently holds.
   const auto pi = pending_informs_.find(msg.job_id);
   if (pi == pending_informs_.end()) return;  // stale or unsolicited
   const sched::QueuedJob* held = sched_->find(msg.job_id);
@@ -495,6 +566,24 @@ void AriaNode::on_accept(const AcceptMsg& msg) {
 }
 
 void AriaNode::on_assign(NodeId from, const AssignMsg& msg) {
+  if (overload_on() && admission_over() && !holds(msg.job.id) &&
+      !(ctx_.config->assign_ack && !msg.assign_id.is_nil() &&
+        acked_assigns_.contains(msg.assign_id))) {
+    // Over the admission watermark: answer with an explicit REJECT instead
+    // of silently enqueueing, so the delegator can re-discover immediately.
+    // Retransmissions of an already-queued attempt fall through to the
+    // normal path (they must be re-ACKed, not refused), hence the holds()
+    // and dedup guards.
+    ++counters_.rejects_sent;
+    if (ctx_.observer) {
+      ctx_.observer->on_rejected(msg.job.id, self_, ctx_.sim->now());
+    }
+    ctx_.net->send(self_, from,
+                   std::make_unique<RejectMsg>(self_, msg.job, msg.initiator,
+                                               msg.reschedule,
+                                               Uuid::generate(rng_)));
+    return;
+  }
   if (ctx_.config->assign_ack && !msg.assign_id.is_nil()) {
     // Always confirm — a duplicate usually means the previous ACK was lost.
     ++counters_.assign_acks_sent;
@@ -587,9 +676,10 @@ void AriaNode::watchdog_expired(const JobId& id) {
     arm_watchdog(id);
     return;
   }
-  // A discovery round or delegation retry is already in flight: keep
-  // watching rather than starting a competing one.
-  if (pending_requests_.contains(id) || pending_assigns_.contains(id)) {
+  // A discovery round, delegation retry, or shed re-advertisement is
+  // already in flight: keep watching rather than starting a competing one.
+  if (pending_requests_.contains(id) || pending_assigns_.contains(id) ||
+      shed_jobs_.contains(id)) {
     arm_watchdog(id);
     return;
   }
@@ -713,6 +803,133 @@ void AriaNode::complete_running() {
   }
   kick_executor();
   sync_idle_gauge();
+}
+
+// ---------------------------------------------------------------------------
+// Overload plane (docs/overload.md)
+// ---------------------------------------------------------------------------
+
+bool AriaNode::admission_over() const {
+  return backlog_duration() >= ctx_.config->overload.admission_backlog;
+}
+
+bool AriaNode::bid_gate_closed() {
+  // Hard gate: a full queue must not attract more work. Winning a bid while
+  // at capacity would immediately shed a victim, and under grid-wide
+  // saturation that degenerates into shed ping-pong (jobs bouncing between
+  // full nodes forever). Sheds stay reachable through the genuine race —
+  // two delegators assigning into the same last slot.
+  if (sched_->at_capacity()) return true;
+  const OverloadParams& ov = ctx_.config->overload;
+  const Duration backlog = backlog_duration();
+  if (bids_suppressed_) {
+    if (backlog <= ov.admission_backlog.scaled(ov.bid_resume)) {
+      bids_suppressed_ = false;  // drained enough: resume bidding
+    }
+  } else if (backlog >= ov.admission_backlog.scaled(ov.bid_stop)) {
+    bids_suppressed_ = true;  // saturating: stop attracting work
+  }
+  return bids_suppressed_;
+}
+
+void AriaNode::on_reject(NodeId from, const RejectMsg& msg) {
+  (void)from;
+  if (!overload_on()) return;  // knob off: nobody legitimately sends these
+  // The fault plane may duplicate the wire message; each *refusal* carries
+  // its own UUID, so retransmitted copies collapse while a legitimate second
+  // refusal of the same (job, node) pair still gets through.
+  if (!seen_rejects_.insert(msg.reject_id).second) return;
+  const Uuid reject_id = msg.reject_id;
+  ctx_.sim->schedule_after(ctx_.config->assign_dedup_gc_delay,
+                           [this, reject_id] {
+                             seen_rejects_.erase(reject_id);
+                           });
+  handle_reject(msg.job, msg.initiator, msg.reschedule);
+}
+
+void AriaNode::handle_reject(const grid::JobSpec& spec, NodeId initiator,
+                             bool reschedule) {
+  // Stop retransmitting the refused attempt.
+  if (auto it = pending_assigns_.find(spec.id); it != pending_assigns_.end()) {
+    it->second.timer.cancel();
+    pending_assigns_.erase(it);
+  }
+  // The job already found a home (a duplicate ASSIGN landed elsewhere, a
+  // racing recovery round is in flight, or it bounced back here): starting
+  // another discovery round would double-execute it.
+  if (pending_requests_.contains(spec.id) || holds(spec.id) ||
+      shedding(spec.id)) {
+    return;
+  }
+  ++counters_.reject_rediscoveries;
+  auto [pending, inserted] = pending_requests_.try_emplace(spec.id);
+  assert(inserted);
+  pending->second.spec = spec;
+  pending->second.recovery_reschedule = reschedule;
+  if (initiator.valid() && initiator != self_) {
+    pending->second.on_behalf_of = initiator;
+  }
+  flood_request(pending->second.spec, 1);
+}
+
+void AriaNode::shed_job(sched::QueuedJob&& victim) {
+  ++counters_.jobs_shed;
+  const JobId id = victim.spec.id;
+  NodeId initiator{};
+  if (auto it = initiator_of_.find(id); it != initiator_of_.end()) {
+    initiator = it->second;
+    initiator_of_.erase(it);
+  }
+  pending_informs_.erase(id);
+  if (ctx_.observer) {
+    ctx_.observer->on_shed(victim.spec, self_, ctx_.sim->now());
+  }
+
+  // Shed-and-forward: an immediate out-of-cycle INFORM burst advertising the
+  // job at the cost it would incur by *staying* here, so any less-loaded
+  // neighbor outbids it.
+  const double cost = sched_->cost_of_adding(victim.spec, victim.ertp,
+                                             running_remaining(),
+                                             ctx_.sim->now());
+  const Uuid flood_id = Uuid::generate(rng_);
+  ctx_.relay->mark_seen(self_, flood_id, ctx_.sim->now());
+  schedule_flood_gc(flood_id);
+  const FloodMeta meta{
+      flood_id, static_cast<std::uint32_t>(ctx_.config->inform_hops - 1),
+      self_};
+  const auto targets =
+      ctx_.relay->pick_targets(self_, ctx_.config->inform_fanout);
+  for (NodeId t : targets) {
+    ctx_.net->send(self_, t, std::make_unique<InformMsg>(self_, victim.spec,
+                                                         cost, meta));
+  }
+  if (!targets.empty()) ++counters_.informs_initiated;
+
+  ShedJob shed{std::move(victim.spec), initiator, {}};
+  shed.timer = ctx_.sim->schedule_after(
+      ctx_.config->overload.shed_offer_timeout,
+      [this, id] { shed_offer_expired(id); });
+  shed_jobs_[id] = std::move(shed);
+  sync_idle_gauge();
+}
+
+void AriaNode::shed_offer_expired(const JobId& id) {
+  const auto it = shed_jobs_.find(id);
+  if (it == shed_jobs_.end()) return;
+  ShedJob shed = std::move(it->second);
+  shed_jobs_.erase(it);
+  ++counters_.sheds_failsafe;
+  // No taker within the offer window: fall back to the regular discovery
+  // path on the initiator's behalf (same shape as a failed delegation).
+  if (pending_requests_.contains(id)) return;  // a round is already running
+  auto [pending, inserted] = pending_requests_.try_emplace(id);
+  assert(inserted);
+  pending->second.spec = std::move(shed.spec);
+  pending->second.recovery_reschedule = true;
+  if (shed.initiator.valid() && shed.initiator != self_) {
+    pending->second.on_behalf_of = shed.initiator;
+  }
+  flood_request(pending->second.spec, 1);
 }
 
 // ---------------------------------------------------------------------------

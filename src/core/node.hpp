@@ -136,6 +136,15 @@ class AriaNode {
     std::uint64_t assign_acks_sent{0};   // ASSIGN_ACK replies (assign_ack on)
     std::uint64_t assign_retries{0};     // ASSIGN retransmissions
     std::uint64_t assign_rediscoveries{0};  // ACKs exhausted, re-flooded
+    // --- overload plane (all zero when the plane is off) -----------------
+    std::uint64_t jobs_shed{0};          // bounded-queue evictions here
+    std::uint64_t sheds_rescheduled{0};  // shed jobs taken by an INFORM offer
+    std::uint64_t sheds_failsafe{0};     // shed bursts that fell back to
+                                         // a discovery round
+    std::uint64_t rejects_sent{0};       // ASSIGNs answered with REJECT
+    std::uint64_t reject_rediscoveries{0};  // REJECTed delegations re-floated
+    std::uint64_t bids_suppressed{0};    // ACCEPTs withheld while saturated
+    std::uint64_t peak_queue_depth{0};   // high-water mark of the local queue
   };
   const Counters& counters() const { return counters_; }
 
@@ -161,6 +170,15 @@ class AriaNode {
   /// Is a discovery round or an unacknowledged delegation in flight here?
   bool discovering(const JobId& id) const {
     return pending_requests_.contains(id) || pending_assigns_.contains(id);
+  }
+  /// Overload plane: is this shed job still waiting for an INFORM offer?
+  bool shedding(const JobId& id) const { return shed_jobs_.contains(id); }
+  /// Overload plane: is this node currently withholding ACCEPT replies?
+  bool bids_suppressed() const { return bids_suppressed_; }
+  /// Overload plane: remaining runtime of the executing job plus the ERTp
+  /// of everything queued — the admission-watermark quantity.
+  Duration backlog_duration() const {
+    return running_remaining() + sched_->backlog();
   }
 
  private:
@@ -199,6 +217,14 @@ class AriaNode {
     Duration art;
     sim::EventHandle completion;
   };
+  /// A shed job awaiting an INFORM offer (overload plane). The job is no
+  /// longer in the queue; this buffer is its only home until an offer or
+  /// the fallback timer moves it on.
+  struct ShedJob {
+    grid::JobSpec spec;
+    NodeId initiator{};
+    sim::EventHandle timer;
+  };
   /// One unacknowledged delegation attempt (AriaConfig::assign_ack).
   struct PendingAssign {
     grid::JobSpec spec;
@@ -218,6 +244,25 @@ class AriaNode {
   void on_assign_ack(const AssignAckMsg& msg);
   void assign_ack_expired(const JobId& id);
   void on_notify(const NotifyMsg& msg);
+
+  // --- overload plane (docs/overload.md) ---------------------------------
+  bool overload_on() const { return ctx_.config->overload.enabled; }
+  /// Is the backlog over the admission watermark right now?
+  bool admission_over() const;
+  /// Updates the bid-suppression hysteresis from the current backlog and
+  /// returns its state. Called exactly where a bid decision is made, so the
+  /// gate is always fresh without extra events.
+  bool bid_gate_closed();
+  void on_reject(NodeId from, const RejectMsg& msg);
+  /// Shared by on_reject and the local self-assign refusal: tears down any
+  /// ACK bookkeeping for the attempt and starts a fresh discovery round on
+  /// the initiator's behalf (unless the job already found a home here).
+  void handle_reject(const grid::JobSpec& spec, NodeId initiator,
+                     bool reschedule);
+  /// Shed-and-forward: re-advertises the victim via an immediate INFORM
+  /// burst, falling back to a discovery round after shed_offer_timeout.
+  void shed_job(sched::QueuedJob&& victim);
+  void shed_offer_expired(const JobId& id);
 
   // --- self-healing plane (docs/overlay.md) ------------------------------
   /// One probe round: re-syncs the view against the overlay neighbor list,
@@ -276,12 +321,19 @@ class AriaNode {
   std::unordered_set<Uuid> acked_assigns_;
   /// Initiator address for every job currently queued or running here.
   std::unordered_map<JobId, NodeId> initiator_of_;
+  /// Overload plane: shed jobs waiting out their INFORM burst.
+  std::unordered_map<JobId, ShedJob> shed_jobs_;
+  /// REJECT ids already acted on, so network duplicates of one refusal do
+  /// not spawn competing discovery rounds (GC'd like acked_assigns_).
+  std::unordered_set<Uuid> seen_rejects_;
 
   sim::EventHandle inform_timer_;
   sim::EventHandle reservation_wake_;
   bool started_{false};
   bool crashed_{false};
   bool counted_idle_{false};  // current contribution to ctx_.idle_gauge
+  /// Overload-plane hysteresis: true while this node withholds ACCEPTs.
+  bool bids_suppressed_{false};
   Counters counters_;
 
   // --- self-healing plane state (all inert when healing is off) ----------

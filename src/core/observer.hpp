@@ -61,6 +61,19 @@ class ProtocolObserver {
   virtual void on_abandoned(const JobId& id, TimePoint at) {
     (void)id; (void)at;
   }
+
+  /// Overload plane: `node`'s bounded queue overflowed and the policy chose
+  /// this job as the shed victim; an INFORM burst re-advertising it is
+  /// going out. Not terminal — the job is rescheduled or re-discovered.
+  virtual void on_shed(const grid::JobSpec& job, NodeId node, TimePoint at) {
+    (void)job; (void)node; (void)at;
+  }
+
+  /// Overload plane: `node` refused an ASSIGN with REJECT because its
+  /// backlog exceeded the admission watermark; the delegator re-discovers.
+  virtual void on_rejected(const JobId& id, NodeId node, TimePoint at) {
+    (void)id; (void)node; (void)at;
+  }
 };
 
 }  // namespace aria::proto

@@ -142,6 +142,28 @@ void JobTracker::on_abandoned(const JobId& id, TimePoint) {
   }
 }
 
+void JobTracker::on_shed(const grid::JobSpec& job, NodeId, TimePoint) {
+  if (JobRecord* r = must_find(job.id, "shed")) {
+    ++r->sheds;
+    ++sheds_;
+  }
+}
+
+void JobTracker::on_rejected(const JobId& id, NodeId, TimePoint) {
+  if (JobRecord* r = must_find(id, "rejection")) {
+    ++r->rejects;
+    ++rejects_;
+  }
+}
+
+std::size_t JobTracker::rejected_incomplete_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, r] : records_) {
+    if (r.rejects > 0 && !r.done()) ++n;
+  }
+  return n;
+}
+
 std::size_t JobTracker::stranded_count() const {
   std::size_t n = 0;
   for (const auto& [id, r] : records_) {

@@ -29,6 +29,8 @@ struct JobRecord {
   Duration art{};
   std::size_t retries{0};
   std::size_t recoveries{0};  // failsafe re-submissions
+  std::size_t sheds{0};       // bounded-queue evictions (overload plane)
+  std::size_t rejects{0};     // admission REJECTs (overload plane)
   bool unschedulable{false};
   /// The initiator exhausted its recovery budget and stopped watching.
   bool abandoned{false};
@@ -72,6 +74,8 @@ class JobTracker final : public ProtocolObserver {
   void on_recovery(const JobId& id, std::size_t attempt,
                    TimePoint at) override;
   void on_abandoned(const JobId& id, TimePoint at) override;
+  void on_shed(const grid::JobSpec& job, NodeId node, TimePoint at) override;
+  void on_rejected(const JobId& id, NodeId node, TimePoint at) override;
 
   const std::unordered_map<JobId, JobRecord>& records() const {
     return records_;
@@ -84,10 +88,17 @@ class JobTracker final : public ProtocolObserver {
   std::size_t abandoned_count() const { return abandoned_; }
   std::uint64_t total_reschedules() const { return reschedules_; }
   std::uint64_t total_recoveries() const { return recoveries_; }
+  std::uint64_t total_sheds() const { return sheds_; }
+  std::uint64_t total_rejects() const { return rejects_; }
 
   /// Submitted jobs that never reached a terminal state (completed,
   /// unschedulable, or abandoned). Must be 0 at the end of any run.
   std::size_t stranded_count() const;
+
+  /// Jobs that were admission-rejected at least once and still never
+  /// completed (unschedulable, abandoned, or stranded) — the population an
+  /// overload run must account for instead of silently reporting success.
+  std::size_t rejected_incomplete_count() const;
 
   /// Lifecycle violations seen so far; empty on a healthy run.
   const std::vector<std::string>& violations() const { return violations_; }
@@ -102,6 +113,8 @@ class JobTracker final : public ProtocolObserver {
   std::size_t abandoned_{0};
   std::uint64_t reschedules_{0};
   std::uint64_t recoveries_{0};
+  std::uint64_t sheds_{0};
+  std::uint64_t rejects_{0};
 };
 
 }  // namespace aria::proto

@@ -15,6 +15,12 @@ double Series::value_at(double t_hours) const {
   return v;
 }
 
+double Series::max_value() const {
+  double v = 0.0;
+  for (const Point& p : points_) v = std::max(v, p.value);
+  return v;
+}
+
 Series Series::downsampled(std::size_t every_nth) const {
   if (every_nth <= 1 || points_.size() <= 2) return *this;
   Series out{label_};

@@ -37,6 +37,9 @@ class Series {
   /// Value at the last sample <= t_hours (0 before the first sample).
   double value_at(double t_hours) const;
 
+  /// Largest sampled value (0 on an empty series).
+  double max_value() const;
+
   /// Keeps roughly every n-th point (plus the last); for compact printing.
   Series downsampled(std::size_t every_nth) const;
 

@@ -25,6 +25,47 @@ void LocalScheduler::enqueue(QueuedJob job) {
   queue_.insert(pos, std::move(job));
 }
 
+Duration LocalScheduler::backlog() const {
+  Duration t = Duration::zero();
+  for (const QueuedJob& q : queue_) t += q.ertp;
+  return t;
+}
+
+std::optional<QueuedJob> LocalScheduler::enqueue_bounded(
+    QueuedJob job, Duration running_remaining, TimePoint now) {
+  enqueue(std::move(job));
+  if (capacity_ == 0 || queue_.size() <= capacity_) return std::nullopt;
+
+  std::size_t victim = queue_.size() - 1;
+  if (cost_family() == CostFamily::kDeadline) {
+    // Shed the most lateness-hopeless job: the smallest gamma along the
+    // execution order (EDF keeps the queue deadline-sorted, but gamma also
+    // depends on everything in front, so scan). Ties go to the newer
+    // arrival — evicting long-waiting work last.
+    Duration t = running_remaining;
+    double worst = HUGE_VAL;
+    std::uint64_t worst_seq = 0;
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      t += queue_[i].ertp;
+      const TimePoint etc = now + t;
+      const double gamma = queue_[i].spec.deadline
+                               ? (*queue_[i].spec.deadline - etc).to_seconds()
+                               : HUGE_VAL;
+      if (gamma < worst ||
+          (gamma == worst && queue_[i].seq > worst_seq)) {
+        worst = gamma;
+        worst_seq = queue_[i].seq;
+        victim = i;
+      }
+    }
+  }
+  // Batch family: the tail job. ETTC is monotone along the execution order,
+  // so the tail is by construction the largest-ETTC job.
+  QueuedJob out = std::move(queue_[victim]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(victim));
+  return out;
+}
+
 std::optional<QueuedJob> LocalScheduler::pop_next() {
   if (queue_.empty()) return std::nullopt;
   QueuedJob head = std::move(queue_.front());

@@ -65,6 +65,28 @@ class LocalScheduler {
   /// Inserts a job at its policy position. `job.seq` is overwritten.
   void enqueue(QueuedJob job);
 
+  // --- bounded queue (overload plane, docs/overload.md) -----------------
+  /// Maximum queued jobs; 0 (the default) means unbounded.
+  void set_capacity(std::size_t cap) { capacity_ = cap; }
+  std::size_t capacity() const { return capacity_; }
+  bool at_capacity() const {
+    return capacity_ != 0 && queue_.size() >= capacity_;
+  }
+
+  /// Total queued work in ERTp terms (excluding the executing job).
+  Duration backlog() const;
+
+  /// enqueue() under the capacity bound: inserts `job` at its policy
+  /// position, then — if the queue now exceeds the bound — removes and
+  /// returns the policy's shed victim (possibly the job just added). Batch
+  /// family: the tail job, i.e. the one with the largest ETTC. Deadline
+  /// family: the most lateness-hopeless job (smallest gamma = deadline -
+  /// ETC along the queue order). `running_remaining`/`now` only matter to
+  /// the deadline family. Returns nullopt when nothing was shed.
+  std::optional<QueuedJob> enqueue_bounded(QueuedJob job,
+                                           Duration running_remaining,
+                                           TimePoint now);
+
   /// Removes and returns the job to execute next (queue head).
   std::optional<QueuedJob> pop_next();
 
@@ -122,6 +144,7 @@ class LocalScheduler {
                          Duration running_remaining, TimePoint now) const;
 
   std::uint64_t next_seq_{0};
+  std::size_t capacity_{0};  // 0 = unbounded
 };
 
 /// Factory covering every kind.

@@ -59,6 +59,20 @@ ScenarioSummary summarize(const ScenarioConfig& scenario,
   s.node_count_series.set_label(scenario.name);
   s.completed_curve = metrics::average(curves);
   s.completed_curve.set_label(scenario.name);
+  if (scenario.aria.overload.enabled && !results.empty()) {
+    std::vector<metrics::Series> depths, sheds, rejects;
+    for (const RunResult& r : results) {
+      depths.push_back(r.queue_depth_series);
+      sheds.push_back(r.shed_series);
+      rejects.push_back(r.reject_series);
+    }
+    s.queue_depth_series = metrics::average(depths);
+    s.queue_depth_series.set_label(scenario.name);
+    s.shed_series = metrics::average(sheds);
+    s.shed_series.set_label(scenario.name);
+    s.reject_series = metrics::average(rejects);
+    s.reject_series.set_label(scenario.name);
+  }
   return s;
 }
 

@@ -32,6 +32,11 @@ struct ScenarioSummary {
   metrics::Series idle_series;       // averaged across runs
   metrics::Series node_count_series; // averaged across runs
   metrics::Series completed_curve;   // averaged across runs
+  /// Overload-plane series, averaged across runs; empty when the plane was
+  /// off for the scenario.
+  metrics::Series queue_depth_series;
+  metrics::Series shed_series;
+  metrics::Series reject_series;
 
   /// Sum over runs; divide by `runs` for a per-run mean.
   sim::TrafficLedger traffic;

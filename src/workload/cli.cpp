@@ -41,6 +41,29 @@ bool parse_partition(const std::string& text, std::pair<double, double>& out) {
   return true;
 }
 
+/// "START,DURATION,INTENSITY": minutes, minutes, rate multiplier > 1.
+bool parse_storm(const std::string& text, StormParams& out) {
+  const auto c1 = text.find(',');
+  if (c1 == std::string::npos) return false;
+  const auto c2 = text.find(',', c1 + 1);
+  if (c2 == std::string::npos) return false;
+  char* end = nullptr;
+  const std::string head = text.substr(0, c1);
+  const std::string mid = text.substr(c1 + 1, c2 - c1 - 1);
+  const std::string tail = text.substr(c2 + 1);
+  const double start = std::strtod(head.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  const double duration = std::strtod(mid.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  const double intensity = std::strtod(tail.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  if (start < 0.0 || duration <= 0.0 || intensity <= 1.0) return false;
+  out.start = Duration::seconds_f(start * 60.0);
+  out.duration = Duration::seconds_f(duration * 60.0);
+  out.intensity = intensity;
+  return true;
+}
+
 }  // namespace
 
 std::optional<std::string> parse_cli(const std::vector<std::string>& args,
@@ -68,6 +91,26 @@ std::optional<std::string> parse_cli(const std::vector<std::string>& args,
       out.failsafe = true;
     } else if (a == "--healing") {
       out.healing = true;
+    } else if (a == "--overload") {
+      out.overload = true;
+    } else if (a == "--queue-cap") {
+      const auto v = next("--queue-cap");
+      char* end = nullptr;
+      const double cap = v ? std::strtod(v->c_str(), &end) : 0.0;
+      if (!v || end == nullptr || *end != '\0' || cap <= 0.0) {
+        return "--queue-cap requires a positive number (jobs per perf unit)";
+      }
+      out.queue_cap = cap;
+      out.overload = true;
+    } else if (a == "--storm") {
+      const auto v = next("--storm");
+      StormParams storm;
+      if (!v || !parse_storm(*v, storm)) {
+        return "--storm requires START,DURATION,INTENSITY "
+               "(minutes, minutes, multiplier > 1)";
+      }
+      out.storm = storm;
+      out.overload = true;
     } else if (a == "--overlay") {
       const auto v = next("--overlay");
       if (!v || (*v != "blatant" && *v != "random" && *v != "smallworld")) {
@@ -161,6 +204,14 @@ usage: aria_sim [options]
                       liveness probes, dead-neighbor eviction, churn-aware
                       link repair (docs/overlay.md)
   --overlay KIND      overlay family: blatant (default) | random | smallworld
+  --overload          enable the overload plane: bounded queues, admission
+                      control with REJECT answers, bid suppression and
+                      shed-and-forward rescheduling (docs/overload.md)
+  --queue-cap F       queued jobs allowed per unit of performance index
+                      (default 6; implies --overload)
+  --storm S,D,I       request storm: starting S minutes into the submission
+                      phase, for D minutes, jobs arrive I× faster
+                      (implies --overload)
   --csv DIR           write idle/completed series as CSV into DIR
   --quiet             print only the summary block
   -h, --help          this text
@@ -186,6 +237,17 @@ ScenarioConfig resolve_scenario(const CliOptions& options) {
   }
   if (options.failsafe) cfg.aria.failsafe = true;
   if (options.healing) cfg.aria.healing.enabled = true;
+  if (options.overload) {
+    cfg.aria.overload.enabled = true;
+    // Saturated nodes refuse ASSIGNs; the delegator must hear the REJECT
+    // reliably enough to re-discover, so acknowledged delegation rides
+    // along (the same hardening the fault plane requires).
+    cfg.aria.assign_ack = true;
+    if (options.queue_cap > 0.0) {
+      cfg.aria.overload.capacity_per_perf = options.queue_cap;
+    }
+  }
+  if (options.storm) cfg.storm = options.storm;
   if (options.overlay == "random") {
     cfg.overlay_family = ScenarioConfig::OverlayFamily::kRandomRegular;
   } else if (options.overlay == "smallworld") {

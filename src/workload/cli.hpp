@@ -25,6 +25,15 @@ struct CliOptions {
   bool failsafe{false};
   /// Self-healing overlay plane (PING/PONG liveness, eviction, repair).
   bool healing{false};
+  /// Overload plane (bounded queues, admission REJECT, shed-and-forward).
+  bool overload{false};
+  /// Queue bound override: jobs per unit of performance index (0 = keep the
+  /// default). Setting it implies --overload.
+  double queue_cap{0.0};
+  /// Request storm as (start, duration, intensity): minutes into the
+  /// submission phase, window length in minutes, arrival-rate multiplier.
+  /// Implies --overload.
+  std::optional<StormParams> storm{};
   /// "blatant" (default), "random", or "smallworld".
   std::string overlay{};
   /// Directory to drop CSV series into (empty = no CSV output).

@@ -143,7 +143,10 @@ GridSimulation::GridSimulation(ScenarioConfig config, std::uint64_t seed)
       ert_error_{config_.ert_error},
       submit_rng_{0},
       idle_series_{"idle"},
-      node_count_series_{"nodes"} {}
+      node_count_series_{"nodes"},
+      queue_depth_series_{"queue-depth"},
+      shed_series_{"sheds"},
+      reject_series_{"rejects"} {}
 
 GridSimulation::~GridSimulation() = default;
 
@@ -320,10 +323,14 @@ void GridSimulation::submit_one(std::size_t index) {
 }
 
 void GridSimulation::schedule_workload() {
+  // Storm-free runs keep the exact historical uniform schedule; with a
+  // storm, arrival_offsets() compresses the window deterministically (no
+  // RNG draws either way).
+  const std::vector<Duration> offsets = arrival_offsets(
+      config_.job_count, config_.submission_interval, config_.storm);
   for (std::size_t i = 0; i < config_.job_count; ++i) {
     const TimePoint at =
-        TimePoint::origin() + config_.submission_start +
-        config_.submission_interval * static_cast<std::int64_t>(i);
+        TimePoint::origin() + config_.submission_start + offsets[i];
     sim_.schedule_at(at, [this, i] { submit_one(i); });
   }
 }
@@ -419,6 +426,9 @@ void GridSimulation::schedule_sampling() {
                            if (config_.aria.healing.enabled) {
                              sample_live_connectivity();
                            }
+                           if (config_.aria.overload.enabled) {
+                             sample_overload();
+                           }
                          });
 }
 
@@ -439,6 +449,22 @@ void GridSimulation::sample_live_connectivity() {
   ++disconnect_streak_;
   max_disconnect_streak_ =
       std::max(max_disconnect_streak_, disconnect_streak_);
+}
+
+// Piggybacks on the metrics sampler: the deepest local queue plus the
+// cumulative shed/REJECT counts across all nodes, one point per period.
+void GridSimulation::sample_overload() {
+  std::uint64_t deepest = 0;
+  std::uint64_t sheds = 0;
+  std::uint64_t rejects = 0;
+  for (const auto& n : nodes_) {
+    deepest = std::max<std::uint64_t>(deepest, n->queue_length());
+    sheds += n->counters().jobs_shed;
+    rejects += n->counters().rejects_sent;
+  }
+  queue_depth_series_.add(sim_.now(), static_cast<double>(deepest));
+  shed_series_.add(sim_.now(), static_cast<double>(sheds));
+  reject_series_.add(sim_.now(), static_cast<double>(rejects));
 }
 
 RunResult GridSimulation::run() {
@@ -480,6 +506,23 @@ RunResult GridSimulation::run() {
           id.index() < nodes_.size() ? nodes_[id.index()].get() : nullptr;
       return n != nullptr && !n->crashed();
     });
+  }
+  if (config_.aria.overload.enabled) {
+    r.overload_enabled = true;
+    for (const auto& n : nodes_) {
+      const auto& c = n->counters();
+      r.jobs_shed += c.jobs_shed;
+      r.sheds_rescheduled += c.sheds_rescheduled;
+      r.sheds_failsafe += c.sheds_failsafe;
+      r.assign_rejects += c.rejects_sent;
+      r.reject_rediscoveries += c.reject_rediscoveries;
+      r.bids_suppressed += c.bids_suppressed;
+      r.peak_queue_depth =
+          std::max<std::uint64_t>(r.peak_queue_depth, c.peak_queue_depth);
+    }
+    r.queue_depth_series = queue_depth_series_;
+    r.shed_series = shed_series_;
+    r.reject_series = reject_series_;
   }
   r.final_node_count = nodes_.size();
   r.overlay_links = topo_.link_count();

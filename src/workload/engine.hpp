@@ -57,6 +57,19 @@ struct RunResult {
   double max_heal_minutes{0.0};
   bool live_subgraph_connected_at_end{true};
 
+  // --- overload plane (all zero when overload is off) -------------------
+  bool overload_enabled{false};
+  std::uint64_t jobs_shed{0};            // bounded-queue evictions
+  std::uint64_t sheds_rescheduled{0};    // shed jobs taken by INFORM offers
+  std::uint64_t sheds_failsafe{0};       // shed bursts that re-flooded
+  std::uint64_t assign_rejects{0};       // ASSIGNs answered with REJECT
+  std::uint64_t reject_rediscoveries{0}; // REJECTed delegations re-floated
+  std::uint64_t bids_suppressed{0};      // ACCEPTs withheld while saturated
+  std::uint64_t peak_queue_depth{0};     // max over nodes and time
+  metrics::Series queue_depth_series;    // max queue depth across nodes
+  metrics::Series shed_series;           // cumulative sheds over time
+  metrics::Series reject_series;         // cumulative REJECTs over time
+
   std::size_t final_node_count{0};
   std::size_t overlay_links{0};
   double overlay_avg_degree{0.0};
@@ -148,6 +161,7 @@ class GridSimulation {
   void schedule_maintenance();
   void schedule_sampling();
   void sample_live_connectivity();
+  void sample_overload();
   void schedule_churn();
   void churn_crash(NodeId id, sim::FaultConfig::Churn plan, Rng rng);
   void churn_restart(NodeId id, sim::FaultConfig::Churn plan, Rng rng);
@@ -176,6 +190,10 @@ class GridSimulation {
 
   metrics::Series idle_series_;
   metrics::Series node_count_series_;
+  // Overload-plane sampling (only fed when the plane is on).
+  metrics::Series queue_depth_series_;
+  metrics::Series shed_series_;
+  metrics::Series reject_series_;
   std::uint64_t submissions_dropped_{0};
   // Healing-plane sampling state (live-subgraph connectivity over time).
   std::uint64_t live_disconnected_samples_{0};

@@ -9,6 +9,27 @@ namespace {
 constexpr int kMaxFeasibilityTries = 200;
 }
 
+std::vector<Duration> arrival_offsets(std::size_t job_count, Duration interval,
+                                      const std::optional<StormParams>& storm) {
+  std::vector<Duration> offsets;
+  offsets.reserve(job_count);
+  if (!storm || storm->intensity <= 1.0 || storm->duration.is_zero() ||
+      storm->duration.is_negative()) {
+    for (std::size_t i = 0; i < job_count; ++i) {
+      offsets.push_back(interval * static_cast<std::int64_t>(i));
+    }
+    return offsets;
+  }
+  const Duration storm_end = storm->start + storm->duration;
+  const Duration storm_gap = interval.scaled(1.0 / storm->intensity);
+  Duration at = Duration::zero();
+  for (std::size_t i = 0; i < job_count; ++i) {
+    offsets.push_back(at);
+    at += (at >= storm->start && at < storm_end) ? storm_gap : interval;
+  }
+  return offsets;
+}
+
 Duration JobGenerator::draw_ert() {
   const double s = rng_.truncated_normal(
       params_.ert_mean.to_seconds(), params_.ert_stddev.to_seconds(),

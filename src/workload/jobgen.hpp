@@ -9,11 +9,31 @@
 
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "grid/job.hpp"
 
 namespace aria::workload {
+
+/// Request-storm arrival shape (overload plane, docs/overload.md). Inside
+/// the storm window jobs arrive `intensity` times faster than the base
+/// submission interval; outside it the base cadence applies. Purely
+/// deterministic — arrival instants are a function of the parameters alone,
+/// so storms never perturb the RNG stream.
+struct StormParams {
+  /// Storm window start, relative to the submission phase start.
+  Duration start{Duration::minutes(30)};
+  Duration duration{Duration::minutes(30)};
+  /// Arrival-rate multiplier inside the window (e.g. 5.0 = 5x faster).
+  double intensity{5.0};
+};
+
+/// Arrival offsets (relative to the submission phase start) for `job_count`
+/// jobs at `interval` base cadence, compressed by `storm` when present.
+/// Without a storm this is exactly the uniform schedule i * interval.
+std::vector<Duration> arrival_offsets(std::size_t job_count, Duration interval,
+                                      const std::optional<StormParams>& storm);
 
 struct JobGenParams {
   Duration ert_mean{Duration::minutes(150)};     // 2h30m

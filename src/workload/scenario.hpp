@@ -46,6 +46,10 @@ struct ScenarioConfig {
   Duration submission_start{Duration::minutes(20)};
   Duration submission_interval{Duration::seconds(10)};
   JobGenParams jobs{};
+  /// Request storm: compresses arrivals inside a window (docs/overload.md).
+  /// Requires no RNG — the deterministic arrival schedule just changes — so
+  /// storms compose with every scenario without perturbing its seed.
+  std::optional<StormParams> storm{};
   grid::ErtErrorModel ert_error{};
   /// Regenerate requirements until >= 1 node in the built grid matches, so
   /// all 1000 jobs are schedulable (the paper's completion counts reach

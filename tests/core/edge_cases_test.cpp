@@ -23,7 +23,7 @@ TEST(ProtocolEdge, IsolatedInitiatorRunsJobItself) {
 
 TEST(ProtocolEdge, IsolatedNonMatchingInitiatorGivesUp) {
   TestGrid g;
-  g.config.max_request_attempts = 2;
+  g.config.retry.max_attempts = 2;
   grid::NodeProfile sparc = TestGrid::universal_profile();
   sparc.arch = grid::Architecture::kSparc;
   auto& lone = g.add_node(SchedulerKind::kFcfs, 1.0, sparc);

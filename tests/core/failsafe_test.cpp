@@ -148,7 +148,7 @@ TEST_F(FailsafeTest, GivesUpAfterMaxRecoveries) {
   // crashing the sole remote candidate permanently).
   g.config.failsafe_max_recoveries = 2;
   g.config.initiator_self_candidate = false;
-  g.config.max_request_attempts = 1;
+  g.config.retry.max_attempts = 1;
   grid::NodeProfile sparc = TestGrid::universal_profile();
   sparc.arch = grid::Architecture::kSparc;
   auto& initiator = g.add_node(SchedulerKind::kFcfs, 1.0, sparc);

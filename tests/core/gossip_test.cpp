@@ -21,7 +21,7 @@ class GossipGrid {
     net_ = std::make_unique<sim::Network>(
         sim, std::make_unique<sim::FixedLatencyModel>(10_ms), rng_.fork(1));
     config.gossip_period = 30_s;
-    config.retry_interval = 10_s;
+    config.retry.backoff = 10_s;
   }
   ~GossipGrid() { nodes.clear(); }
 
@@ -169,7 +169,7 @@ TEST(Gossip, RetriesUntilCandidateAppears) {
 
 TEST(Gossip, GivesUpAfterMaxAttempts) {
   GossipGrid g;
-  g.config.max_attempts = 3;
+  g.config.retry.max_attempts = 3;
   grid::NodeProfile sparc = GossipGrid::universal();
   sparc.arch = grid::Architecture::kSparc;
   auto& lone = g.add_node(1.0, sparc);

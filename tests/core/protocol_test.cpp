@@ -151,7 +151,7 @@ TEST(Protocol, HopLimitBoundsFloodReach) {
   g.add_node(SchedulerKind::kFcfs, 1.0, sparc);
   g.add_node(SchedulerKind::kFcfs, 1.0);  // 3 hops away: unreachable
   g.connect_line();
-  g.config.max_request_attempts = 1;
+  g.config.retry.max_attempts = 1;
 
   auto job = g.make_job(1_h);
   const JobId id = job.id;
@@ -165,7 +165,7 @@ TEST(Protocol, HopLimitBoundsFloodReach) {
 
 TEST(Protocol, RetriesUntilMatchAppears) {
   TestGrid g;
-  g.config.max_request_attempts = 0;  // retry forever
+  g.config.retry.max_attempts = 0;  // retry forever
   grid::NodeProfile sparc = TestGrid::universal_profile();
   sparc.arch = grid::Architecture::kSparc;
   g.add_node(SchedulerKind::kFcfs, 1.0, sparc);
@@ -192,7 +192,7 @@ TEST(Protocol, RetriesUntilMatchAppears) {
 
 TEST(Protocol, UnschedulableAfterMaxAttempts) {
   TestGrid g;
-  g.config.max_request_attempts = 3;
+  g.config.retry.max_attempts = 3;
   grid::NodeProfile sparc = TestGrid::universal_profile();
   sparc.arch = grid::Architecture::kSparc;
   g.add_node(SchedulerKind::kFcfs, 1.0, sparc);

@@ -1,0 +1,114 @@
+// Discovery-retry policy regression pins (docs/protocol.md §1): the shared
+// DiscoveryRetryPolicy drives both ARiA's REQUEST re-floods (exponential
+// backoff, capped factor) and the gossip baseline (fixed interval). These
+// tests pin the exact retry instants so refactors cannot silently change
+// the discovery cadence.
+#include <gtest/gtest.h>
+
+#include "core/gossip.hpp"
+#include "tests/core/test_grid.hpp"
+
+namespace aria::test {
+namespace {
+
+TEST(DiscoveryRetryPolicy, WaitDoublesUpToFactorCap) {
+  proto::DiscoveryRetryPolicy p;  // defaults: 10s base, cap 8x, 25 attempts
+  EXPECT_EQ(p.wait_after(1), 10_s);
+  EXPECT_EQ(p.wait_after(2), 20_s);
+  EXPECT_EQ(p.wait_after(3), 40_s);
+  EXPECT_EQ(p.wait_after(4), 80_s);
+  EXPECT_EQ(p.wait_after(5), 80_s);   // capped at 8x
+  EXPECT_EQ(p.wait_after(25), 80_s);  // stays capped
+}
+
+TEST(DiscoveryRetryPolicy, HugeAttemptDoesNotOverflow) {
+  proto::DiscoveryRetryPolicy p;
+  // 1 << (attempt - 1) would be UB for attempt > 64; the policy must clamp.
+  EXPECT_EQ(p.wait_after(100), 80_s);
+  EXPECT_EQ(p.wait_after(1000), 80_s);
+}
+
+TEST(DiscoveryRetryPolicy, ZeroMaxAttemptsRetriesForever) {
+  proto::DiscoveryRetryPolicy p;
+  p.max_attempts = 0;
+  EXPECT_FALSE(p.exhausted(1));
+  EXPECT_FALSE(p.exhausted(1000000));
+  p.max_attempts = 3;
+  EXPECT_FALSE(p.exhausted(2));
+  EXPECT_TRUE(p.exhausted(3));
+  EXPECT_TRUE(p.exhausted(4));
+}
+
+TEST(DiscoveryRetryPolicy, GossipDefaultIsFixedInterval) {
+  // The gossip baseline keeps its historical cadence: 30s flat (factor cap
+  // 1 disables the exponential growth), 40 attempts.
+  const proto::GossipConfig cfg;
+  EXPECT_EQ(cfg.retry.wait_after(1), 30_s);
+  EXPECT_EQ(cfg.retry.wait_after(7), 30_s);
+  EXPECT_FALSE(cfg.retry.exhausted(39));
+  EXPECT_TRUE(cfg.retry.exhausted(40));
+}
+
+/// A job nobody can take: the initiator is amd64, the job demands sparc.
+grid::JobSpec impossible_job(TestGrid& g) {
+  grid::JobSpec job = g.make_job(1_h);
+  job.requirements.arch = grid::Architecture::kSparc;
+  return job;
+}
+
+TEST(RequestRetry, BackoffDoublingPinnedInstants) {
+  // accept_timeout 1s, base backoff 2s (TestGrid defaults), cap 8x.
+  // Decisions: t=1 (attempt 1 empty), re-flood t=3, decide t=4, re-flood
+  // t=8, decide t=9, re-flood t=17, decide t=18, ... — the gap between
+  // consecutive decisions is backoff*2^(k-1) + accept_timeout.
+  TestGrid g;
+  g.config.retry.max_attempts = 0;  // never give up; observe the cadence
+  g.add_node(sched::SchedulerKind::kFcfs);
+
+  grid::JobSpec job = impossible_job(g);
+  const JobId id = job.id;
+  g.node(0).submit(std::move(job));
+
+  auto retries = [&] { return g.tracker.find(id)->retries; };
+  g.run_for(1_s + 100_ms);   // decision 1 at t=1
+  EXPECT_EQ(retries(), 1u);
+  g.run_for(3_s);            // t=4.1: decision 2 at t=4
+  EXPECT_EQ(retries(), 2u);
+  g.run_for(5_s);            // t=9.1: decision 3 at t=9
+  EXPECT_EQ(retries(), 3u);
+  g.run_for(8_s);            // t=17.1: decision 4 lands at t=18 — not yet
+  EXPECT_EQ(retries(), 3u);
+  g.run_for(1_s);            // t=18.1
+  EXPECT_EQ(retries(), 4u);
+  // From attempt 4 on the factor caps at 8: decisions 16+1=17s apart.
+  g.run_for(17_s);           // t=35.1: decision 5 at t=35
+  EXPECT_EQ(retries(), 5u);
+  g.run_for(17_s);           // t=52.1: decision 6 at t=52
+  EXPECT_EQ(retries(), 6u);
+  EXPECT_EQ(g.tracker.unschedulable_count(), 0u);
+}
+
+TEST(RequestRetry, MaxAttemptsCapsAtUnschedulable) {
+  TestGrid g;
+  g.config.retry.max_attempts = 4;
+  g.add_node(sched::SchedulerKind::kFcfs);
+
+  grid::JobSpec job = impossible_job(g);
+  const JobId id = job.id;
+  g.node(0).submit(std::move(job));
+
+  // Attempts decide empty at t=1, 4, 9; the 4th attempt decides at t=18 and
+  // is exhausted (4 >= max_attempts) => unschedulable exactly there.
+  g.run_for(17_s);
+  EXPECT_EQ(g.tracker.unschedulable_count(), 0u);
+  g.run_for(1_s + 100_ms);
+  EXPECT_EQ(g.tracker.unschedulable_count(), 1u);
+  EXPECT_EQ(g.tracker.find(id)->retries, 3u);
+  EXPECT_TRUE(g.tracker.find(id)->unschedulable);
+  // Terminal: no further retries ever fire.
+  g.run_for(10_min);
+  EXPECT_EQ(g.tracker.find(id)->retries, 3u);
+}
+
+}  // namespace
+}  // namespace aria::test

@@ -30,7 +30,7 @@ class TestGrid {
     relay_ = std::make_unique<overlay::FloodRelay>(topo, rng_.fork(2));
     // Defaults tuned for small fast tests.
     config.accept_timeout = 1_s;
-    config.request_retry_backoff = 2_s;
+    config.retry.backoff = 2_s;
     config.inform_period = 60_s;
     config.reschedule_threshold = 1_s;
     config.flood_gc_delay = 30_s;

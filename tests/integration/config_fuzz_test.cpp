@@ -30,12 +30,12 @@ ScenarioConfig random_config(std::uint64_t seed) {
       static_cast<std::size_t>(rng.uniform_int(1, 6));
   c.aria.reschedule_threshold = Duration::seconds(rng.uniform_int(1, 1800));
   c.aria.accept_timeout = Duration::seconds(rng.uniform_int(1, 10));
-  c.aria.request_retry_backoff = Duration::seconds(rng.uniform_int(5, 60));
+  c.aria.retry.backoff = Duration::seconds(rng.uniform_int(5, 60));
   c.aria.dynamic_rescheduling = rng.bernoulli(0.7);
   c.aria.forward_on_match = rng.bernoulli(0.3);
   c.aria.initiator_self_candidate = rng.bernoulli(0.8);
   c.aria.failsafe = rng.bernoulli(0.3);
-  c.aria.max_request_attempts = 0;  // retry until placed
+  c.aria.retry.max_attempts = 0;  // retry until placed
 
   const int mix = static_cast<int>(rng.uniform_int(0, 3));
   if (mix == 0) {

@@ -156,7 +156,7 @@ TEST(FaultRecovery, DuplicatedAssignIsIdempotent) {
   g.config.initiator_self_candidate = false;
   g.config.assign_ack = true;
   g.add_node(SchedulerKind::kFcfs, 1.0);
-  auto& winner = g.add_node(SchedulerKind::kFcfs, 5.0);
+  g.add_node(SchedulerKind::kFcfs, 5.0);  // wins the bid, gets the ASSIGN
   g.connect_all();
 
   sim::FaultConfig fc;

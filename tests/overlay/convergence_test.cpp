@@ -48,8 +48,13 @@ TEST_P(ConvergenceSweep, StableUnderContinuedTicks) {
 std::string convergence_name(
     const ::testing::TestParamInfo<std::tuple<std::size_t, std::uint64_t>>&
         info) {
-  return "n" + std::to_string(std::get<0>(info.param)) + "_seed" +
-         std::to_string(std::get<1>(info.param));
+  // Built with append instead of operator+: the concatenation pattern trips
+  // GCC 12's -Wrestrict false positive (PR105329) under -O2 -Werror.
+  std::string name = "n";
+  name += std::to_string(std::get<0>(info.param));
+  name += "_seed";
+  name += std::to_string(std::get<1>(info.param));
+  return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(

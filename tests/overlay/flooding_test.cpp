@@ -179,8 +179,9 @@ TEST(FloodRelay, SweepKeepsBoundedUnderStragglerChurn) {
 
 // Simulated flood over a real topology: verify hop/fanout bounds control
 // coverage the way the protocol relies on.
-std::size_t flood_coverage(const Topology& t, NodeId origin, std::size_t hops,
-                           std::size_t fanout, FloodRelay& relay, Rng& rng) {
+std::size_t flood_coverage(const Topology& /*topo*/, NodeId origin,
+                           std::size_t hops, std::size_t fanout,
+                           FloodRelay& relay, Rng& rng) {
   const Uuid id = Uuid::generate(rng);
   std::size_t covered = 0;
   std::vector<std::pair<NodeId, std::size_t>> frontier{{origin, hops}};

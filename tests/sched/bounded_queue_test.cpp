@@ -1,0 +1,170 @@
+// Bounded-queue semantics (overload plane, docs/overload.md): capacity
+// accounting, backlog, and the per-family shed-victim rule of
+// enqueue_bounded().
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sched/policies.hpp"
+
+namespace aria::sched {
+namespace {
+
+using namespace aria::literals;
+
+grid::JobSpec job(Rng& rng, Duration ert,
+                  std::optional<TimePoint> deadline = {}) {
+  grid::JobSpec s;
+  s.id = JobId::generate(rng);
+  s.ert = ert;
+  s.deadline = deadline;
+  return s;
+}
+
+QueuedJob queued(Rng& rng, Duration ert, TimePoint at = TimePoint::origin(),
+                 std::optional<TimePoint> deadline = {}) {
+  return QueuedJob{job(rng, ert, deadline), ert, at, 0};
+}
+
+TEST(BoundedQueue, UnboundedByDefault) {
+  Rng rng{1};
+  FcfsScheduler s;
+  EXPECT_EQ(s.capacity(), 0u);
+  EXPECT_FALSE(s.at_capacity());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(s.enqueue_bounded(queued(rng, 1_h), Duration::zero(),
+                                   TimePoint::origin())
+                     .has_value());
+  }
+  EXPECT_EQ(s.size(), 50u);
+}
+
+TEST(BoundedQueue, BacklogSumsQueuedErtp) {
+  Rng rng{2};
+  FcfsScheduler s;
+  EXPECT_EQ(s.backlog(), Duration::zero());
+  s.enqueue(queued(rng, 1_h));
+  s.enqueue(queued(rng, 30_min));
+  EXPECT_EQ(s.backlog(), 1_h + 30_min);
+}
+
+TEST(BoundedQueue, AtCapacityTracksBound) {
+  Rng rng{3};
+  FcfsScheduler s;
+  s.set_capacity(2);
+  EXPECT_FALSE(s.at_capacity());
+  s.enqueue(queued(rng, 1_h));
+  EXPECT_FALSE(s.at_capacity());
+  s.enqueue(queued(rng, 1_h));
+  EXPECT_TRUE(s.at_capacity());
+}
+
+TEST(BoundedQueue, FcfsShedsTailArrival) {
+  // FCFS orders by arrival, so the newest job sits at the tail — the
+  // largest ETTC along the execution order — and is the shed victim.
+  Rng rng{4};
+  FcfsScheduler s;
+  s.set_capacity(2);
+  const auto a = queued(rng, 1_h, TimePoint::origin());
+  const auto b = queued(rng, 2_h, TimePoint::origin() + 1_s);
+  const auto c = queued(rng, 30_min, TimePoint::origin() + 2_s);
+  s.enqueue(a);
+  s.enqueue(b);
+  const auto victim =
+      s.enqueue_bounded(c, Duration::zero(), TimePoint::origin() + 2_s);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->spec.id, c.spec.id);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(a.spec.id));
+  EXPECT_TRUE(s.contains(b.spec.id));
+}
+
+TEST(BoundedQueue, SjfShedsLongestJob) {
+  // SJF orders by ERTp, so the longest queued job is the tail — an
+  // incoming short job displaces it.
+  Rng rng{5};
+  SjfScheduler s;
+  s.set_capacity(2);
+  const auto long_job = queued(rng, 4_h);
+  const auto mid_job = queued(rng, 2_h);
+  const auto short_job = queued(rng, 30_min);
+  s.enqueue(long_job);
+  s.enqueue(mid_job);
+  const auto victim =
+      s.enqueue_bounded(short_job, Duration::zero(), TimePoint::origin());
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->spec.id, long_job.spec.id);
+  EXPECT_TRUE(s.contains(short_job.spec.id));
+  EXPECT_TRUE(s.contains(mid_job.spec.id));
+}
+
+TEST(BoundedQueue, SjfIncomingLongJobIsItsOwnVictim) {
+  Rng rng{6};
+  SjfScheduler s;
+  s.set_capacity(2);
+  s.enqueue(queued(rng, 1_h));
+  s.enqueue(queued(rng, 2_h));
+  const auto huge = queued(rng, 4_h);
+  const auto victim =
+      s.enqueue_bounded(huge, Duration::zero(), TimePoint::origin());
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->spec.id, huge.spec.id);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(BoundedQueue, EdfShedsMostHopelessJob) {
+  // Deadline family: the victim is the job with the smallest gamma =
+  // deadline - ETC along the execution order, not simply the tail. A tight
+  // deadline deep in the queue is hopeless even if it sorts early.
+  Rng rng{7};
+  EdfScheduler s;
+  s.set_capacity(2);
+  const TimePoint now = TimePoint::origin();
+  // EDF order: hopeless (deadline now+1h) first, then comfy (now+10h).
+  // gamma(hopeless) = 1h - 1h = 0; gamma(comfy) = 10h - 3h = 7h.
+  const auto hopeless = queued(rng, 1_h, now, now + 1_h);
+  const auto comfy = queued(rng, 2_h, now, now + 10_h);
+  s.enqueue(hopeless);
+  s.enqueue(comfy);
+  // Incoming with deadline now+5h, ERTp 1h: sorts between the two.
+  // New order: hopeless, incoming, comfy. gammas: 0, 5h-2h=3h, 10h-4h=6h.
+  const auto incoming = queued(rng, 1_h, now, now + 5_h);
+  const auto victim = s.enqueue_bounded(incoming, Duration::zero(), now);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->spec.id, hopeless.spec.id);
+  EXPECT_TRUE(s.contains(incoming.spec.id));
+  EXPECT_TRUE(s.contains(comfy.spec.id));
+}
+
+TEST(BoundedQueue, EdfRunningRemainingShiftsGamma) {
+  // A long-running job pushes every completion out; with 4h still running,
+  // even the earliest-deadline job becomes hopeless relative to a later
+  // arrival with more slack.
+  Rng rng{8};
+  EdfScheduler s;
+  s.set_capacity(1);
+  const TimePoint now = TimePoint::origin();
+  const auto tight = queued(rng, 1_h, now, now + 2_h);  // gamma = 2h-5h = -3h
+  s.enqueue(tight);
+  const auto slack = queued(rng, 1_h, now, now + 12_h);  // gamma = 12h-6h = 6h
+  const auto victim = s.enqueue_bounded(slack, /*running_remaining=*/4_h, now);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->spec.id, tight.spec.id);
+  EXPECT_TRUE(s.contains(slack.spec.id));
+}
+
+TEST(BoundedQueue, VictimNotReturnedWhileUnderBound) {
+  Rng rng{9};
+  FcfsScheduler s;
+  s.set_capacity(3);
+  EXPECT_FALSE(s.enqueue_bounded(queued(rng, 1_h), Duration::zero(),
+                                 TimePoint::origin())
+                   .has_value());
+  EXPECT_FALSE(s.enqueue_bounded(queued(rng, 1_h), Duration::zero(),
+                                 TimePoint::origin())
+                   .has_value());
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_FALSE(s.at_capacity());
+}
+
+}  // namespace
+}  // namespace aria::sched

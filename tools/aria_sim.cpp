@@ -87,9 +87,16 @@ int main(int argc, char** argv) {
               << " MiB\n";
   }
 
+  // Jobs with no terminal state feed the exit code whenever either
+  // robustness plane ran: under faults *and* under overload the protocol
+  // promises every submitted job still terminates.
+  std::size_t stranded = 0;
+  if (cfg.faults.enabled || cfg.aria.overload.enabled) {
+    for (const auto& r : results) stranded += r.stranded();
+  }
+
   // Printed only when the fault plane ran, so fault-free output stays
   // byte-identical to historical runs.
-  std::size_t stranded = 0;
   if (cfg.faults.enabled) {
     std::uint64_t lost = 0, duplicated = 0, delayed = 0, partition_drops = 0;
     std::uint64_t crashes = 0, restarts = 0, recoveries = 0, dropped = 0;
@@ -104,7 +111,6 @@ int main(int argc, char** argv) {
       recoveries += r.tracker.total_recoveries();
       abandoned += r.tracker.abandoned_count();
       dropped += r.submissions_dropped;
-      stranded += r.stranded();
     }
     std::cout << "\nfault injection (totals over " << results.size()
               << " run(s)):\n"
@@ -152,6 +158,33 @@ int main(int argc, char** argv) {
               << "\n";
   }
 
+  // Printed only when the overload plane ran (same byte-identity contract).
+  if (cfg.aria.overload.enabled) {
+    std::uint64_t shed = 0, shed_resched = 0, shed_failsafe = 0;
+    std::uint64_t rejects = 0, rediscoveries = 0, suppressed = 0;
+    std::uint64_t peak_depth = 0;
+    std::size_t rejected_incomplete = 0;
+    for (const auto& r : results) {
+      shed += r.jobs_shed;
+      shed_resched += r.sheds_rescheduled;
+      shed_failsafe += r.sheds_failsafe;
+      rejects += r.assign_rejects;
+      rediscoveries += r.reject_rediscoveries;
+      suppressed += r.bids_suppressed;
+      peak_depth = std::max(peak_depth, r.peak_queue_depth);
+      rejected_incomplete += r.tracker.rejected_incomplete_count();
+    }
+    std::cout << "\noverload (totals over " << results.size() << " run(s)):\n"
+              << "  jobs shed: " << shed << " (re-placed via INFORM: "
+              << shed_resched << ", via re-flood: " << shed_failsafe << ")\n"
+              << "  ASSIGN rejects: " << rejects
+              << ", re-discoveries: " << rediscoveries
+              << ", bids suppressed: " << suppressed << "\n"
+              << "  peak queue depth: " << peak_depth
+              << ", rejected jobs left incomplete: " << rejected_incomplete
+              << ", jobs stranded: " << stranded << "\n";
+  }
+
   bool violations = false;
   for (const auto& r : results) {
     if (!r.tracker.violations().empty()) violations = true;
@@ -173,6 +206,12 @@ int main(int argc, char** argv) {
     {
       std::ofstream out{base / (cfg.name + "_nodes.csv")};
       metrics::write_series_csv(out, {summary.node_count_series});
+    }
+    if (cfg.aria.overload.enabled) {
+      std::ofstream out{base / (cfg.name + "_overload.csv")};
+      metrics::write_series_csv(out,
+                                {summary.queue_depth_series,
+                                 summary.shed_series, summary.reject_series});
     }
     std::cout << "CSV series written to " << options.csv_dir << "\n";
   }
