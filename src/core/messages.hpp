@@ -70,6 +70,7 @@ struct RequestMsg final : sim::Message {
   RequestMsg(NodeId initiator_, grid::JobSpec job_, FloodMeta flood_)
       : initiator{initiator_}, job{std::move(job_)}, flood{flood_} {}
   std::size_t wire_size() const override { return kRequestWireBytes; }
+  std::uint32_t flood_hops_left() const override { return flood.hops_left; }
   std::unique_ptr<sim::Message> clone() const override {
     return std::make_unique<RequestMsg>(*this);
   }
@@ -113,6 +114,7 @@ struct InformMsg final : sim::Message {
   InformMsg(NodeId assignee_, grid::JobSpec job_, double cost_, FloodMeta flood_)
       : assignee{assignee_}, job{std::move(job_)}, cost{cost_}, flood{flood_} {}
   std::size_t wire_size() const override { return kInformWireBytes; }
+  std::uint32_t flood_hops_left() const override { return flood.hops_left; }
   std::unique_ptr<sim::Message> clone() const override {
     return std::make_unique<InformMsg>(*this);
   }

@@ -217,7 +217,12 @@ void AriaNode::flood_request(const grid::JobSpec& spec, std::size_t attempt) {
     if (overload_on() && bid_gate_closed()) {
       ++counters_.bids_suppressed;  // saturated: don't bid on own job either
     } else {
-      it->second.offers.emplace_back(self_, spec.id, my_cost(spec));
+      const double cost = my_cost(spec);
+      it->second.offers.emplace_back(self_, spec.id, cost);
+      if (ctx_.observer) {
+        ctx_.observer->on_bid_received(spec.id, self_, self_, cost,
+                                       ctx_.sim->now());
+      }
     }
   }
 
@@ -302,10 +307,18 @@ void AriaNode::send_assign(NodeId target, const grid::JobSpec& spec,
       return;
     }
     // Local delegation needs no wire message.
+    if (ctx_.observer) {
+      ctx_.observer->on_delegated(spec.id, self_, self_, ctx_.sim->now(),
+                                  reschedule);
+    }
     accept_job(spec, initiator, reschedule);
     return;
   }
   ++counters_.assigns_sent;
+  if (ctx_.observer) {
+    ctx_.observer->on_delegated(spec.id, self_, target, ctx_.sim->now(),
+                                reschedule);
+  }
   if (!ctx_.config->assign_ack) {
     ctx_.net->send(self_, target,
                    std::make_unique<AssignMsg>(initiator, spec, reschedule));
@@ -438,9 +451,13 @@ void AriaNode::on_request(NodeId from, const RequestMsg& msg) {
       ++counters_.bids_suppressed;
     } else {
       ++counters_.accepts_sent;
+      const double cost = my_cost(msg.job);
       ctx_.net->send(self_, msg.initiator,
-                     std::make_unique<AcceptMsg>(self_, msg.job.id,
-                                                 my_cost(msg.job)));
+                     std::make_unique<AcceptMsg>(self_, msg.job.id, cost));
+      if (ctx_.observer) {
+        ctx_.observer->on_bid_sent(msg.job.id, self_, msg.initiator, cost,
+                                   ctx_.sim->now());
+      }
       replied = true;
     }
   }
@@ -475,6 +492,10 @@ void AriaNode::on_inform(NodeId from, const InformMsg& msg) {
         ++counters_.accepts_sent;
         ctx_.net->send(self_, msg.assignee,
                        std::make_unique<AcceptMsg>(self_, msg.job.id, cost));
+        if (ctx_.observer) {
+          ctx_.observer->on_bid_sent(msg.job.id, self_, msg.assignee, cost,
+                                     ctx_.sim->now());
+        }
         replied = true;
       }
     }
@@ -499,6 +520,10 @@ void AriaNode::on_accept(const AcceptMsg& msg) {
   if (auto it = pending_requests_.find(msg.job_id);
       it != pending_requests_.end()) {
     it->second.offers.push_back(msg);
+    if (ctx_.observer) {
+      ctx_.observer->on_bid_received(msg.job_id, self_, msg.node, msg.cost,
+                                     ctx_.sim->now());
+    }
     return;
   }
 
@@ -509,6 +534,10 @@ void AriaNode::on_accept(const AcceptMsg& msg) {
     ShedJob shed = std::move(sh->second);
     shed.timer.cancel();
     shed_jobs_.erase(sh);
+    if (ctx_.observer) {
+      ctx_.observer->on_bid_received(msg.job_id, self_, msg.node, msg.cost,
+                                     ctx_.sim->now());
+    }
     ++counters_.sheds_rescheduled;
     ++counters_.reschedules_out;
     if ((ctx_.config->notify_initiator || ctx_.config->failsafe) &&
@@ -541,6 +570,13 @@ void AriaNode::on_accept(const AcceptMsg& msg) {
   const double current = sched_->current_cost(msg.job_id, running_remaining(),
                                               ctx_.sim->now());
   if (!(msg.cost < current)) return;  // keep waiting; other offers may come
+  if (ctx_.observer) {
+    // Rescheduling offers are not collected into a set — the first offer
+    // that still beats the current local cost wins — so only the winning
+    // bid is recorded.
+    ctx_.observer->on_bid_received(msg.job_id, self_, msg.node, msg.cost,
+                                   ctx_.sim->now());
+  }
 
   const grid::JobSpec spec = held->spec;
   const NodeId initiator = initiator_of_[msg.job_id];

@@ -25,9 +25,34 @@ class ProtocolObserver {
     (void)id; (void)attempt; (void)at;
   }
 
-  /// The initiator gave up on the job (max_request_attempts exhausted).
+  /// The initiator gave up on the job (DiscoveryRetryPolicy::max_attempts
+  /// exhausted); terminal.
   virtual void on_unschedulable(const JobId& id, TimePoint at) {
     (void)id; (void)at;
+  }
+
+  /// A candidate answered a REQUEST or INFORM flood with an ACCEPT quote of
+  /// `cost`, addressed to `to` (the initiator, or the advertising assignee
+  /// during rescheduling). Fired on the bidder as the ACCEPT leaves.
+  virtual void on_bid_sent(const JobId& id, NodeId bidder, NodeId to,
+                           double cost, TimePoint at) {
+    (void)id; (void)bidder; (void)to; (void)cost; (void)at;
+  }
+
+  /// A collector took `bidder`'s quote into consideration: an offer joined
+  /// an initiator's discovery set, or a rescheduling/shed offer won. The
+  /// initiator's self-quote fires this without a matching on_bid_sent.
+  virtual void on_bid_received(const JobId& id, NodeId collector,
+                               NodeId bidder, double cost, TimePoint at) {
+    (void)id; (void)collector; (void)bidder; (void)cost; (void)at;
+  }
+
+  /// A delegator picked `to` and handed the job over (ASSIGN, or a local
+  /// hand-off when the initiator won its own discovery round). Fired once
+  /// per delegation decision — ACK retransmissions do not repeat it.
+  virtual void on_delegated(const JobId& id, NodeId from, NodeId to,
+                            TimePoint at, bool reschedule) {
+    (void)id; (void)from; (void)to; (void)at; (void)reschedule;
   }
 
   /// The job entered `node`'s queue. `reschedule` is false for the initial

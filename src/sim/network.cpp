@@ -37,6 +37,9 @@ void Network::send(NodeId from, NodeId to, std::unique_ptr<Message> message) {
     if (v.drop) {
       ++faulted_;
       traffic_.record_fault(type);
+      if (tap_ != nullptr) {
+        tap_message(from, to, *message, sim_.now(), /*faulted=*/true);
+      }
       return;
     }
     const Duration delay =
@@ -48,11 +51,19 @@ void Network::send(NodeId from, NodeId to, std::unique_ptr<Message> message) {
                           std::move(copy));
       }
     }
+    if (tap_ != nullptr) {
+      // One tap per logical send: an injected duplicate is the same message
+      // on the wire twice, and the trace records the primary delivery.
+      tap_message(from, to, *message, sim_.now() + delay, /*faulted=*/false);
+    }
     schedule_delivery(from, to, type, delay, std::move(message));
     return;
   }
 
   const Duration delay = latency_->latency(from, to, rng_);
+  if (tap_ != nullptr) {
+    tap_message(from, to, *message, sim_.now() + delay, /*faulted=*/false);
+  }
   schedule_delivery(from, to, type, delay, std::move(message));
 }
 

@@ -47,6 +47,28 @@ class Message {
   /// type non-clonable (never duplicated); copyable message types override
   /// with a one-line copy.
   virtual std::unique_ptr<Message> clone() const { return nullptr; }
+
+  /// Remaining hop budget for flooded message types (REQUEST/INFORM);
+  /// kNoHops for point-to-point messages. Lets a MessageTap record hop
+  /// counts without downcasting per concrete type.
+  static constexpr std::uint32_t kNoHops = UINT32_MAX;
+  virtual std::uint32_t flood_hops_left() const { return kNoHops; }
+};
+
+/// Observer of sends, for the tracing plane (src/trace). Attached like the
+/// FaultPlane — a non-owning pointer the network never dereferences unless
+/// set — so the sim layer needs no dependency on the trace library and an
+/// unattached tap leaves the send path exactly as it was.
+class MessageTap {
+ public:
+  virtual ~MessageTap() = default;
+
+  /// One sampled send. `deliver` is the scheduled delivery instant (the
+  /// latency draw happens at send time, so it is known here); for messages
+  /// the fault plane dropped, `faulted` is true and `deliver == sent`.
+  /// Must not send messages or mutate simulation state.
+  virtual void on_message(NodeId from, NodeId to, const Message& message,
+                          TimePoint sent, TimePoint deliver, bool faulted) = 0;
 };
 
 struct Envelope {
@@ -97,6 +119,16 @@ class Network {
   void set_fault_plane(FaultPlane* plane) { faults_ = plane; }
   FaultPlane* fault_plane() const { return faults_; }
 
+  /// Attaches a message tap (non-owning; must outlive the network); the tap
+  /// sees every `sample_every`-th send, counted deterministically — no RNG
+  /// draws, so attaching a tap never perturbs the simulation. Null detaches.
+  void set_tap(MessageTap* tap, std::uint64_t sample_every = 1) {
+    tap_ = tap;
+    tap_every_ = sample_every == 0 ? 1 : sample_every;
+    tap_counter_ = 0;
+  }
+  MessageTap* tap() const { return tap_; }
+
   TrafficLedger& traffic() { return traffic_; }
   const TrafficLedger& traffic() const { return traffic_; }
 
@@ -118,11 +150,21 @@ class Network {
   void schedule_delivery(NodeId from, NodeId to, MessageTypeId type,
                          Duration delay, std::unique_ptr<Message> message);
 
+  /// Sampling gate + forward to the tap; called only when tap_ != nullptr.
+  void tap_message(NodeId from, NodeId to, const Message& message,
+                   TimePoint deliver, bool faulted) {
+    if (tap_counter_++ % tap_every_ != 0) return;
+    tap_->on_message(from, to, message, sim_.now(), deliver, faulted);
+  }
+
   Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
   Rng rng_;
   TrafficLedger traffic_;
   FaultPlane* faults_{nullptr};
+  MessageTap* tap_{nullptr};
+  std::uint64_t tap_every_{1};
+  std::uint64_t tap_counter_{0};
   std::unordered_map<NodeId, NodeState> nodes_;
   std::uint64_t sent_{0};
   std::uint64_t delivered_{0};

@@ -1,0 +1,124 @@
+#include "trace/critical_path.hpp"
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+namespace aria::trace {
+
+std::vector<JobCriticalPath> critical_paths(const TraceBuffer& buffer) {
+  std::vector<JobCriticalPath> out;
+  std::unordered_map<JobId, std::size_t> index;
+
+  // Transient per-job state not worth keeping in the public summary.
+  struct Open {
+    std::deque<std::int64_t> delegated_at;  // kDelegated awaiting kAssigned
+    TimePoint last_assigned{};
+    bool has_assigned{false};
+    TimePoint started_at{};
+    bool executing{false};
+  };
+  std::unordered_map<JobId, Open> open;
+
+  auto find = [&](const JobId& job) -> JobCriticalPath* {
+    const auto it = index.find(job);
+    return it == index.end() ? nullptr : &out[it->second];
+  };
+
+  for (const TraceRecord& r : buffer.job_events()) {
+    if (r.kind == TraceEventKind::kSubmitted) {
+      index.emplace(r.job, out.size());
+      JobCriticalPath p;
+      p.job = r.job;
+      p.initiator = r.node;
+      p.submitted = r.at;
+      out.push_back(p);
+      continue;
+    }
+    JobCriticalPath* p = find(r.job);
+    if (p == nullptr) continue;  // submission record ring-dropped
+    Open& o = open[r.job];
+    switch (r.kind) {
+      case TraceEventKind::kBidReceived:
+        if (p->bids == 0) p->time_to_first_bid = r.at - p->submitted;
+        ++p->bids;
+        break;
+      case TraceEventKind::kRetry:
+        ++p->retries;
+        break;
+      case TraceEventKind::kDelegated:
+        // Local placements (node == peer) deliver instantly and would bias
+        // the ASSIGN-latency mean toward zero; only wire hops count.
+        if (r.node != r.peer) o.delegated_at.push_back(r.at.count_micros());
+        break;
+      case TraceEventKind::kAssigned:
+        if (!o.delegated_at.empty()) {
+          p->delegation_us_total +=
+              r.at.count_micros() - o.delegated_at.front();
+          o.delegated_at.pop_front();
+          ++p->delegations;
+        }
+        if (r.reschedule()) ++p->reschedules;
+        o.last_assigned = r.at;
+        o.has_assigned = true;
+        break;
+      case TraceEventKind::kStarted:
+        if (o.has_assigned) p->queue_wait = r.at - o.last_assigned;
+        p->started = true;
+        o.started_at = r.at;
+        o.executing = true;
+        break;
+      case TraceEventKind::kCompleted:
+        if (o.executing) p->execution = r.at - o.started_at;
+        o.executing = false;
+        p->completed = true;
+        p->finished = r.at;
+        break;
+      case TraceEventKind::kRecovery:
+        ++p->recoveries;
+        break;
+      case TraceEventKind::kUnschedulable:
+        p->unschedulable = true;
+        p->finished = r.at;
+        break;
+      case TraceEventKind::kAbandoned:
+        p->abandoned = true;
+        p->finished = r.at;
+        break;
+      case TraceEventKind::kShed:
+        ++p->sheds;
+        break;
+      case TraceEventKind::kRejected:
+        ++p->rejects;
+        break;
+      case TraceEventKind::kSubmitted:
+      case TraceEventKind::kBidSent:
+      case TraceEventKind::kMsg:
+        break;
+    }
+  }
+  return out;
+}
+
+CriticalPathAggregate aggregate(const std::vector<JobCriticalPath>& paths) {
+  CriticalPathAggregate agg;
+  agg.jobs = paths.size();
+  for (const JobCriticalPath& p : paths) {
+    if (p.bids > 0) agg.time_to_first_bid_s.add(p.time_to_first_bid.to_seconds());
+    agg.bids.add(static_cast<double>(p.bids));
+    if (p.delegations > 0)
+      agg.delegation_latency_s.add(p.delegation_latency().to_seconds());
+    if (p.started) agg.queue_wait_s.add(p.queue_wait.to_seconds());
+    agg.reschedules.add(static_cast<double>(p.reschedules));
+    if (p.terminal()) agg.makespan_s.add((p.finished - p.submitted).to_seconds());
+    if (p.completed) ++agg.completed;
+    else if (p.unschedulable) ++agg.unschedulable;
+    else if (p.abandoned) ++agg.abandoned;
+    else ++agg.open;
+  }
+  return agg;
+}
+
+}  // namespace aria::trace

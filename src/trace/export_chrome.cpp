@@ -1,0 +1,230 @@
+// Chrome trace_event exporter. Format reference:
+// https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//
+// Mapping (docs/tracing.md has the loading walkthrough):
+// * one metadata-named thread per node (pid 1, tid = node id);
+// * execution = balanced B/E duration spans on the executing node's track —
+//   the single-slot executor guarantees they never overlap per track, and
+//   only matched start/complete pairs are emitted, so B/E counts always
+//   balance even when a crash interrupts an execution;
+// * job lifecycle = one async b/n/e span per job (async events may overlap
+//   freely, which job lifecycles do), keyed by the job UUID;
+// * causality = s/f flow arrows: bid_sent → bid_received ("bid" category,
+//   the ACCEPT answering a REQUEST/INFORM) and delegated → assigned
+//   ("delegation" category, the ASSIGN reaching its target), anchored on
+//   thread-scoped instants.
+// Sampled kMsg records are deliberately not rendered — per-message data
+// lives in the JSONL export; Chrome tracks would drown in them.
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/export.hpp"
+
+namespace aria::trace {
+
+namespace {
+
+struct Ev {
+  std::int64_t ts;
+  std::uint64_t order;  // insertion index: stable tie-break at equal ts
+  std::string json;
+};
+
+std::string short_id(const JobId& job) { return job.to_string().substr(0, 8); }
+
+}  // namespace
+
+void export_chrome(const TraceBuffer& buffer, std::ostream& out) {
+  const auto& events = buffer.job_events();
+
+  std::vector<Ev> evs;
+  evs.reserve(events.size() * 2 + 64);
+  std::uint64_t order = 0;
+  auto emit = [&](std::int64_t ts, std::string json) {
+    evs.push_back(Ev{ts, order++, std::move(json)});
+  };
+
+  std::set<std::uint32_t> nodes_seen;
+  auto see = [&](NodeId n) {
+    if (n.valid()) nodes_seen.insert(n.value());
+  };
+
+  // Execution spans: per-node open start, emitted as a pair on completion.
+  std::map<std::uint32_t, std::pair<JobId, std::int64_t>> open_exec;
+  // Async lifecycle spans: job -> (initiator tid, open?).
+  std::map<JobId, std::pair<std::uint32_t, bool>> jobs;
+  // Pending flow arrows, keyed by the pairing identity of each causal edge.
+  std::map<std::pair<JobId, std::uint32_t>, std::deque<std::uint64_t>>
+      bid_flows, assign_flows;
+  std::uint64_t next_flow = 1;
+  std::int64_t max_ts = 0;
+
+  auto async_ev = [&](const TraceRecord& r, const char* ph,
+                      std::uint32_t tid, const std::string& args) {
+    std::string json = "{\"name\":\"job " + short_id(r.job) +
+                       "\",\"cat\":\"job\",\"ph\":\"" + ph + "\",\"id\":\"" +
+                       r.job.to_string() + "\",\"pid\":1,\"tid\":" +
+                       std::to_string(tid) +
+                       ",\"ts\":" + std::to_string(r.at.count_micros());
+    if (!args.empty()) json += ",\"args\":{" + args + "}";
+    json += "}";
+    emit(r.at.count_micros(), std::move(json));
+  };
+  auto milestone = [&](const TraceRecord& r, const char* what) {
+    const auto it = jobs.find(r.job);
+    if (it == jobs.end() || !it->second.second) return;
+    std::string args = "\"event\":\"" + std::string{what} + "\"";
+    if (r.node.valid()) args += ",\"node\":\"" + r.node.to_string() + "\"";
+    async_ev(r, "n", it->second.first, args);
+  };
+  auto close_async = [&](const TraceRecord& r, const char* what) {
+    const auto it = jobs.find(r.job);
+    if (it == jobs.end() || !it->second.second) return;
+    it->second.second = false;
+    async_ev(r, "e", it->second.first,
+             "\"event\":\"" + std::string{what} + "\"");
+  };
+  auto flow_ev = [&](std::int64_t ts, const char* ph, const char* cat,
+                     std::uint64_t id, std::uint32_t tid) {
+    // The s/f pair plus a thread-scoped instant to anchor each end on its
+    // node track.
+    emit(ts, "{\"name\":\"" + std::string{cat} +
+                 "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" +
+                 std::to_string(tid) + ",\"ts\":" + std::to_string(ts) + "}");
+    std::string json = "{\"name\":\"" + std::string{cat} + "\",\"cat\":\"" +
+                       cat + "\",\"ph\":\"" + ph +
+                       "\",\"id\":" + std::to_string(id) + ",\"pid\":1" +
+                       ",\"tid\":" + std::to_string(tid) +
+                       ",\"ts\":" + std::to_string(ts);
+    if (ph[0] == 'f') json += ",\"bp\":\"e\"";
+    json += "}";
+    emit(ts, std::move(json));
+  };
+
+  for (const TraceRecord& r : events) {
+    const std::int64_t ts = r.at.count_micros();
+    max_ts = std::max(max_ts, ts);
+    see(r.node);
+    see(r.peer);
+    switch (r.kind) {
+      case TraceEventKind::kSubmitted:
+        jobs[r.job] = {r.node.value(), true};
+        async_ev(r, "b", r.node.value(),
+                 "\"initiator\":\"" + r.node.to_string() + "\"");
+        break;
+      case TraceEventKind::kRetry:
+        milestone(r, "retry");
+        break;
+      case TraceEventKind::kUnschedulable:
+        close_async(r, "unschedulable");
+        break;
+      case TraceEventKind::kBidSent: {
+        const std::uint64_t id = next_flow++;
+        bid_flows[{r.job, r.node.value()}].push_back(id);
+        flow_ev(ts, "s", "bid", id, r.node.value());
+        break;
+      }
+      case TraceEventKind::kBidReceived: {
+        // Pair with the oldest unmatched bid this bidder sent for the job;
+        // the initiator's self-quote has no matching send and draws no
+        // arrow.
+        auto q = bid_flows.find({r.job, r.peer.value()});
+        if (q != bid_flows.end() && !q->second.empty()) {
+          const std::uint64_t id = q->second.front();
+          q->second.pop_front();
+          flow_ev(ts, "f", "bid", id, r.node.value());
+        }
+        break;
+      }
+      case TraceEventKind::kDelegated: {
+        const std::uint64_t id = next_flow++;
+        assign_flows[{r.job, r.peer.value()}].push_back(id);
+        flow_ev(ts, "s", "delegation", id, r.node.value());
+        milestone(r, r.reschedule() ? "reschedule" : "delegated");
+        break;
+      }
+      case TraceEventKind::kAssigned: {
+        auto q = assign_flows.find({r.job, r.node.value()});
+        if (q != assign_flows.end() && !q->second.empty()) {
+          const std::uint64_t id = q->second.front();
+          q->second.pop_front();
+          flow_ev(ts, "f", "delegation", id, r.node.value());
+        }
+        milestone(r, "assigned");
+        break;
+      }
+      case TraceEventKind::kStarted:
+        open_exec[r.node.value()] = {r.job, ts};
+        break;
+      case TraceEventKind::kCompleted: {
+        const auto it = open_exec.find(r.node.value());
+        if (it != open_exec.end() && it->second.first == r.job) {
+          const std::string name = "exec " + short_id(r.job);
+          const std::string tid = std::to_string(r.node.value());
+          emit(it->second.second,
+               "{\"name\":\"" + name +
+                   "\",\"cat\":\"exec\",\"ph\":\"B\",\"pid\":1,\"tid\":" +
+                   tid + ",\"ts\":" + std::to_string(it->second.second) +
+                   ",\"args\":{\"job\":\"" + r.job.to_string() + "\"}}");
+          emit(ts, "{\"name\":\"" + name +
+                       "\",\"cat\":\"exec\",\"ph\":\"E\",\"pid\":1,\"tid\":" +
+                       tid + ",\"ts\":" + std::to_string(ts) + "}");
+          open_exec.erase(it);
+        }
+        close_async(r, "completed");
+        break;
+      }
+      case TraceEventKind::kRecovery:
+        milestone(r, "recovery");
+        break;
+      case TraceEventKind::kAbandoned:
+        close_async(r, "abandoned");
+        break;
+      case TraceEventKind::kShed:
+        milestone(r, "shed");
+        break;
+      case TraceEventKind::kRejected:
+        milestone(r, "rejected");
+        break;
+      case TraceEventKind::kMsg:
+        break;  // not rendered; see header comment
+    }
+  }
+
+  // Close async spans for jobs with no terminal event inside the horizon
+  // (still queued/executing, or their terminal record was ring-dropped) so
+  // every b has an e.
+  for (auto& [job, state] : jobs) {
+    if (!state.second) continue;
+    state.second = false;
+    emit(max_ts, "{\"name\":\"job " + short_id(job) +
+                     "\",\"cat\":\"job\",\"ph\":\"e\",\"id\":\"" +
+                     job.to_string() + "\",\"pid\":1,\"tid\":" +
+                     std::to_string(state.first) +
+                     ",\"ts\":" + std::to_string(max_ts) +
+                     ",\"args\":{\"event\":\"open_at_horizon\"}}");
+  }
+
+  std::stable_sort(evs.begin(), evs.end(), [](const Ev& a, const Ev& b) {
+    return a.ts != b.ts ? a.ts < b.ts : a.order < b.order;
+  });
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+         "\"args\":{\"name\":\"aria grid\"}}";
+  for (const std::uint32_t n : nodes_seen) {
+    out << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << n
+        << ",\"args\":{\"name\":\"n" << n << "\"}}";
+  }
+  for (const Ev& e : evs) out << ",\n" << e.json;
+  out << "\n]}\n";
+}
+
+}  // namespace aria::trace

@@ -1,0 +1,62 @@
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+#include "sim/message_types.hpp"
+#include "trace/export.hpp"
+
+namespace aria::trace {
+
+namespace {
+
+// Fixed "%.9g" rendering: enough digits for costs/ART, and — crucially for
+// the determinism contract — a pure function of the double's bits, so
+// same-seed runs serialize identically.
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void export_jsonl(const TraceBuffer& buffer, std::ostream& out) {
+  for (const TraceRecord& r : buffer.merged()) {
+    out << "{\"seq\":" << r.seq << ",\"t_us\":" << r.at.count_micros()
+        << ",\"kind\":\"" << kind_name(r.kind) << '"';
+    if (!r.job.is_nil()) out << ",\"job\":\"" << r.job.to_string() << '"';
+    if (r.node.valid()) out << ",\"node\":\"" << r.node.to_string() << '"';
+    if (r.peer.valid()) out << ",\"peer\":\"" << r.peer.to_string() << '"';
+    switch (r.kind) {
+      case TraceEventKind::kBidSent:
+      case TraceEventKind::kBidReceived:
+        out << ",\"cost\":" << fmt_double(r.value);
+        break;
+      case TraceEventKind::kCompleted:
+        out << ",\"art_s\":" << fmt_double(r.value);
+        break;
+      case TraceEventKind::kRetry:
+      case TraceEventKind::kRecovery:
+        out << ",\"attempt\":" << r.a;
+        break;
+      case TraceEventKind::kDelegated:
+      case TraceEventKind::kAssigned:
+        out << ",\"reschedule\":" << (r.reschedule() ? "true" : "false");
+        break;
+      case TraceEventKind::kMsg: {
+        const auto type = sim::MessageTypeId::from_index(r.a);
+        out << ",\"type\":\"" << sim::MessageTypeRegistry::name(type)
+            << "\",\"bytes\":" << static_cast<std::uint64_t>(r.value)
+            << ",\"deliver_us\":" << r.end.count_micros();
+        if (r.b != TraceRecord::kNoHops) out << ",\"hops_left\":" << r.b;
+        if (r.fault_dropped()) out << ",\"faulted\":true";
+        break;
+      }
+      default:
+        break;
+    }
+    out << "}\n";
+  }
+}
+
+}  // namespace aria::trace

@@ -1,0 +1,25 @@
+#include "trace/record.hpp"
+
+namespace aria::trace {
+
+const char* kind_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kSubmitted: return "submitted";
+    case TraceEventKind::kRetry: return "retry";
+    case TraceEventKind::kUnschedulable: return "unschedulable";
+    case TraceEventKind::kBidSent: return "bid_sent";
+    case TraceEventKind::kBidReceived: return "bid_received";
+    case TraceEventKind::kDelegated: return "delegated";
+    case TraceEventKind::kAssigned: return "assigned";
+    case TraceEventKind::kStarted: return "started";
+    case TraceEventKind::kCompleted: return "completed";
+    case TraceEventKind::kRecovery: return "recovery";
+    case TraceEventKind::kAbandoned: return "abandoned";
+    case TraceEventKind::kShed: return "shed";
+    case TraceEventKind::kRejected: return "rejected";
+    case TraceEventKind::kMsg: return "msg";
+  }
+  return "unknown";
+}
+
+}  // namespace aria::trace

@@ -125,6 +125,21 @@ std::optional<std::string> parse_cli(const std::vector<std::string>& args,
       const auto v = next("--csv");
       if (!v) return "--csv requires a directory";
       out.csv_dir = *v;
+    } else if (a == "--trace") {
+      const auto v = next("--trace");
+      if (!v) return "--trace requires an output path";
+      out.trace_path = *v;
+    } else if (a == "--trace-jsonl") {
+      const auto v = next("--trace-jsonl");
+      if (!v) return "--trace-jsonl requires an output path";
+      out.trace_jsonl_path = *v;
+    } else if (a == "--trace-sample") {
+      const auto v = next("--trace-sample");
+      std::size_t n = 0;
+      if (!v || !parse_size(*v, n) || n == 0) {
+        return "--trace-sample requires a positive integer";
+      }
+      out.trace_sample = n;
     } else if (a == "--runs") {
       const auto v = next("--runs");
       std::size_t n = 0;
@@ -216,6 +231,14 @@ usage: aria_sim [options]
   --quiet             print only the summary block
   -h, --help          this text
 
+tracing (docs/tracing.md; either output path enables the tracing plane and
+a per-job critical-path summary — metrics stay byte-identical either way):
+  --trace PATH        write a Chrome trace_event JSON file for the first
+                      run; load it at ui.perfetto.dev or chrome://tracing
+  --trace-jsonl PATH  write the raw event stream as JSON Lines (one object
+                      per record; byte-identical across same-seed runs)
+  --trace-sample N    record every Nth wire message (default: 16)
+
 fault injection (see docs/faults.md; any of these enables the fault plane,
 acknowledged delegation, and — with --churn — the failsafe):
   --loss P            drop each message with probability P
@@ -248,6 +271,10 @@ ScenarioConfig resolve_scenario(const CliOptions& options) {
     }
   }
   if (options.storm) cfg.storm = options.storm;
+  if (options.tracing()) {
+    cfg.trace.enabled = true;
+    cfg.trace.message_sample_every = options.trace_sample;
+  }
   if (options.overlay == "random") {
     cfg.overlay_family = ScenarioConfig::OverlayFamily::kRandomRegular;
   } else if (options.overlay == "smallworld") {

@@ -40,6 +40,16 @@ struct CliOptions {
   std::string csv_dir{};
   bool quiet{false};
 
+  // --- tracing (any output path turns the tracing plane on) ---------------
+  /// Chrome trace_event JSON output path (Perfetto / chrome://tracing).
+  std::string trace_path{};
+  /// JSONL event-log output path (machine-diffable, byte-stable per seed).
+  std::string trace_jsonl_path{};
+  /// Record every Nth wire message (default 16; 1 = every message).
+  std::uint64_t trace_sample{16};
+
+  bool tracing() const { return !trace_path.empty() || !trace_jsonl_path.empty(); }
+
   // --- fault injection (any flag set turns the fault plane on) -----------
   double loss{0.0};       // per-message loss probability
   double duplicate{0.0};  // per-message duplication probability

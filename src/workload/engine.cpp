@@ -190,6 +190,13 @@ void GridSimulation::build() {
     faults_ = std::make_unique<sim::FaultPlane>(fc);
     net_->set_fault_plane(faults_.get());
   }
+  if (config_.trace.enabled) {
+    // Decorator: the collector forwards every callback to the tracker
+    // unchanged, and its sampling counter draws no RNG — tracing perturbs
+    // neither the metrics nor the event stream (docs/tracing.md).
+    tracer_ = std::make_unique<trace::TraceCollector>(config_.trace, &tracker_);
+    net_->set_tap(tracer_.get(), config_.trace.message_sample_every);
+  }
   relay_ = std::make_unique<overlay::FloodRelay>(topo_, rng_.fork(2));
   // Entries a late duplicate re-creates after the protocol's explicit
   // forget() would otherwise live forever; the TTL sweep reclaims them on
@@ -258,7 +265,8 @@ void GridSimulation::spawn_node() {
   ctx.relay = relay_.get();
   ctx.config = &config_.aria;
   ctx.ert_error = &ert_error_;
-  ctx.observer = &tracker_;
+  ctx.observer = tracer_ ? static_cast<proto::ProtocolObserver*>(tracer_.get())
+                         : &tracker_;
   ctx.idle_gauge = &idle_nodes_;
   if (config_.aria.healing.enabled) ctx.healing_topo = &topo_;
 
@@ -523,6 +531,10 @@ RunResult GridSimulation::run() {
     r.queue_depth_series = queue_depth_series_;
     r.shed_series = shed_series_;
     r.reject_series = reject_series_;
+  }
+  if (tracer_) {
+    r.trace_enabled = true;
+    r.trace = tracer_->buffer();
   }
   r.final_node_count = nodes_.size();
   r.overlay_links = topo_.link_count();

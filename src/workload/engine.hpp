@@ -19,6 +19,7 @@
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "sim/traffic.hpp"
+#include "trace/collector.hpp"
 #include "workload/jobgen.hpp"
 #include "workload/scenario.hpp"
 
@@ -69,6 +70,12 @@ struct RunResult {
   metrics::Series queue_depth_series;    // max queue depth across nodes
   metrics::Series shed_series;           // cumulative sheds over time
   metrics::Series reject_series;         // cumulative REJECTs over time
+
+  // --- tracing plane (null when tracing is off) -------------------------
+  bool trace_enabled{false};
+  /// The collected stream (job lifecycle + sampled messages); feed to
+  /// trace::export_jsonl / export_chrome / critical_paths.
+  std::shared_ptr<const trace::TraceBuffer> trace{};
 
   std::size_t final_node_count{0};
   std::size_t overlay_links{0};
@@ -182,6 +189,9 @@ class GridSimulation {
   std::unique_ptr<overlay::BlatantMaintainer> maintainer_;
   grid::ErtErrorModel ert_error_;
   proto::JobTracker tracker_;
+  /// Null unless config_.trace.enabled; decorates tracker_ as the nodes'
+  /// observer and taps net_ for sampled wire messages.
+  std::unique_ptr<trace::TraceCollector> tracer_;
   std::unique_ptr<JobGenerator> jobgen_;
   Rng submit_rng_{0};
   // Declared before nodes_: nodes decrement the gauge in their destructor.

@@ -10,6 +10,7 @@
 #include "grid/job.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/fault.hpp"
+#include "trace/record.hpp"
 #include "workload/jobgen.hpp"
 
 namespace aria::workload {
@@ -69,6 +70,11 @@ struct ScenarioConfig {
   /// All-off by default; Table II scenarios never enable faults, so the
   /// baseline figures stay untouched. See docs/faults.md.
   sim::FaultConfig faults{};
+
+  // --- tracing --------------------------------------------------------------
+  /// Off by default: no collector is constructed and no tap attached, so
+  /// default output stays byte-identical. See docs/tracing.md.
+  trace::TraceConfig trace{};
 
   // --- simulation ----------------------------------------------------------
   Duration horizon{Duration::hours(41) + Duration::minutes(40)};

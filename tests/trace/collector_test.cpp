@@ -1,0 +1,142 @@
+// TraceCollector unit tests: decorator forwarding (next observer sees every
+// callback, before the record lands) and callback → record field mapping.
+#include "trace/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "grid/job.hpp"
+
+namespace aria::trace {
+namespace {
+
+using namespace aria::literals;
+
+/// Counts every callback so tests can assert nothing is swallowed.
+struct CountingObserver final : proto::ProtocolObserver {
+  std::size_t calls{0};
+  void on_submitted(const grid::JobSpec&, NodeId, TimePoint) override { ++calls; }
+  void on_request_retry(const JobId&, std::size_t, TimePoint) override { ++calls; }
+  void on_unschedulable(const JobId&, TimePoint) override { ++calls; }
+  void on_bid_sent(const JobId&, NodeId, NodeId, double, TimePoint) override { ++calls; }
+  void on_bid_received(const JobId&, NodeId, NodeId, double, TimePoint) override { ++calls; }
+  void on_delegated(const JobId&, NodeId, NodeId, TimePoint, bool) override { ++calls; }
+  void on_assigned(const grid::JobSpec&, NodeId, TimePoint, bool) override { ++calls; }
+  void on_started(const JobId&, NodeId, TimePoint) override { ++calls; }
+  void on_completed(const JobId&, NodeId, TimePoint, Duration) override { ++calls; }
+  void on_recovery(const JobId&, std::size_t, TimePoint) override { ++calls; }
+  void on_abandoned(const JobId&, TimePoint) override { ++calls; }
+  void on_shed(const grid::JobSpec&, NodeId, TimePoint) override { ++calls; }
+  void on_rejected(const JobId&, NodeId, TimePoint) override { ++calls; }
+};
+
+struct Fixture {
+  Rng rng{42};
+  JobId id{JobId::generate(rng)};
+  grid::JobSpec job{};
+  CountingObserver next;
+  TraceCollector collector{TraceConfig{.enabled = true}, &next};
+  Fixture() { job.id = id; }
+};
+
+TEST(TraceCollector, ForwardsEveryCallbackToNext) {
+  Fixture f;
+  const TimePoint t = TimePoint::origin() + 1_min;
+  f.collector.on_submitted(f.job, NodeId{1}, t);
+  f.collector.on_request_retry(f.id, 2, t);
+  f.collector.on_unschedulable(f.id, t);
+  f.collector.on_bid_sent(f.id, NodeId{2}, NodeId{1}, 10.0, t);
+  f.collector.on_bid_received(f.id, NodeId{1}, NodeId{2}, 10.0, t);
+  f.collector.on_delegated(f.id, NodeId{1}, NodeId{2}, t, false);
+  f.collector.on_assigned(f.job, NodeId{2}, t, false);
+  f.collector.on_started(f.id, NodeId{2}, t);
+  f.collector.on_completed(f.id, NodeId{2}, t, 30_s);
+  f.collector.on_recovery(f.id, 1, t);
+  f.collector.on_abandoned(f.id, t);
+  f.collector.on_shed(f.job, NodeId{2}, t);
+  f.collector.on_rejected(f.id, NodeId{2}, t);
+  EXPECT_EQ(f.next.calls, 13u);
+  EXPECT_EQ(f.collector.buffer()->job_events().size(), 13u);
+}
+
+TEST(TraceCollector, NullNextIsAllowed) {
+  Fixture f;
+  TraceCollector solo{TraceConfig{.enabled = true}};
+  solo.on_submitted(f.job, NodeId{1}, TimePoint::origin());
+  EXPECT_EQ(solo.buffer()->job_events().size(), 1u);
+}
+
+TEST(TraceCollector, RecordsCarryCallbackFields) {
+  Fixture f;
+  const TimePoint t = TimePoint::origin() + 5_min;
+  f.collector.on_bid_sent(f.id, NodeId{3}, NodeId{7}, 123.5, t);
+  f.collector.on_delegated(f.id, NodeId{7}, NodeId{3}, t, /*reschedule=*/true);
+  f.collector.on_completed(f.id, NodeId{3}, t, 90_s);
+
+  const auto& ev = f.collector.buffer()->job_events();
+  ASSERT_EQ(ev.size(), 3u);
+
+  EXPECT_EQ(ev[0].kind, TraceEventKind::kBidSent);
+  EXPECT_EQ(ev[0].job, f.id);
+  EXPECT_EQ(ev[0].node, NodeId{3});
+  EXPECT_EQ(ev[0].peer, NodeId{7});
+  EXPECT_DOUBLE_EQ(ev[0].value, 123.5);
+  EXPECT_EQ(ev[0].at, t);
+
+  EXPECT_EQ(ev[1].kind, TraceEventKind::kDelegated);
+  EXPECT_EQ(ev[1].node, NodeId{7});
+  EXPECT_EQ(ev[1].peer, NodeId{3});
+  EXPECT_TRUE(ev[1].reschedule());
+
+  EXPECT_EQ(ev[2].kind, TraceEventKind::kCompleted);
+  EXPECT_DOUBLE_EQ(ev[2].value, 90.0);  // ART in seconds
+}
+
+TEST(TraceCollector, AttemptNumbersSurviveInA) {
+  Fixture f;
+  f.collector.on_request_retry(f.id, 3, TimePoint::origin());
+  f.collector.on_recovery(f.id, 5, TimePoint::origin());
+  const auto& ev = f.collector.buffer()->job_events();
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_EQ(ev[0].a, 3u);
+  EXPECT_EQ(ev[1].a, 5u);
+}
+
+/// Minimal wire message for tap tests.
+struct FakeMsg final : sim::Message {
+  std::size_t wire_size() const override { return 77; }
+  sim::MessageTypeId type_id() const override {
+    static const sim::MessageTypeId id =
+        sim::MessageTypeRegistry::intern("FAKE");
+    return id;
+  }
+  std::uint32_t flood_hops_left() const override { return 4; }
+};
+
+TEST(TraceCollector, MessageTapRecordsWireFields) {
+  Fixture f;
+  const TimePoint sent = TimePoint::origin() + 1_s;
+  const TimePoint deliver = sent + 40_ms;
+  f.collector.on_message(NodeId{1}, NodeId{2}, FakeMsg{}, sent, deliver,
+                         /*faulted=*/false);
+  f.collector.on_message(NodeId{2}, NodeId{1}, FakeMsg{}, sent, sent,
+                         /*faulted=*/true);
+
+  const auto& ev = f.collector.buffer()->message_events();
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_EQ(ev[0].kind, TraceEventKind::kMsg);
+  EXPECT_EQ(ev[0].node, NodeId{1});
+  EXPECT_EQ(ev[0].peer, NodeId{2});
+  EXPECT_EQ(ev[0].at, sent);
+  EXPECT_EQ(ev[0].end, deliver);
+  EXPECT_DOUBLE_EQ(ev[0].value, 77.0);
+  EXPECT_EQ(ev[0].b, 4u);
+  EXPECT_FALSE(ev[0].fault_dropped());
+  EXPECT_TRUE(ev[1].fault_dropped());
+  EXPECT_TRUE(f.collector.buffer()->job_events().empty());
+}
+
+}  // namespace
+}  // namespace aria::trace

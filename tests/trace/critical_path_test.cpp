@@ -1,0 +1,147 @@
+// critical_paths(): reducing a synthetic record stream to per-job latency
+// summaries, including delegation pairing and reschedule-aware queue wait.
+#include "trace/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace aria::trace {
+namespace {
+
+using namespace aria::literals;
+
+struct Builder {
+  TraceBuffer buf{TraceConfig{.enabled = true}};
+  void add(TraceEventKind kind, const JobId& job, Duration at,
+           NodeId node = NodeId{}, NodeId peer = NodeId{},
+           std::uint8_t flags = 0) {
+    TraceRecord r;
+    r.kind = kind;
+    r.job = job;
+    r.at = TimePoint::origin() + at;
+    r.node = node;
+    r.peer = peer;
+    r.flags = flags;
+    buf.record(r);
+  }
+};
+
+TEST(CriticalPath, SingleDelegatedJob) {
+  Rng rng{7};
+  const JobId id = JobId::generate(rng);
+  Builder b;
+  b.add(TraceEventKind::kSubmitted, id, 0_s, NodeId{0});
+  b.add(TraceEventKind::kBidReceived, id, 2_s, NodeId{0}, NodeId{0});
+  b.add(TraceEventKind::kBidReceived, id, 3_s, NodeId{0}, NodeId{1});
+  b.add(TraceEventKind::kDelegated, id, 4_s, NodeId{0}, NodeId{1});
+  b.add(TraceEventKind::kAssigned, id, 5_s, NodeId{1});
+  b.add(TraceEventKind::kStarted, id, 65_s, NodeId{1});
+  b.add(TraceEventKind::kCompleted, id, 365_s, NodeId{1});
+
+  const auto paths = critical_paths(b.buf);
+  ASSERT_EQ(paths.size(), 1u);
+  const auto& p = paths[0];
+  EXPECT_EQ(p.job, id);
+  EXPECT_EQ(p.initiator, NodeId{0});
+  EXPECT_EQ(p.time_to_first_bid, 2_s);
+  EXPECT_EQ(p.bids, 2u);
+  EXPECT_EQ(p.delegations, 1u);
+  EXPECT_EQ(p.delegation_latency(), 1_s);
+  EXPECT_EQ(p.queue_wait, 60_s);
+  EXPECT_EQ(p.execution, 300_s);
+  EXPECT_EQ(p.reschedules, 0u);
+  EXPECT_TRUE(p.completed);
+  EXPECT_TRUE(p.terminal());
+  EXPECT_EQ(p.finished - p.submitted, 365_s);
+}
+
+TEST(CriticalPath, LocalPlacementHasNoDelegationLatency) {
+  Rng rng{8};
+  const JobId id = JobId::generate(rng);
+  Builder b;
+  b.add(TraceEventKind::kSubmitted, id, 0_s, NodeId{0});
+  b.add(TraceEventKind::kBidReceived, id, 1_s, NodeId{0}, NodeId{0});
+  // Self-placement: delegator == target, delivered with zero wire hops.
+  b.add(TraceEventKind::kDelegated, id, 2_s, NodeId{0}, NodeId{0});
+  b.add(TraceEventKind::kAssigned, id, 2_s, NodeId{0});
+  b.add(TraceEventKind::kStarted, id, 2_s, NodeId{0});
+  b.add(TraceEventKind::kCompleted, id, 10_s, NodeId{0});
+
+  const auto paths = critical_paths(b.buf);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].delegations, 0u);
+  EXPECT_EQ(paths[0].delegation_latency(), Duration::zero());
+  EXPECT_EQ(paths[0].queue_wait, Duration::zero());
+}
+
+TEST(CriticalPath, RescheduleRestartsQueueWait) {
+  Rng rng{9};
+  const JobId id = JobId::generate(rng);
+  Builder b;
+  b.add(TraceEventKind::kSubmitted, id, 0_s, NodeId{0});
+  b.add(TraceEventKind::kAssigned, id, 10_s, NodeId{1});
+  // 50s later the job moves to a better node and starts there quickly.
+  b.add(TraceEventKind::kDelegated, id, 60_s, NodeId{1}, NodeId{2});
+  b.add(TraceEventKind::kAssigned, id, 61_s, NodeId{2}, NodeId{},
+        TraceRecord::kReschedule);
+  b.add(TraceEventKind::kStarted, id, 66_s, NodeId{2});
+  b.add(TraceEventKind::kCompleted, id, 100_s, NodeId{2});
+
+  const auto paths = critical_paths(b.buf);
+  ASSERT_EQ(paths.size(), 1u);
+  const auto& p = paths[0];
+  EXPECT_EQ(p.reschedules, 1u);
+  // Queue wait counts only the residence ended by execution, not the wait
+  // the reschedule cut short.
+  EXPECT_EQ(p.queue_wait, 5_s);
+  EXPECT_EQ(p.delegations, 1u);
+  EXPECT_EQ(p.delegation_latency(), 1_s);
+}
+
+TEST(CriticalPath, CountsRetriesShedsRejectsAndTerminalKinds) {
+  Rng rng{10};
+  const JobId unsched = JobId::generate(rng);
+  const JobId abandoned = JobId::generate(rng);
+  const JobId open = JobId::generate(rng);
+  Builder b;
+  b.add(TraceEventKind::kSubmitted, unsched, 0_s, NodeId{0});
+  b.add(TraceEventKind::kRetry, unsched, 10_s);
+  b.add(TraceEventKind::kRetry, unsched, 30_s);
+  b.add(TraceEventKind::kUnschedulable, unsched, 60_s);
+
+  b.add(TraceEventKind::kSubmitted, abandoned, 5_s, NodeId{1});
+  b.add(TraceEventKind::kShed, abandoned, 20_s, NodeId{2});
+  b.add(TraceEventKind::kRejected, abandoned, 25_s, NodeId{3});
+  b.add(TraceEventKind::kRecovery, abandoned, 40_s);
+  b.add(TraceEventKind::kAbandoned, abandoned, 90_s);
+
+  b.add(TraceEventKind::kSubmitted, open, 8_s, NodeId{4});
+
+  const auto paths = critical_paths(b.buf);
+  ASSERT_EQ(paths.size(), 3u);
+  // First-submission order.
+  EXPECT_EQ(paths[0].job, unsched);
+  EXPECT_EQ(paths[1].job, abandoned);
+  EXPECT_EQ(paths[2].job, open);
+
+  EXPECT_EQ(paths[0].retries, 2u);
+  EXPECT_TRUE(paths[0].unschedulable);
+  EXPECT_EQ(paths[1].sheds, 1u);
+  EXPECT_EQ(paths[1].rejects, 1u);
+  EXPECT_EQ(paths[1].recoveries, 1u);
+  EXPECT_TRUE(paths[1].abandoned);
+  EXPECT_FALSE(paths[2].terminal());
+
+  const auto agg = aggregate(paths);
+  EXPECT_EQ(agg.jobs, 3u);
+  EXPECT_EQ(agg.completed, 0u);
+  EXPECT_EQ(agg.unschedulable, 1u);
+  EXPECT_EQ(agg.abandoned, 1u);
+  EXPECT_EQ(agg.open, 1u);
+  EXPECT_EQ(agg.makespan_s.count(), 2u);  // only terminal jobs
+  EXPECT_EQ(agg.queue_wait_s.count(), 0u);  // nothing started
+}
+
+}  // namespace
+}  // namespace aria::trace

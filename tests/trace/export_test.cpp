@@ -1,0 +1,162 @@
+// Exporter tests over a synthetic stream: JSONL shape and the Chrome
+// trace_event invariants (balanced spans, closed async tracks, flow pairing).
+#include "trace/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/message_types.hpp"
+
+namespace aria::trace {
+namespace {
+
+using namespace aria::literals;
+
+std::size_t count_of(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in{text};
+  for (std::string line; std::getline(in, line);) out.push_back(line);
+  return out;
+}
+
+struct Script {
+  TraceBuffer buf{TraceConfig{.enabled = true}};
+  Rng rng{11};
+  JobId id{JobId::generate(rng)};
+
+  void add(TraceEventKind kind, Duration at, NodeId node = NodeId{},
+           NodeId peer = NodeId{}, double value = 0.0) {
+    TraceRecord r;
+    r.kind = kind;
+    r.job = kind == TraceEventKind::kMsg ? JobId{} : id;
+    r.at = TimePoint::origin() + at;
+    r.node = node;
+    r.peer = peer;
+    r.value = value;
+    if (kind == TraceEventKind::kMsg) {
+      r.end = r.at + 40_ms;
+      r.a = static_cast<std::uint32_t>(
+          sim::MessageTypeRegistry::intern("REQUEST").index());
+      r.b = TraceRecord::kNoHops;
+    }
+    buf.record(r);
+  }
+
+  /// submit → remote bid → delegation → execution, plus one wire message.
+  void full_lifecycle() {
+    add(TraceEventKind::kSubmitted, 0_s, NodeId{0});
+    add(TraceEventKind::kMsg, 0_s, NodeId{0}, NodeId{1}, 1024.0);
+    add(TraceEventKind::kBidSent, 1_s, NodeId{1}, NodeId{0}, 9.5);
+    add(TraceEventKind::kBidReceived, 2_s, NodeId{0}, NodeId{1}, 9.5);
+    add(TraceEventKind::kDelegated, 3_s, NodeId{0}, NodeId{1});
+    add(TraceEventKind::kAssigned, 4_s, NodeId{1});
+    add(TraceEventKind::kStarted, 5_s, NodeId{1});
+    add(TraceEventKind::kCompleted, 65_s, NodeId{1}, NodeId{}, 60.0);
+  }
+};
+
+TEST(ExportJsonl, OneLinePerRecordInSeqOrder) {
+  Script s;
+  s.full_lifecycle();
+  std::ostringstream out;
+  export_jsonl(s.buf, out);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 8u);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(lines[i].rfind("{\"seq\":" + std::to_string(i) + ",", 0), 0u)
+        << lines[i];
+    EXPECT_EQ(lines[i].back(), '}');
+  }
+  // Message records interleave with lifecycle records (global seq merge).
+  EXPECT_NE(lines[1].find("\"kind\":\"msg\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"type\":\"REQUEST\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"bytes\":1024"), std::string::npos);
+  // Costs ride on bid records.
+  EXPECT_NE(lines[2].find("\"cost\":9.5"), std::string::npos);
+  EXPECT_NE(lines[7].find("\"art_s\":60"), std::string::npos);
+}
+
+TEST(ExportChrome, BalancedSpansAndFlows) {
+  Script s;
+  s.full_lifecycle();
+  std::ostringstream out;
+  export_chrome(s.buf, out);
+  const std::string t = out.str();
+
+  EXPECT_EQ(t.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  // Exactly one matched execution pair.
+  EXPECT_EQ(count_of(t, "\"ph\":\"B\""), 1u);
+  EXPECT_EQ(count_of(t, "\"ph\":\"E\""), 1u);
+  // One async job span, opened and closed.
+  EXPECT_EQ(count_of(t, "\"ph\":\"b\""), 1u);
+  EXPECT_EQ(count_of(t, "\"ph\":\"e\""), 1u);
+  // One bid flow + one delegation flow, each with both ends.
+  EXPECT_EQ(count_of(t, "\"ph\":\"s\""), 2u);
+  EXPECT_EQ(count_of(t, "\"ph\":\"f\""), 2u);
+  EXPECT_EQ(count_of(t, "\"cat\":\"bid\""), 2u);
+  EXPECT_EQ(count_of(t, "\"cat\":\"delegation\""), 2u);
+  // Thread metadata for both nodes.
+  EXPECT_NE(t.find("\"name\":\"n0\""), std::string::npos);
+  EXPECT_NE(t.find("\"name\":\"n1\""), std::string::npos);
+  // Message records are not rendered.
+  EXPECT_EQ(t.find("REQUEST"), std::string::npos);
+}
+
+TEST(ExportChrome, InterruptedExecutionEmitsNoOrphanSpan) {
+  Script s;
+  s.add(TraceEventKind::kSubmitted, 0_s, NodeId{0});
+  s.add(TraceEventKind::kStarted, 1_s, NodeId{1});
+  // Node crashes; the job is recovered and completes elsewhere.
+  s.add(TraceEventKind::kRecovery, 10_s);
+  s.add(TraceEventKind::kStarted, 20_s, NodeId{2});
+  s.add(TraceEventKind::kCompleted, 30_s, NodeId{2}, NodeId{}, 10.0);
+  std::ostringstream out;
+  export_chrome(s.buf, out);
+  const std::string t = out.str();
+  // Only the matched pair on node 2 renders; node 1's interrupted start
+  // would otherwise leave an unbalanced B.
+  EXPECT_EQ(count_of(t, "\"ph\":\"B\""), 1u);
+  EXPECT_EQ(count_of(t, "\"ph\":\"E\""), 1u);
+  EXPECT_NE(t.find("\"tid\":2,\"ts\":20000000"), std::string::npos);
+}
+
+TEST(ExportChrome, OpenJobsAreClosedAtHorizon) {
+  Script s;
+  s.add(TraceEventKind::kSubmitted, 0_s, NodeId{0});
+  s.add(TraceEventKind::kAssigned, 30_s, NodeId{1});  // never finishes
+  std::ostringstream out;
+  export_chrome(s.buf, out);
+  const std::string t = out.str();
+  EXPECT_EQ(count_of(t, "\"ph\":\"b\""), 1u);
+  EXPECT_EQ(count_of(t, "\"ph\":\"e\""), 1u);
+  EXPECT_NE(t.find("open_at_horizon"), std::string::npos);
+}
+
+TEST(ExportChrome, SelfBidDrawsNoFlowArrow) {
+  Script s;
+  s.add(TraceEventKind::kSubmitted, 0_s, NodeId{0});
+  // The initiator's own quote: received without a matching bid_sent.
+  s.add(TraceEventKind::kBidReceived, 1_s, NodeId{0}, NodeId{0}, 3.0);
+  s.add(TraceEventKind::kCompleted, 10_s, NodeId{0}, NodeId{}, 9.0);
+  std::ostringstream out;
+  export_chrome(s.buf, out);
+  const std::string t = out.str();
+  EXPECT_EQ(count_of(t, "\"ph\":\"s\""), 0u);
+  EXPECT_EQ(count_of(t, "\"ph\":\"f\""), 0u);
+}
+
+}  // namespace
+}  // namespace aria::trace

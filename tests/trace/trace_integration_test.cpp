@@ -1,0 +1,237 @@
+// Tracing plane end to end: the guarantees docs/tracing.md promises.
+// Tracing never perturbs a run (identical metrics, events and traffic with
+// the plane on or off), same-seed traces are byte-identical, and lifecycle
+// transitions appear in the trace exactly once per triggering event.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "trace/critical_path.hpp"
+#include "trace/export.hpp"
+#include "workload/engine.hpp"
+#include "workload/scenario.hpp"
+
+namespace aria::trace {
+namespace {
+
+using namespace aria::literals;
+
+workload::ScenarioConfig small_grid() {
+  workload::ScenarioConfig cfg = workload::scenario_by_name("iMixed");
+  cfg.node_count = 20;
+  cfg.job_count = 40;
+  return cfg;
+}
+
+workload::ScenarioConfig traced(workload::ScenarioConfig cfg,
+                                std::uint64_t sample_every = 4) {
+  cfg.trace.enabled = true;
+  cfg.trace.message_sample_every = sample_every;
+  return cfg;
+}
+
+/// Mirror of `aria_sim --storm ... --overload`: bounded queues + admission
+/// control against a 6x arrival burst — the run that exercises kShed and
+/// kRejected.
+workload::ScenarioConfig storm_scenario() {
+  workload::ScenarioConfig cfg = small_grid();
+  cfg.job_count = 60;
+  cfg.aria.overload.enabled = true;
+  cfg.aria.overload.capacity_per_perf = 2.0;
+  cfg.aria.overload.admission_backlog = 2_h;
+  cfg.aria.assign_ack = true;
+  cfg.storm = workload::StormParams{Duration::zero(), Duration::minutes(10),
+                                    6.0};
+  return cfg;
+}
+
+/// Mirror of `aria_sim --churn`: crash/restart schedules with the failsafe —
+/// the run that exercises kRecovery.
+workload::ScenarioConfig churn_scenario() {
+  workload::ScenarioConfig cfg = small_grid();
+  cfg.faults.enabled = true;
+  cfg.faults.seed = 99;
+  cfg.faults.churn = sim::FaultConfig::Churn{};
+  cfg.aria.failsafe = true;
+  cfg.aria.assign_ack = true;
+  return cfg;
+}
+
+std::size_t kind_count(const TraceBuffer& buf, TraceEventKind kind) {
+  const auto& ev = buf.job_events();
+  return static_cast<std::size_t>(
+      std::count_if(ev.begin(), ev.end(), [kind](const TraceRecord& r) {
+        return r.kind == kind;
+      }));
+}
+
+// ---------------------------------------------------------------------------
+// Non-perturbation: tracing on == tracing off, metric for metric
+// ---------------------------------------------------------------------------
+
+TEST(TraceIntegration, TracingDoesNotPerturbTheRun) {
+  const workload::RunResult off = workload::run_scenario(small_grid(), 23);
+  const workload::RunResult on =
+      workload::run_scenario(traced(small_grid(), /*sample_every=*/1), 23);
+
+  ASSERT_TRUE(on.trace_enabled);
+  ASSERT_FALSE(off.trace_enabled);
+  EXPECT_EQ(off.trace, nullptr);
+  EXPECT_EQ(on.events_fired, off.events_fired);
+  EXPECT_EQ(on.completed(), off.completed());
+  EXPECT_EQ(on.traffic.total().messages, off.traffic.total().messages);
+  EXPECT_EQ(on.traffic.total().bytes, off.traffic.total().bytes);
+  EXPECT_DOUBLE_EQ(on.mean_completion_minutes(), off.mean_completion_minutes());
+  EXPECT_EQ(on.tracker.total_reschedules(), off.tracker.total_reschedules());
+}
+
+TEST(TraceIntegration, TracingDoesNotPerturbFaultRuns) {
+  const workload::RunResult off = workload::run_scenario(churn_scenario(), 5);
+  const workload::RunResult on =
+      workload::run_scenario(traced(churn_scenario()), 5);
+  EXPECT_EQ(on.events_fired, off.events_fired);
+  EXPECT_EQ(on.faults.crashes, off.faults.crashes);
+  EXPECT_EQ(on.traffic.total().messages, off.traffic.total().messages);
+  EXPECT_EQ(on.tracker.total_recoveries(), off.tracker.total_recoveries());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: same seed, byte-identical exports
+// ---------------------------------------------------------------------------
+
+TEST(TraceIntegration, SameSeedProducesIdenticalJsonl) {
+  const workload::RunResult a =
+      workload::run_scenario(traced(small_grid()), 31);
+  const workload::RunResult b =
+      workload::run_scenario(traced(small_grid()), 31);
+  ASSERT_NE(a.trace, nullptr);
+  ASSERT_NE(b.trace, nullptr);
+  std::ostringstream ja, jb, ca, cb;
+  export_jsonl(*a.trace, ja);
+  export_jsonl(*b.trace, jb);
+  EXPECT_GT(ja.str().size(), 0u);
+  EXPECT_EQ(ja.str(), jb.str());
+  export_chrome(*a.trace, ca);
+  export_chrome(*b.trace, cb);
+  EXPECT_EQ(ca.str(), cb.str());
+}
+
+TEST(TraceIntegration, DifferentSeedsProduceDifferentTraces) {
+  const workload::RunResult a =
+      workload::run_scenario(traced(small_grid()), 1);
+  const workload::RunResult b =
+      workload::run_scenario(traced(small_grid()), 2);
+  std::ostringstream ja, jb;
+  export_jsonl(*a.trace, ja);
+  export_jsonl(*b.trace, jb);
+  EXPECT_NE(ja.str(), jb.str());
+}
+
+// ---------------------------------------------------------------------------
+// Exactly-once: one record per triggering protocol event
+// ---------------------------------------------------------------------------
+
+TEST(TraceIntegration, LifecycleRecordsMatchTrackerCounts) {
+  const workload::RunResult r =
+      workload::run_scenario(traced(small_grid()), 13);
+  ASSERT_NE(r.trace, nullptr);
+  const TraceBuffer& buf = *r.trace;
+  ASSERT_EQ(buf.dropped_job_events(), 0u);
+  EXPECT_EQ(kind_count(buf, TraceEventKind::kSubmitted), 40u);
+  EXPECT_EQ(kind_count(buf, TraceEventKind::kCompleted),
+            r.tracker.completed_count());
+  // Every completion was preceded by exactly one start in this fault-free
+  // run, and every job got at least one bid into an offer set.
+  EXPECT_EQ(kind_count(buf, TraceEventKind::kStarted),
+            kind_count(buf, TraceEventKind::kCompleted));
+  EXPECT_GE(kind_count(buf, TraceEventKind::kBidReceived), 40u);
+}
+
+TEST(TraceIntegration, ShedAndRejectRecordsAppearExactlyOncePerEvent) {
+  const workload::RunResult r =
+      workload::run_scenario(traced(storm_scenario()), 21);
+  ASSERT_NE(r.trace, nullptr);
+  const TraceBuffer& buf = *r.trace;
+  ASSERT_EQ(buf.dropped_job_events(), 0u);
+  // The storm must actually trip the plane for this test to mean anything.
+  ASSERT_GT(r.tracker.total_sheds() + r.tracker.total_rejects(), 0u);
+  EXPECT_EQ(kind_count(buf, TraceEventKind::kShed), r.tracker.total_sheds());
+  EXPECT_EQ(kind_count(buf, TraceEventKind::kRejected),
+            r.tracker.total_rejects());
+}
+
+TEST(TraceIntegration, RecoveryRecordsAppearExactlyOncePerEvent) {
+  const workload::RunResult r =
+      workload::run_scenario(traced(churn_scenario()), 5);
+  ASSERT_NE(r.trace, nullptr);
+  const TraceBuffer& buf = *r.trace;
+  ASSERT_EQ(buf.dropped_job_events(), 0u);
+  ASSERT_GT(r.tracker.total_recoveries(), 0u);
+  EXPECT_EQ(kind_count(buf, TraceEventKind::kRecovery),
+            r.tracker.total_recoveries());
+  EXPECT_EQ(kind_count(buf, TraceEventKind::kAbandoned),
+            r.tracker.abandoned_count());
+}
+
+// ---------------------------------------------------------------------------
+// Downstream views over a real run
+// ---------------------------------------------------------------------------
+
+TEST(TraceIntegration, CriticalPathsCoverEveryJob) {
+  const workload::RunResult r =
+      workload::run_scenario(traced(small_grid()), 23);
+  const auto paths = critical_paths(*r.trace);
+  EXPECT_EQ(paths.size(), 40u);
+  const auto agg = aggregate(paths);
+  EXPECT_EQ(agg.completed, r.tracker.completed_count());
+  EXPECT_EQ(agg.bids.count(), 40u);
+  EXPECT_GT(agg.makespan_s.mean(), 0.0);
+}
+
+TEST(TraceIntegration, ChromeExportIsBalancedOnARealRun) {
+  const workload::RunResult r =
+      workload::run_scenario(traced(churn_scenario()), 5);
+  std::ostringstream out;
+  export_chrome(*r.trace, out);
+  const std::string t = out.str();
+  auto count_of = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = t.find(needle); pos != std::string::npos;
+         pos = t.find(needle, pos + needle.size())) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_of("\"ph\":\"B\""), count_of("\"ph\":\"E\""));
+  EXPECT_EQ(count_of("\"ph\":\"b\""), count_of("\"ph\":\"e\""));
+  // Flow starts may outnumber ends under churn: a bid or ASSIGN the fault
+  // plane ate leaves its arrow dangling — which is exactly what happened on
+  // the wire. Ends can never outnumber starts.
+  EXPECT_GE(count_of("\"ph\":\"s\""), count_of("\"ph\":\"f\""));
+  EXPECT_GT(count_of("\"ph\":\"f\""), 0u);
+  EXPECT_GT(count_of("\"ph\":\"B\""), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Message sampling
+// ---------------------------------------------------------------------------
+
+TEST(TraceIntegration, SamplingThinsTheMessageStreamOnly) {
+  const workload::RunResult every =
+      workload::run_scenario(traced(small_grid(), 1), 23);
+  const workload::RunResult sampled =
+      workload::run_scenario(traced(small_grid(), 16), 23);
+  // Same protocol stream either way...
+  EXPECT_EQ(every.trace->job_events().size(),
+            sampled.trace->job_events().size());
+  // ...but ~16x fewer message records (exact 1-in-16 of the send count).
+  EXPECT_GT(every.trace->message_events().size(),
+            sampled.trace->message_events().size() * 10);
+  const std::uint64_t sends = every.traffic.total().messages;
+  EXPECT_EQ(sampled.trace->message_events().size(), (sends + 15) / 16);
+}
+
+}  // namespace
+}  // namespace aria::trace

@@ -10,6 +10,8 @@
 #include <iostream>
 
 #include "metrics/report.hpp"
+#include "trace/critical_path.hpp"
+#include "trace/export.hpp"
 #include "workload/aggregate.hpp"
 #include "workload/cli.hpp"
 
@@ -185,6 +187,38 @@ int main(int argc, char** argv) {
               << ", jobs stranded: " << stranded << "\n";
   }
 
+  // Printed only when the tracing plane ran (same byte-identity contract):
+  // the per-job critical-path summary from the first run's trace.
+  if (cfg.trace.enabled && !results.empty() && results.front().trace) {
+    const auto& buf = *results.front().trace;
+    const auto paths = trace::critical_paths(buf);
+    const auto agg = trace::aggregate(paths);
+    std::cout << "\ntrace critical path (first run, " << agg.jobs
+              << " traced jobs: " << agg.completed << " completed, "
+              << agg.unschedulable << " unschedulable, " << agg.abandoned
+              << " abandoned, " << agg.open << " open at horizon):\n";
+    metrics::Table cp{{"metric", "mean", "stddev", "min", "max", "jobs"}};
+    auto cp_row = [&](const std::string& name, const RunningStats& s,
+                      int precision) {
+      cp.add_row({name, metrics::Table::num(s.mean(), precision),
+                  metrics::Table::num(s.stddev(), precision),
+                  metrics::Table::num(s.min(), precision),
+                  metrics::Table::num(s.max(), precision),
+                  std::to_string(s.count())});
+    };
+    cp_row("time to first bid [s]", agg.time_to_first_bid_s, 3);
+    cp_row("bids per job", agg.bids, 1);
+    cp_row("delegation latency [s]", agg.delegation_latency_s, 3);
+    cp_row("queue wait [s]", agg.queue_wait_s, 1);
+    cp_row("reschedules", agg.reschedules, 2);
+    cp_row("makespan [s]", agg.makespan_s, 1);
+    cp.print(std::cout);
+    std::cout << "  records: " << buf.total_recorded() << " collected, "
+              << buf.dropped_job_events() << " job + "
+              << buf.dropped_message_events()
+              << " message records dropped at ring capacity\n";
+  }
+
   bool violations = false;
   for (const auto& r : results) {
     if (!r.tracker.violations().empty()) violations = true;
@@ -214,6 +248,30 @@ int main(int argc, char** argv) {
                                  summary.shed_series, summary.reject_series});
     }
     std::cout << "CSV series written to " << options.csv_dir << "\n";
+  }
+
+  if (options.tracing() && !results.empty() && results.front().trace) {
+    const auto& buf = *results.front().trace;
+    if (!options.trace_path.empty()) {
+      std::ofstream out{options.trace_path};
+      if (!out) {
+        std::cerr << "error: cannot write " << options.trace_path << "\n";
+        return 2;
+      }
+      trace::export_chrome(buf, out);
+      std::cout << "Chrome trace written to " << options.trace_path
+                << " (load at ui.perfetto.dev)\n";
+    }
+    if (!options.trace_jsonl_path.empty()) {
+      std::ofstream out{options.trace_jsonl_path};
+      if (!out) {
+        std::cerr << "error: cannot write " << options.trace_jsonl_path << "\n";
+        return 2;
+      }
+      trace::export_jsonl(buf, out);
+      std::cout << "JSONL trace written to " << options.trace_jsonl_path
+                << "\n";
+    }
   }
   return (violations || stranded != 0) ? 1 : 0;
 }

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Validates an aria_sim --trace Chrome trace_event file.
+
+Checks the invariants the exporter promises (docs/tracing.md):
+  * the file is valid JSON with a traceEvents array;
+  * duration events balance: equal B and E counts, and per-tid nesting
+    never closes an empty stack;
+  * async job spans balance: every b has an e with the same id;
+  * flow ends never outnumber flow starts per category;
+  * timestamps are non-negative integers, sorted non-decreasing.
+
+Usage: check_chrome_trace.py TRACE.json
+Exit 0 if well-formed, 1 with a message otherwise.
+"""
+import json
+import sys
+from collections import Counter, defaultdict
+
+
+def fail(msg):
+    print(f"check_chrome_trace: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        sys.exit(2)
+    with open(sys.argv[1], encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"not valid JSON: {e}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("no traceEvents array")
+
+    phases = Counter()
+    depth = defaultdict(int)          # per-tid B/E nesting
+    async_open = Counter()            # per-id b/e balance
+    flows = defaultdict(lambda: [0, 0])  # per-cat [starts, ends]
+    last_ts = None
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph is None:
+            fail(f"event {i} has no ph")
+        phases[ph] += 1
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            fail(f"event {i} has bad ts {ts!r}")
+        if last_ts is not None and ts < last_ts:
+            fail(f"event {i} goes back in time ({ts} < {last_ts})")
+        last_ts = ts
+        if ph == "B":
+            depth[ev.get("tid")] += 1
+        elif ph == "E":
+            tid = ev.get("tid")
+            if depth[tid] == 0:
+                fail(f"event {i}: E with no open B on tid {tid}")
+            depth[tid] -= 1
+        elif ph == "b":
+            async_open[ev.get("id")] += 1
+        elif ph == "e":
+            aid = ev.get("id")
+            if async_open[aid] == 0:
+                fail(f"event {i}: async e with no open b for id {aid}")
+            async_open[aid] -= 1
+        elif ph == "s":
+            flows[ev.get("cat")][0] += 1
+        elif ph == "f":
+            flows[ev.get("cat")][1] += 1
+
+    if phases["B"] != phases["E"]:
+        fail(f"unbalanced durations: {phases['B']} B vs {phases['E']} E")
+    open_tids = {t: d for t, d in depth.items() if d != 0}
+    if open_tids:
+        fail(f"unclosed B spans on tids {open_tids}")
+    open_async = {a: n for a, n in async_open.items() if n != 0}
+    if open_async:
+        fail(f"unclosed async spans: {len(open_async)}")
+    for cat, (starts, ends) in flows.items():
+        if ends > starts:
+            fail(f"flow category {cat!r}: {ends} ends but {starts} starts")
+
+    print(
+        f"check_chrome_trace: OK: {len(events)} events "
+        f"({phases['B']} exec spans, {phases['b']} job spans, "
+        f"{sum(s for s, _ in flows.values())} flow arrows)"
+    )
+
+
+if __name__ == "__main__":
+    main()

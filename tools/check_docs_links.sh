@@ -1,17 +1,29 @@
 #!/bin/sh
-# Checks that every intra-repo markdown link resolves to a real file.
+# Checks that every intra-repo markdown link resolves to a real file, and
+# that every #anchor fragment resolves to a real heading.
 #
 # Scans all tracked *.md files for inline links [text](target) and flags
-# targets that are relative paths (not http(s)/mailto, not pure #anchors)
-# pointing at files that do not exist. Anchors on existing files are
-# accepted without heading validation — this catches moved/renamed files,
-# the failure mode docs actually suffer.
+# (a) relative-path targets (not http(s)/mailto) pointing at files that do
+# not exist — the moved/renamed-file failure mode — and (b) anchors, both
+# same-file (#section) and cross-file (doc.md#section), that match no
+# heading in the target file under GitHub's slug rules (lowercase, drop
+# punctuation, spaces to hyphens).
 #
 # Usage: tools/check_docs_links.sh [root]
 set -u
 
 root=${1:-.}
 cd "$root" || exit 2
+
+# GitHub-style slugs of every markdown heading in $1, one per line:
+# strip the #-prefix and inline-code backticks, lowercase, drop everything
+# but alphanumerics/spaces/hyphens/underscores, then spaces -> hyphens.
+slugs_of() {
+  grep -E '^#{1,6} ' "$1" 2>/dev/null \
+    | sed -E 's/^#{1,6} +//; s/`//g; s/ +$//' \
+    | tr '[:upper:]' '[:lower:]' \
+    | sed -E 's/[^a-z0-9 _-]//g; s/ /-/g'
+}
 
 if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
   files=$(git ls-files '*.md')
@@ -29,16 +41,35 @@ for f in $files; do
   [ -n "$targets" ] || continue
   for t in $targets; do
     case $t in
-      http://*|https://*|mailto:*|\#*) continue ;;
+      http://*|https://*|mailto:*) continue ;;
     esac
-    path=${t%%#*}             # strip any anchor
-    [ -n "$path" ] || continue
-    case $path in
-      /*) resolved=".$path" ;;          # repo-absolute
-      *)  resolved="$dir/$path" ;;      # relative to the linking file
+    anchor=''
+    case $t in
+      *#*) anchor=${t#*#} ;;
     esac
-    if [ ! -e "$resolved" ]; then
-      echo "$f: broken link -> $t"
+    path=${t%%#*}             # file part; empty for same-file anchors
+    if [ -z "$path" ]; then
+      resolved=$f
+    else
+      case $path in
+        /*) resolved=".$path" ;;          # repo-absolute
+        *)  resolved="$dir/$path" ;;      # relative to the linking file
+      esac
+      if [ ! -e "$resolved" ]; then
+        echo "$f: broken link -> $t"
+        status=1
+        continue
+      fi
+    fi
+    [ -n "$anchor" ] || continue
+    case $resolved in
+      *.md) ;;
+      *) continue ;;          # anchors into non-markdown are out of scope
+    esac
+    # Accept GitHub's -N suffix for duplicate headings.
+    base=$(printf '%s' "$anchor" | sed -E 's/-[0-9]+$//')
+    if ! slugs_of "$resolved" | grep -qx -e "$anchor" -e "$base"; then
+      echo "$f: broken anchor -> $t"
       status=1
     fi
   done
