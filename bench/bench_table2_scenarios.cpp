@@ -1,7 +1,14 @@
 // Table II: the full scenario matrix. Prints every scenario's definition
 // (as the paper's table does) plus a one-run smoke row of headline metrics,
 // demonstrating that all 26 configurations execute.
+//
+// The smoke sweep runs through the sweep engine (src/sweep) on every
+// hardware thread; results are keyed by matrix order, so the printed rows
+// are identical to the serial loop this bench used before the engine
+// existed. ARIA_SWEEP_WORKERS overrides the worker count.
 #include "bench_common.hpp"
+#include "sweep/matrix.hpp"
+#include "sweep/runner.hpp"
 
 int main() {
   using namespace aria;
@@ -39,25 +46,25 @@ int main() {
   defs.print(std::cout);
 
   // Smoke sweep: one downsized run per scenario proving the whole matrix
-  // executes (the per-figure benches measure at full scale).
+  // executes (the per-figure benches measure at full scale). The
+  // "table2-smoke" preset applies the same downsizing the serial loop here
+  // always used.
   std::cout << "\nsmoke sweep (downsized: 100 nodes, 150 jobs, 1 run):\n";
+  const auto matrix =
+      sweep::SweepMatrix::preset("table2-smoke", 1, bench_seed());
+  const auto specs = matrix.expand();
+  sweep::RunnerOptions options;
+  options.workers = env_size("ARIA_SWEEP_WORKERS", 0);
+  const auto results = sweep::run_all(specs, options);
+
   metrics::Table rows{{"scenario", "completed", "completion[min]",
                        "reschedules", "missed deadlines", "traffic MiB"}};
   bool all_clean = true;
-  for (const auto& full : workload::all_scenarios()) {
-    workload::ScenarioConfig c = full;
-    c.node_count = 100;
-    c.job_count = 150;
-    c.submission_interval = c.submission_interval / 2;
-    c.horizon = Duration::hours(30);
-    if (c.expansion) {
-      c.expansion->target_node_count = 140;
-      c.expansion->mean_interval = Duration::seconds(30);
-    }
-    const auto r = workload::run_scenario(c, bench_seed());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& r = results[i];
     all_clean = all_clean && r.tracker.violations().empty() &&
-                r.completed() == c.job_count;
-    rows.add_row({c.name, std::to_string(r.completed()),
+                r.completed() == specs[i].config.job_count;
+    rows.add_row({specs[i].label, std::to_string(r.completed()),
                   metrics::Table::num(r.mean_completion_minutes()),
                   std::to_string(r.tracker.total_reschedules()),
                   std::to_string(r.missed_deadlines()),

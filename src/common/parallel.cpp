@@ -1,0 +1,50 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace aria {
+
+std::size_t default_worker_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void parallel_for_index(std::size_t n, std::size_t workers,
+                        const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers == 0) workers = default_worker_count();
+  if (workers > n) workers = n;
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::vector<std::exception_ptr> errors(n);
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace aria

@@ -1,0 +1,29 @@
+// Bounded fork-join parallelism for independent work items.
+//
+// parallel_for_index runs fn(0) .. fn(n-1) on at most `workers` threads.
+// Items are claimed from a shared atomic counter, so completion order is
+// arbitrary — callers that need deterministic output must key results by
+// index, never by completion order (the sweep runner writes results[i] from
+// fn(i) and merges after the join). Exceptions are captured per index and
+// the lowest-index one is rethrown after every worker has joined, so error
+// behavior does not depend on scheduling either.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace aria {
+
+/// Worker count used when a caller passes 0: the hardware concurrency, with
+/// a floor of 1 (hardware_concurrency() may report 0).
+std::size_t default_worker_count();
+
+/// Runs fn(i) for every i in [0, n) on min(workers, n) threads (workers == 0
+/// means default_worker_count()). With one worker or one item, runs inline
+/// on the calling thread — no threads are spawned, which keeps the serial
+/// path exactly serial. Blocks until all items finished; rethrows the
+/// lowest-index captured exception, if any.
+void parallel_for_index(std::size_t n, std::size_t workers,
+                        const std::function<void(std::size_t)>& fn);
+
+}  // namespace aria

@@ -1,0 +1,180 @@
+#include "sweep/matrix.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace aria::sweep {
+
+namespace {
+
+/// Options that configure the aria_sim process rather than a simulation run
+/// have no meaning inside a matrix row.
+std::string reject_process_options(const workload::CliOptions& o) {
+  if (o.show_help) return "--help";
+  if (o.list_scenarios) return "--list";
+  if (o.quiet) return "--quiet";
+  if (!o.csv_dir.empty()) return "--csv";
+  if (!o.trace_path.empty()) return "--trace";
+  if (!o.trace_jsonl_path.empty()) return "--trace-jsonl";
+  return {};
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in{line};
+  std::string t;
+  while (in >> t) tokens.push_back(t);
+  return tokens;
+}
+
+}  // namespace
+
+void SweepMatrix::add(MatrixEntry entry) {
+  if (entry.label.empty()) entry.label = entry.options.scenario;
+  if (const std::string bad = reject_process_options(entry.options);
+      !bad.empty()) {
+    throw std::invalid_argument("matrix row '" + entry.label + "': " + bad +
+                                " is not valid inside a sweep matrix");
+  }
+  for (const MatrixEntry& existing : entries_) {
+    if (existing.label == entry.label) {
+      throw std::invalid_argument(
+          "duplicate matrix label '" + entry.label +
+          "': rows repeating a scenario need distinct --label names");
+    }
+  }
+  entries_.push_back(std::move(entry));
+}
+
+std::size_t SweepMatrix::run_count() const {
+  std::size_t n = 0;
+  for (const MatrixEntry& e : entries_) n += e.options.runs;
+  return n;
+}
+
+std::vector<RunSpec> SweepMatrix::expand() const {
+  if (entries_.empty()) {
+    throw std::invalid_argument("empty sweep matrix: no rows to run");
+  }
+  std::vector<RunSpec> specs;
+  specs.reserve(run_count());
+  for (std::size_t row = 0; row < entries_.size(); ++row) {
+    const MatrixEntry& e = entries_[row];
+    workload::ScenarioConfig config;
+    try {
+      config = workload::resolve_scenario(e.options);
+    } catch (const std::out_of_range&) {
+      throw std::invalid_argument("matrix row '" + e.label +
+                                  "': unknown scenario '" +
+                                  e.options.scenario + "'");
+    }
+    for (std::size_t rep = 0; rep < e.options.runs; ++rep) {
+      specs.push_back(RunSpec{e.label, config, e.options.seed + rep, row, rep});
+    }
+  }
+  return specs;
+}
+
+SweepMatrix SweepMatrix::parse(std::istream& in, const std::string& source) {
+  SweepMatrix matrix;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+
+    const std::string where =
+        source + ":" + std::to_string(line_no) + ": ";
+    MatrixEntry entry;
+    // --label is a matrix-level flag; strip it before the aria_sim parser.
+    std::vector<std::string> args;
+    args.reserve(tokens.size());
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (tokens[i] == "--label") {
+        if (i + 1 >= tokens.size()) {
+          throw std::invalid_argument(where + "--label requires a name");
+        }
+        entry.label = tokens[++i];
+      } else {
+        args.push_back(tokens[i]);
+      }
+    }
+    if (const auto error = workload::parse_cli(args, entry.options)) {
+      throw std::invalid_argument(where + *error);
+    }
+    try {
+      matrix.add(std::move(entry));
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(where + e.what());
+    }
+  }
+  return matrix;
+}
+
+SweepMatrix SweepMatrix::parse_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    throw std::invalid_argument("cannot open matrix file: " + path);
+  }
+  return parse(in, path);
+}
+
+SweepMatrix SweepMatrix::preset(const std::string& name, std::size_t seeds,
+                                std::uint64_t base_seed) {
+  if (seeds == 0) seeds = 1;
+  SweepMatrix matrix;
+  auto row = [&](const std::string& scenario) {
+    MatrixEntry e;
+    e.options.scenario = scenario;
+    e.options.runs = seeds;
+    e.options.seed = base_seed;
+    return e;
+  };
+
+  if (name == "table2") {
+    for (const auto& s : workload::all_scenarios()) matrix.add(row(s.name));
+    return matrix;
+  }
+  if (name == "table2-smoke") {
+    // The downsizing bench_table2_scenarios has always used for its smoke
+    // sweep: 100 nodes, 150 jobs, doubled arrival rate, 30 h horizon,
+    // expansion shrunk to 140 nodes joining every 30 s.
+    for (const auto& s : workload::all_scenarios()) {
+      MatrixEntry e = row(s.name);
+      e.options.nodes = 100;
+      e.options.jobs = 150;
+      e.options.interval_s = s.submission_interval.to_seconds() / 2.0;
+      e.options.horizon_min = 30.0 * 60.0;
+      if (s.expansion) e.options.expand = {140, Duration::seconds(30)};
+      matrix.add(std::move(e));
+    }
+    return matrix;
+  }
+  if (name == "quick") {
+    // One plain + one rescheduling + one high-load + one deadline scenario,
+    // tiny: the cheapest matrix that still exercises distinct planes.
+    for (const char* scenario : {"FCFS", "iMixed", "iHighLoad", "iDeadline"}) {
+      MatrixEntry e = row(scenario);
+      e.options.nodes = 40;
+      e.options.jobs = 60;
+      e.options.horizon_min = 20.0 * 60.0;
+      matrix.add(std::move(e));
+    }
+    return matrix;
+  }
+  throw std::invalid_argument("unknown sweep preset: " + name);
+}
+
+const std::vector<std::string>& SweepMatrix::preset_names() {
+  static const std::vector<std::string> names{"table2", "table2-smoke",
+                                              "quick"};
+  return names;
+}
+
+}  // namespace aria::sweep

@@ -1,0 +1,24 @@
+#include "sweep/runner.hpp"
+
+#include <mutex>
+
+#include "common/parallel.hpp"
+
+namespace aria::sweep {
+
+std::vector<workload::RunResult> run_all(const std::vector<RunSpec>& specs,
+                                         const RunnerOptions& options) {
+  std::vector<workload::RunResult> results(specs.size());
+  std::mutex progress_mu;
+  std::size_t done = 0;
+  parallel_for_index(specs.size(), options.workers, [&](std::size_t i) {
+    results[i] = workload::run_scenario(specs[i].config, specs[i].seed);
+    if (options.progress) {
+      const std::lock_guard<std::mutex> lock{progress_mu};
+      options.progress(++done, specs.size(), specs[i]);
+    }
+  });
+  return results;
+}
+
+}  // namespace aria::sweep

@@ -1,0 +1,36 @@
+// Multi-worker execution of a sweep matrix.
+//
+// Each RunSpec becomes one isolated GridSimulation on a bounded worker
+// pool. Simulations share no mutable state — the only process-wide
+// structures they touch (the message-type intern registry and the log
+// sink) are internally synchronized — so runs are embarrassingly parallel
+// and every run is bit-identical to the same (config, seed) executed
+// serially. Results come back indexed like the input specs (the matrix's
+// deterministic row-major order), never by completion order, which is what
+// makes the merged reports byte-identical for any worker count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sweep/matrix.hpp"
+#include "workload/engine.hpp"
+
+namespace aria::sweep {
+
+struct RunnerOptions {
+  /// Maximum simulations in flight; 0 = one per hardware thread.
+  std::size_t workers{0};
+  /// Invoked after each run completes, serialized by an internal mutex:
+  /// (runs completed so far, total runs, the spec that just finished).
+  std::function<void(std::size_t, std::size_t, const RunSpec&)> progress{};
+};
+
+/// Runs every spec and returns results[i] for specs[i]. Blocks until the
+/// whole matrix has executed; propagates the first (lowest-index) failure
+/// after all workers drained.
+std::vector<workload::RunResult> run_all(const std::vector<RunSpec>& specs,
+                                         const RunnerOptions& options = {});
+
+}  // namespace aria::sweep

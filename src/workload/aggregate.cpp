@@ -1,7 +1,6 @@
 #include "workload/aggregate.hpp"
 
-#include <future>
-#include <thread>
+#include "common/parallel.hpp"
 
 namespace aria::workload {
 
@@ -9,22 +8,13 @@ std::vector<RunResult> run_scenario_repeated(const ScenarioConfig& scenario,
                                              std::size_t runs,
                                              std::uint64_t base_seed,
                                              bool parallel) {
-  std::vector<RunResult> results;
-  results.reserve(runs);
-  if (!parallel || runs <= 1) {
-    for (std::size_t i = 0; i < runs; ++i) {
-      results.push_back(run_scenario(scenario, base_seed + i));
-    }
-    return results;
-  }
-  std::vector<std::future<RunResult>> futures;
-  futures.reserve(runs);
-  for (std::size_t i = 0; i < runs; ++i) {
-    futures.push_back(std::async(std::launch::async, [&scenario, base_seed, i] {
-      return run_scenario(scenario, base_seed + i);
-    }));
-  }
-  for (auto& f : futures) results.push_back(f.get());
+  // Results are keyed by seed index, so the output never depends on worker
+  // scheduling; the pool is bounded by the hardware thread count (the old
+  // std::async version launched every run at once).
+  std::vector<RunResult> results(runs);
+  parallel_for_index(runs, parallel ? 0 : 1, [&](std::size_t i) {
+    results[i] = run_scenario(scenario, base_seed + i);
+  });
   return results;
 }
 

@@ -166,6 +166,31 @@ std::optional<std::string> parse_cli(const std::vector<std::string>& args,
         return "--jobs requires a positive integer";
       }
       out.jobs = n;
+    } else if (a == "--interval") {
+      const auto v = next("--interval");
+      char* end = nullptr;
+      const double secs = v ? std::strtod(v->c_str(), &end) : 0.0;
+      if (!v || end == nullptr || *end != '\0' || secs <= 0.0) {
+        return "--interval requires a positive number of seconds";
+      }
+      out.interval_s = secs;
+    } else if (a == "--horizon") {
+      const auto v = next("--horizon");
+      char* end = nullptr;
+      const double mins = v ? std::strtod(v->c_str(), &end) : 0.0;
+      if (!v || end == nullptr || *end != '\0' || mins <= 0.0) {
+        return "--horizon requires a positive number of minutes";
+      }
+      out.horizon_min = mins;
+    } else if (a == "--expand") {
+      const auto v = next("--expand");
+      std::pair<double, double> parsed;
+      if (!v || !parse_partition(*v, parsed) || parsed.first < 1.0) {
+        return "--expand requires TARGET,MEAN_SECONDS (target node count, "
+               "mean join interval)";
+      }
+      out.expand = {static_cast<std::size_t>(parsed.first),
+                    Duration::seconds_f(parsed.second)};
     } else if (a == "--loss") {
       const auto v = next("--loss");
       if (!v || !parse_probability(*v, out.loss)) {
@@ -212,6 +237,11 @@ usage: aria_sim [options]
   --seed S            base seed (default: 1)
   --nodes N           override the grid size
   --jobs N            override the job count
+  --interval SECS     override the base submission interval
+  --horizon MIN       override the simulated horizon (minutes)
+  --expand T,MEAN_S   override the expansion plan: grow to T nodes, one
+                      join every MEAN_S seconds on average (arms a default
+                      plan on non-expanding scenarios)
   --resched           force dynamic rescheduling on
   --no-resched        force dynamic rescheduling off
   --failsafe          enable initiator-side crash recovery (NOTIFY traffic)
@@ -255,6 +285,17 @@ ScenarioConfig resolve_scenario(const CliOptions& options) {
   ScenarioConfig cfg = scenario_by_name(options.scenario);
   if (options.nodes != 0) cfg.node_count = options.nodes;
   if (options.jobs != 0) cfg.job_count = options.jobs;
+  if (options.interval_s > 0.0) {
+    cfg.submission_interval = Duration::seconds_f(options.interval_s);
+  }
+  if (options.horizon_min > 0.0) {
+    cfg.horizon = Duration::seconds_f(options.horizon_min * 60.0);
+  }
+  if (options.expand) {
+    if (!cfg.expansion) cfg.expansion = ScenarioConfig::Expansion{};
+    cfg.expansion->target_node_count = options.expand->first;
+    cfg.expansion->mean_interval = options.expand->second;
+  }
   if (options.rescheduling) {
     cfg.aria.dynamic_rescheduling = *options.rescheduling;
   }

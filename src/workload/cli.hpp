@@ -21,6 +21,14 @@ struct CliOptions {
   /// Overrides applied on top of the named scenario (0 / empty = keep).
   std::size_t nodes{0};
   std::size_t jobs{0};
+  /// Base submission interval override in seconds (0 = keep).
+  double interval_s{0.0};
+  /// Simulation horizon override in minutes (0 = keep).
+  double horizon_min{0.0};
+  /// Expansion override as (target node count, mean join interval). Applied
+  /// on top of the scenario's expansion plan; on non-expanding scenarios it
+  /// arms a default plan first.
+  std::optional<std::pair<std::size_t, Duration>> expand{};
   std::optional<bool> rescheduling{};
   bool failsafe{false};
   /// Self-healing overlay plane (PING/PONG liveness, eviction, repair).

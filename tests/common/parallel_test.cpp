@@ -1,0 +1,71 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace aria {
+namespace {
+
+TEST(Parallel, DefaultWorkerCountIsPositive) {
+  EXPECT_GE(default_worker_count(), 1u);
+}
+
+TEST(Parallel, VisitsEveryIndexExactlyOnce) {
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    std::vector<std::atomic<int>> visits(100);
+    parallel_for_index(visits.size(), workers,
+                       [&](std::size_t i) { visits[i].fetch_add(1); });
+    for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(Parallel, ZeroItemsIsANoop) {
+  bool called = false;
+  parallel_for_index(0, 4, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, MoreWorkersThanItems) {
+  std::vector<std::atomic<int>> visits(3);
+  parallel_for_index(visits.size(), 64,
+                     [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(Parallel, ResultsKeyedByIndexAreDeterministic) {
+  std::vector<std::size_t> out(50);
+  parallel_for_index(out.size(), 8, [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(Parallel, RethrowsLowestIndexException) {
+  // Both index 3 and index 7 throw; the lowest index wins no matter which
+  // worker hit its error first.
+  try {
+    parallel_for_index(10, 4, [](std::size_t i) {
+      if (i == 3) throw std::runtime_error("three");
+      if (i == 7) throw std::runtime_error("seven");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "three");
+  }
+}
+
+TEST(Parallel, RemainingItemsStillRunAfterAThrow) {
+  std::atomic<int> ran{0};
+  EXPECT_THROW(parallel_for_index(20, 4,
+                                  [&](std::size_t i) {
+                                    ran.fetch_add(1);
+                                    if (i == 0) throw std::runtime_error("x");
+                                  }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 20);
+}
+
+}  // namespace
+}  // namespace aria

@@ -1,0 +1,158 @@
+#include "sweep/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "sweep/report.hpp"
+#include "workload/scenario.hpp"
+
+namespace aria::sweep {
+namespace {
+
+using namespace aria::literals;
+
+/// A tiny two-row matrix (one static, one rescheduling scenario) that still
+/// finishes in well under a second per run.
+SweepMatrix tiny_matrix(std::size_t seeds = 2) {
+  SweepMatrix m;
+  for (const char* scenario : {"FCFS", "iMixed"}) {
+    workload::CliOptions o;
+    o.scenario = scenario;
+    o.runs = seeds;
+    o.seed = 1;
+    o.nodes = 40;
+    o.jobs = 25;
+    o.interval_s = 20.0;
+    o.horizon_min = 24.0 * 60.0;
+    m.add({"", o});
+  }
+  return m;
+}
+
+std::string report_bytes(const std::vector<RunSpec>& specs,
+                         const std::vector<workload::RunResult>& results) {
+  const auto report = SweepReport::build(specs, results);
+  std::ostringstream json, summary, runs;
+  report.write_json(json);
+  report.write_summary_csv(summary);
+  report.write_runs_csv(runs);
+  return json.str() + summary.str() + runs.str();
+}
+
+TEST(SweepRunner, ResultsKeyedByMatrixOrder) {
+  const auto specs = tiny_matrix().expand();
+  RunnerOptions options;
+  options.workers = 4;
+  const auto results = run_all(specs, options);
+  ASSERT_EQ(results.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(results[i].scenario_name, specs[i].config.name) << i;
+    EXPECT_EQ(results[i].seed, specs[i].seed) << i;
+  }
+}
+
+// The acceptance pin: the merged report bytes are identical for 1 worker
+// and many workers, and the 1-worker per-run results equal plain serial
+// run_scenario calls (the pre-sweep goldens).
+TEST(SweepRunner, MergedReportsByteIdenticalAcrossWorkerCounts) {
+  const auto specs = tiny_matrix().expand();
+
+  RunnerOptions serial;
+  serial.workers = 1;
+  const auto serial_results = run_all(specs, serial);
+
+  RunnerOptions fanout;
+  fanout.workers = 8;
+  const auto fanout_results = run_all(specs, fanout);
+
+  EXPECT_EQ(report_bytes(specs, serial_results),
+            report_bytes(specs, fanout_results));
+}
+
+TEST(SweepRunner, OneWorkerMatchesSerialRunScenario) {
+  const auto specs = tiny_matrix(1).expand();
+  RunnerOptions options;
+  options.workers = 1;
+  const auto results = run_all(specs, options);
+  ASSERT_EQ(results.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto golden = workload::run_scenario(specs[i].config, specs[i].seed);
+    EXPECT_EQ(results[i].completed(), golden.completed());
+    EXPECT_EQ(results[i].events_fired, golden.events_fired);
+    EXPECT_EQ(results[i].traffic.total().messages,
+              golden.traffic.total().messages);
+    EXPECT_EQ(results[i].traffic.total().bytes, golden.traffic.total().bytes);
+    EXPECT_DOUBLE_EQ(results[i].mean_completion_minutes(),
+                     golden.mean_completion_minutes());
+    EXPECT_EQ(results[i].tracker.total_reschedules(),
+              golden.tracker.total_reschedules());
+  }
+}
+
+TEST(SweepRunner, ProgressReportsEveryRunOnce) {
+  const auto specs = tiny_matrix().expand();
+  std::mutex mu;
+  std::set<std::pair<std::string, std::uint64_t>> seen;
+  std::size_t last_done = 0;
+  RunnerOptions options;
+  options.workers = 4;
+  options.progress = [&](std::size_t done, std::size_t total,
+                         const RunSpec& spec) {
+    // The runner already serializes progress calls; the extra lock keeps
+    // the test's own bookkeeping race-free under TSan.
+    const std::lock_guard<std::mutex> lock{mu};
+    EXPECT_EQ(total, specs.size());
+    EXPECT_EQ(done, last_done + 1);
+    last_done = done;
+    EXPECT_TRUE(seen.emplace(spec.label, spec.seed).second);
+  };
+  run_all(specs, options);
+  EXPECT_EQ(last_done, specs.size());
+  EXPECT_EQ(seen.size(), specs.size());
+}
+
+TEST(SweepRunner, EmptySpecListIsEmptyResult) {
+  EXPECT_TRUE(run_all({}, RunnerOptions{}).empty());
+}
+
+// Two full GridSimulations on two OS threads — the thread-safety contract
+// the sweep engine rests on (mutex-guarded message-type interning, atomic
+// log level, per-sim RNG streams). Runs under TSan in CI.
+TEST(ConcurrentSims, TwoSimsOnTwoThreadsMatchSerialRuns) {
+  auto config = [](const char* name) {
+    workload::ScenarioConfig c = workload::scenario_by_name(name);
+    c.node_count = 40;
+    c.job_count = 25;
+    c.submission_interval = 20_s;
+    c.horizon = 24_h;
+    return c;
+  };
+  const auto fcfs = config("FCFS");
+  const auto mixed = config("iMixed");
+
+  workload::RunResult a, b;
+  {
+    std::thread ta{[&] { a = workload::run_scenario(fcfs, 7); }};
+    std::thread tb{[&] { b = workload::run_scenario(mixed, 9); }};
+    ta.join();
+    tb.join();
+  }
+
+  const auto a_serial = workload::run_scenario(fcfs, 7);
+  const auto b_serial = workload::run_scenario(mixed, 9);
+  EXPECT_EQ(a.completed(), a_serial.completed());
+  EXPECT_EQ(a.events_fired, a_serial.events_fired);
+  EXPECT_EQ(a.traffic.total().bytes, a_serial.traffic.total().bytes);
+  EXPECT_EQ(b.completed(), b_serial.completed());
+  EXPECT_EQ(b.events_fired, b_serial.events_fired);
+  EXPECT_EQ(b.traffic.total().bytes, b_serial.traffic.total().bytes);
+  EXPECT_TRUE(a.tracker.violations().empty());
+  EXPECT_TRUE(b.tracker.violations().empty());
+}
+
+}  // namespace
+}  // namespace aria::sweep

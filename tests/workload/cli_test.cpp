@@ -168,12 +168,63 @@ TEST(Cli, RejectsBadNumbers) {
 TEST(Cli, UsageMentionsEveryFlag) {
   const std::string usage = cli_usage();
   for (const char* flag : {"--list", "--scenario", "--runs", "--seed",
-                           "--nodes", "--jobs", "--resched", "--no-resched",
+                           "--nodes", "--jobs", "--interval", "--horizon",
+                           "--expand", "--resched", "--no-resched",
                            "--failsafe", "--overlay", "--csv", "--quiet",
                            "--loss", "--dup", "--spike", "--churn",
                            "--partition", "--fault-seed"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
+}
+
+TEST(Cli, ParsesWorkloadOverrides) {
+  CliOptions o;
+  const auto err = parse_cli(
+      {"--interval", "5.5", "--horizon", "1800", "--expand", "140,30"}, o);
+  EXPECT_FALSE(err.has_value()) << *err;
+  EXPECT_DOUBLE_EQ(o.interval_s, 5.5);
+  EXPECT_DOUBLE_EQ(o.horizon_min, 1800.0);
+  ASSERT_TRUE(o.expand.has_value());
+  EXPECT_EQ(o.expand->first, 140u);
+  EXPECT_EQ(o.expand->second, 30_s);
+}
+
+TEST(Cli, RejectsBadWorkloadOverrides) {
+  CliOptions o;
+  EXPECT_TRUE(parse_cli({"--interval", "0"}, o).has_value());
+  EXPECT_TRUE(parse_cli({"--interval", "-1"}, o).has_value());
+  EXPECT_TRUE(parse_cli({"--interval", "5x"}, o).has_value());
+  EXPECT_TRUE(parse_cli({"--horizon", "0"}, o).has_value());
+  EXPECT_TRUE(parse_cli({"--horizon"}, o).has_value());
+  EXPECT_TRUE(parse_cli({"--expand", "140"}, o).has_value());
+  EXPECT_TRUE(parse_cli({"--expand", "0,30"}, o).has_value());
+}
+
+TEST(Cli, ResolveAppliesWorkloadOverrides) {
+  CliOptions o;
+  o.scenario = "iMixed";  // no expansion plan of its own
+  o.interval_s = 5.0;
+  o.horizon_min = 30.0 * 60.0;
+  o.expand = {140, 30_s};
+  const ScenarioConfig cfg = resolve_scenario(o);
+  EXPECT_EQ(cfg.submission_interval, 5_s);
+  EXPECT_EQ(cfg.horizon, 30_h);
+  ASSERT_TRUE(cfg.expansion.has_value());
+  EXPECT_EQ(cfg.expansion->target_node_count, 140u);
+  EXPECT_EQ(cfg.expansion->mean_interval, 30_s);
+}
+
+TEST(Cli, ResolveExpandKeepsExistingPlanFields) {
+  CliOptions o;
+  o.scenario = "Expanding";
+  o.expand = {600, 40_s};
+  const ScenarioConfig cfg = resolve_scenario(o);
+  ASSERT_TRUE(cfg.expansion.has_value());
+  EXPECT_EQ(cfg.expansion->target_node_count, 600u);
+  EXPECT_EQ(cfg.expansion->mean_interval, 40_s);
+  // Scenario-defined start / contacts survive the override.
+  EXPECT_EQ(cfg.expansion->start,
+            scenario_by_name("Expanding").expansion->start);
 }
 
 TEST(Cli, ResolveAppliesOverrides) {

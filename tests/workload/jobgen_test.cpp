@@ -108,5 +108,70 @@ TEST(JobGen, DeterministicForSeed) {
   }
 }
 
+TEST(ArrivalOffsets, UniformWithoutStorm) {
+  const auto offsets = arrival_offsets(5, 10_s, std::nullopt);
+  ASSERT_EQ(offsets.size(), 5u);
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    EXPECT_EQ(offsets[i], 10_s * static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(ArrivalOffsets, ZeroJobsIsEmpty) {
+  EXPECT_TRUE(arrival_offsets(0, 10_s, std::nullopt).empty());
+  EXPECT_TRUE(arrival_offsets(0, 10_s, StormParams{}).empty());
+}
+
+TEST(ArrivalOffsets, IntensityAtOrBelowOneIsUniform) {
+  StormParams storm;
+  storm.intensity = 1.0;
+  EXPECT_EQ(arrival_offsets(20, 10_s, storm),
+            arrival_offsets(20, 10_s, std::nullopt));
+  storm.intensity = 0.5;  // never stretches arrivals, only compresses
+  EXPECT_EQ(arrival_offsets(20, 10_s, storm),
+            arrival_offsets(20, 10_s, std::nullopt));
+}
+
+TEST(ArrivalOffsets, ZeroOrNegativeDurationIsUniform) {
+  StormParams storm;
+  storm.intensity = 5.0;
+  storm.duration = Duration::zero();
+  EXPECT_EQ(arrival_offsets(20, 10_s, storm),
+            arrival_offsets(20, 10_s, std::nullopt));
+  storm.duration = -1_min;
+  EXPECT_EQ(arrival_offsets(20, 10_s, storm),
+            arrival_offsets(20, 10_s, std::nullopt));
+}
+
+TEST(ArrivalOffsets, StormCompressesOnlyTheWindow) {
+  StormParams storm;
+  storm.start = 1_min;
+  storm.duration = 1_min;
+  storm.intensity = 4.0;
+  const auto offsets = arrival_offsets(40, 10_s, storm);
+  ASSERT_EQ(offsets.size(), 40u);
+  // Before the window: base cadence (offsets 0,10,...,60s inclusive —
+  // the gap *after* an arrival at t in [start, end) is the compressed one).
+  for (std::size_t i = 0; i + 1 < offsets.size(); ++i) {
+    const Duration gap = offsets[i + 1] - offsets[i];
+    const bool inside =
+        offsets[i] >= storm.start && offsets[i] < storm.start + storm.duration;
+    EXPECT_EQ(gap, inside ? Duration::seconds_f(2.5) : 10_s)
+        << "arrival " << i << " at " << offsets[i].to_string();
+  }
+  // The schedule is strictly monotone either way.
+  for (std::size_t i = 0; i + 1 < offsets.size(); ++i) {
+    EXPECT_LT(offsets[i], offsets[i + 1]);
+  }
+}
+
+TEST(ArrivalOffsets, StormIsPureFunctionOfParameters) {
+  StormParams storm;
+  storm.start = 30_s;
+  storm.duration = 2_min;
+  storm.intensity = 6.0;
+  EXPECT_EQ(arrival_offsets(100, 10_s, storm),
+            arrival_offsets(100, 10_s, storm));
+}
+
 }  // namespace
 }  // namespace aria::workload
