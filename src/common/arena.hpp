@@ -1,0 +1,81 @@
+// SlabArena: chunked, stable-address object storage.
+//
+// The workload engine owns one protocol object per grid node. At 10k–100k
+// nodes a vector<unique_ptr<T>> pays one allocation per node and scatters
+// the objects across the heap; a plain vector<T> would keep them contiguous
+// but reallocation moves them, and AriaNode pins its own address inside
+// scheduled lambdas. SlabArena is the middle ground: objects are constructed
+// in fixed-size slabs (contiguous runs of ChunkSize), addresses never move,
+// and the only per-object cost is placement-new. Iteration walks slabs in
+// construction order, so visiting every node is a linear scan over a few
+// large blocks instead of a pointer chase.
+//
+// Destruction runs in reverse construction order (last object first), which
+// mirrors the stack-like teardown a vector<unique_ptr> would give and keeps
+// "later objects may reference earlier ones" lifetimes sound.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace aria {
+
+template <typename T, std::size_t ChunkSize = 256>
+class SlabArena {
+ public:
+  SlabArena() = default;
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+  ~SlabArena() { clear(); }
+
+  /// Constructs a new T in place and returns its stable address.
+  template <typename... Args>
+  T* emplace(Args&&... args) {
+    if (size_ == slabs_.size() * ChunkSize) {
+      slabs_.push_back(std::make_unique<Slab>());
+    }
+    T* slot = slabs_[size_ / ChunkSize]->at(size_ % ChunkSize);
+    T* obj = new (slot) T(std::forward<Args>(args)...);
+    ++size_;
+    return obj;
+  }
+
+  /// Destroys every object, newest first, and releases the slabs.
+  void clear() {
+    while (size_ > 0) {
+      --size_;
+      slabs_[size_ / ChunkSize]->at(size_ % ChunkSize)->~T();
+    }
+    slabs_.clear();
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// i-th constructed object (construction order is stable).
+  T& operator[](std::size_t i) { return *slabs_[i / ChunkSize]->at(i % ChunkSize); }
+  const T& operator[](std::size_t i) const {
+    return *slabs_[i / ChunkSize]->at(i % ChunkSize);
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::size_t i = 0; i < size_; ++i) fn((*this)[i]);
+  }
+
+ private:
+  struct Slab {
+    alignas(T) unsigned char bytes[ChunkSize * sizeof(T)];
+    T* at(std::size_t i) {
+      return std::launder(reinterpret_cast<T*>(bytes + i * sizeof(T)));
+    }
+  };
+
+  std::vector<std::unique_ptr<Slab>> slabs_;
+  std::size_t size_{0};
+};
+
+}  // namespace aria

@@ -67,6 +67,57 @@ struct OverloadParams {
   Duration shed_offer_timeout{Duration::seconds(10)};
 };
 
+/// Hierarchical discovery plane (docs/hierarchy.md): the overlay is
+/// partitioned into regions (region(n) = n mod region_count), REQUEST/INFORM
+/// floods stay inside the sender's region, and discovery rounds that drew no
+/// offers delegate cross-region through designated aggregator super-peers
+/// exchanging periodic load digests — replacing global flood reach with
+/// region-local traffic plus O(regions²) digest aggregates. Off by default:
+/// with the plane off no REGION_* message exists, floods pick targets exactly
+/// as before, and runs stay byte-identical to flat ARiA.
+struct HierarchyParams {
+  bool enabled{false};
+  /// Number of regions R. 0 = auto-size at build time so regions hold about
+  /// `target_region_size` nodes; the engine writes the resolved value back
+  /// here (see overlay::resolve_region_count for the clamping rules).
+  std::size_t region_count{0};
+  std::size_t target_region_size{128};
+  /// Aggregator candidates per region (rank 0 = primary, the rest warm
+  /// standbys). Failover is attempt-driven: retry k addresses candidate
+  /// rank k mod agg_standby, so a dead primary costs one backoff, not a
+  /// view-change protocol.
+  std::size_t agg_standby{2};
+  /// How often members report their load to their region's candidates.
+  Duration load_report_period{Duration::minutes(5)};
+  /// How often candidates broadcast their region digest to every other
+  /// region's candidates.
+  Duration digest_period{Duration::minutes(5)};
+  /// Member reports older than this are dropped from the digest (crashed
+  /// members age out); received digests older than this are ignored when
+  /// picking a delegation target.
+  Duration staleness{Duration::minutes(15)};
+  /// Cross-region delegation also triggers on *poor* rounds, not only empty
+  /// ones: when the best region-local offer would add more than this to the
+  /// job's completion (cost units — ETTC seconds for batch schedulers, NAL
+  /// seconds for EDF), the initiator solicits one cross-region offer window
+  /// before committing. Region-scoped discovery otherwise traps jobs in hot
+  /// regions, and the queue backlog re-surfaces as per-job INFORM floods —
+  /// exactly the traffic the digest plane is meant to replace.
+  Duration delegate_cost_threshold{Duration::minutes(10)};
+  /// Scope widening: every Nth discovery attempt floods the REQUEST without
+  /// the region filter (0 = never widen). Digests are capability-blind —
+  /// they steer by load, not by profile — so a job whose only matching
+  /// machine hides in an unlucky region could otherwise burn every retry on
+  /// wrong regions; the periodic wide flood restores flat ARiA's guarantee
+  /// that feasible jobs are eventually discovered.
+  std::size_t wide_flood_every{4};
+  /// Intra-region average degree for bootstrap_hierarchical.
+  double intra_degree{4.0};
+  /// Random cross-region links per region at bootstrap (resilience only;
+  /// region-scoped floods never traverse them).
+  std::size_t cross_links{2};
+};
+
 struct AriaConfig {
   // --- submission phase -----------------------------------------------
   std::size_t request_hops{9};
@@ -153,6 +204,12 @@ struct AriaConfig {
   /// and shed-and-forward. Off by default with the same byte-identity
   /// contract as the fault and healing planes.
   OverloadParams overload{};
+
+  // --- hierarchical discovery plane (docs/hierarchy.md) ------------------
+  /// Region-scoped flooding plus cross-region delegation through digest-
+  /// keeping aggregator super-peers. Off by default with the same
+  /// byte-identity contract as every other plane.
+  HierarchyParams hierarchy{};
 };
 
 }  // namespace aria::proto

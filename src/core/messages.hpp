@@ -21,6 +21,7 @@
 #include "common/ids.hpp"
 #include "common/uuid.hpp"
 #include "grid/job.hpp"
+#include "overlay/region.hpp"
 #include "sim/network.hpp"
 
 namespace aria::proto {
@@ -42,6 +43,16 @@ inline constexpr std::size_t kPongWireBytes = 256;
 inline constexpr std::size_t kLinkReqWireBytes = 64;
 inline constexpr std::size_t kLinkAckWireBytes = 256;
 
+// Hierarchical discovery plane (docs/hierarchy.md): REGION_LOAD is a compact
+// member→aggregator load triple; REGION_DIGEST carries one region's
+// aggregate (region, epoch, members, idle, backlog, queue) to remote
+// aggregators; REGION_QUERY and REGION_FWD carry a full job profile like
+// REQUEST, so they meter at the same 1 KiB.
+inline constexpr std::size_t kRegionLoadWireBytes = 64;
+inline constexpr std::size_t kRegionDigestWireBytes = 256;
+inline constexpr std::size_t kRegionQueryWireBytes = 1024;
+inline constexpr std::size_t kRegionFwdWireBytes = 1024;
+
 inline constexpr const char* kRequestType = "REQUEST";
 inline constexpr const char* kAcceptType = "ACCEPT";
 inline constexpr const char* kInformType = "INFORM";
@@ -53,6 +64,10 @@ inline constexpr const char* kPingType = "PING";
 inline constexpr const char* kPongType = "PONG";
 inline constexpr const char* kLinkReqType = "LINK_REQ";
 inline constexpr const char* kLinkAckType = "LINK_ACK";
+inline constexpr const char* kRegionLoadType = "REGION_LOAD";
+inline constexpr const char* kRegionDigestType = "REGION_DIGEST";
+inline constexpr const char* kRegionQueryType = "REGION_QUERY";
+inline constexpr const char* kRegionFwdType = "REGION_FWD";
 
 /// Flood bookkeeping carried by REQUEST and INFORM.
 struct FloodMeta {
@@ -66,9 +81,17 @@ struct RequestMsg final : sim::Message {
   NodeId initiator;
   grid::JobSpec job;  // carries the UUID and the profile
   FloodMeta flood;
+  /// Hierarchy scope widening (docs/hierarchy.md): forwarders ignore the
+  /// region filter for this flood. Always false outside the hierarchy
+  /// plane; one flag bit, folded into the existing wire-size constant.
+  bool wide{false};
 
-  RequestMsg(NodeId initiator_, grid::JobSpec job_, FloodMeta flood_)
-      : initiator{initiator_}, job{std::move(job_)}, flood{flood_} {}
+  RequestMsg(NodeId initiator_, grid::JobSpec job_, FloodMeta flood_,
+             bool wide_ = false)
+      : initiator{initiator_},
+        job{std::move(job_)},
+        flood{flood_},
+        wide{wide_} {}
   std::size_t wire_size() const override { return kRequestWireBytes; }
   std::uint32_t flood_hops_left() const override { return flood.hops_left; }
   std::unique_ptr<sim::Message> clone() const override {
@@ -309,6 +332,95 @@ struct LinkAckMsg final : sim::Message {
   static sim::MessageTypeId static_type() {
     static const sim::MessageTypeId id =
         sim::MessageTypeRegistry::intern(kLinkAckType);
+    return id;
+  }
+};
+
+// --- hierarchical discovery plane (docs/hierarchy.md) -----------------------
+
+/// Member → own-region aggregator candidates: "Reporter's address | idle
+/// flag | backlog seconds | queue length". Sent every load_report_period;
+/// the digest input.
+struct RegionLoadMsg final : sim::Message {
+  NodeId from;
+  overlay::MemberLoad load;
+
+  RegionLoadMsg(NodeId from_, overlay::MemberLoad load_)
+      : from{from_}, load{load_} {}
+  std::size_t wire_size() const override { return kRegionLoadWireBytes; }
+  std::unique_ptr<sim::Message> clone() const override {
+    return std::make_unique<RegionLoadMsg>(*this);
+  }
+  sim::MessageTypeId type_id() const override { return static_type(); }
+  static sim::MessageTypeId static_type() {
+    static const sim::MessageTypeId id =
+        sim::MessageTypeRegistry::intern(kRegionLoadType);
+    return id;
+  }
+};
+
+/// Aggregator → every other region's candidates: one region's summarized
+/// load. Replaces per-job global INFORM reach with a periodic O(R²)
+/// aggregate exchange.
+struct RegionDigestMsg final : sim::Message {
+  NodeId from;
+  overlay::RegionDigest digest;
+
+  RegionDigestMsg(NodeId from_, overlay::RegionDigest digest_)
+      : from{from_}, digest{digest_} {}
+  std::size_t wire_size() const override { return kRegionDigestWireBytes; }
+  std::unique_ptr<sim::Message> clone() const override {
+    return std::make_unique<RegionDigestMsg>(*this);
+  }
+  sim::MessageTypeId type_id() const override { return static_type(); }
+  static sim::MessageTypeId static_type() {
+    static const sim::MessageTypeId id =
+        sim::MessageTypeRegistry::intern(kRegionDigestType);
+    return id;
+  }
+};
+
+/// Initiator → own-region aggregator: "my region-local REQUEST flood drew no
+/// offers on `attempt`; find this job a region". Carries the full spec so
+/// the aggregator can forward without holding per-job state.
+struct RegionQueryMsg final : sim::Message {
+  NodeId initiator;
+  grid::JobSpec job;
+  std::uint32_t attempt;
+
+  RegionQueryMsg(NodeId initiator_, grid::JobSpec job_, std::uint32_t attempt_)
+      : initiator{initiator_}, job{std::move(job_)}, attempt{attempt_} {}
+  std::size_t wire_size() const override { return kRegionQueryWireBytes; }
+  std::unique_ptr<sim::Message> clone() const override {
+    return std::make_unique<RegionQueryMsg>(*this);
+  }
+  sim::MessageTypeId type_id() const override { return static_type(); }
+  static sim::MessageTypeId static_type() {
+    static const sim::MessageTypeId id =
+        sim::MessageTypeRegistry::intern(kRegionQueryType);
+    return id;
+  }
+};
+
+/// Aggregator → target-region aggregator: "flood this query in your region
+/// on the initiator's behalf". The receiving aggregator region-floods a
+/// REQUEST carrying the *original* initiator, so ACCEPT offers flow directly
+/// back to it — aggregators never sit on the offer path.
+struct RegionFwdMsg final : sim::Message {
+  NodeId initiator;
+  grid::JobSpec job;
+  std::uint32_t attempt;
+
+  RegionFwdMsg(NodeId initiator_, grid::JobSpec job_, std::uint32_t attempt_)
+      : initiator{initiator_}, job{std::move(job_)}, attempt{attempt_} {}
+  std::size_t wire_size() const override { return kRegionFwdWireBytes; }
+  std::unique_ptr<sim::Message> clone() const override {
+    return std::make_unique<RegionFwdMsg>(*this);
+  }
+  sim::MessageTypeId type_id() const override { return static_type(); }
+  static sim::MessageTypeId static_type() {
+    static const sim::MessageTypeId id =
+        sim::MessageTypeRegistry::intern(kRegionFwdType);
     return id;
   }
 };

@@ -9,14 +9,18 @@
 namespace aria::proto {
 
 namespace {
-// splitmix64-style mix so consecutive node ids seed well-separated probe
-// streams (the probe plane must not touch the protocol RNG tree).
-std::uint64_t probe_seed(NodeId self) {
-  std::uint64_t z = 0x9E3779B97F4A7C15ULL + self.value();
+// splitmix64-style mix so consecutive node ids seed well-separated
+// per-plane streams (neither the probe nor the hierarchy plane may touch
+// the protocol RNG tree). Tag 0 reproduces the historical probe seeds
+// exactly; other tags open further independent streams per node.
+std::uint64_t plane_seed(NodeId self, std::uint64_t tag) {
+  std::uint64_t z = 0x9E3779B97F4A7C15ULL * (tag + 1) + self.value();
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
 }
+constexpr std::uint64_t kProbePlane = 0;
+constexpr std::uint64_t kHierarchyPlane = 1;
 }  // namespace
 
 AriaNode::AriaNode(NodeContext ctx, NodeId self, grid::NodeProfile profile,
@@ -28,7 +32,8 @@ AriaNode::AriaNode(NodeContext ctx, NodeId self, grid::NodeProfile profile,
       sched_{std::move(scheduler)},
       rng_{rng},
       vo_{std::move(virtual_org)},
-      probe_rng_{probe_seed(self)} {
+      probe_rng_{plane_seed(self, kProbePlane)},
+      hier_rng_{plane_seed(self, kHierarchyPlane)} {
   assert(ctx_.sim && ctx_.net && ctx_.topo && ctx_.relay && ctx_.config &&
          ctx_.ert_error);
   assert(!ctx_.config->healing.enabled || ctx_.healing_topo != nullptr);
@@ -82,12 +87,29 @@ void AriaNode::start() {
         probe_phase, ctx_.config->healing.probe_period,
         [this] { probe_tick(); });
   }
+  if (hierarchy_on()) {
+    // Phases come from the hierarchy stream (same discipline as the probe
+    // plane): enabling the hierarchy must not consume protocol draws.
+    const HierarchyParams& h = ctx_.config->hierarchy;
+    const Duration report_phase =
+        hier_rng_.uniform_duration(Duration::zero(), h.load_report_period);
+    report_timer_ = ctx_.sim->schedule_periodic(
+        report_phase, h.load_report_period, [this] { region_report_tick(); });
+    if (region_aggregator()) {
+      const Duration digest_phase =
+          hier_rng_.uniform_duration(Duration::zero(), h.digest_period);
+      digest_timer_ = ctx_.sim->schedule_periodic(
+          digest_phase, h.digest_period, [this] { region_digest_tick(); });
+    }
+  }
 }
 
 void AriaNode::stop() {
   started_ = false;
   inform_timer_.cancel();
   probe_timer_.cancel();
+  report_timer_.cancel();
+  digest_timer_.cancel();
   reservation_wake_.cancel();
   if (running_) running_->completion.cancel();
   for (auto& [id, pending] : pending_requests_) pending.timeout.cancel();
@@ -118,6 +140,10 @@ void AriaNode::crash() {
                        // initiator's failsafe watchdog recovers those jobs
   seen_rejects_.clear();
   bids_suppressed_ = false;
+  // Aggregator tables are volatile: a restarted candidate rebuilds them
+  // from the next report/digest cycle (digest_epoch_ stays monotone).
+  member_loads_.clear();
+  digest_table_.clear();
   if (ctx_.config->healing.enabled) {
     // The liveness view is volatile, but the neighbor *addresses* model
     // stable storage (a deployment keeps its bootstrap list on disk): the
@@ -207,6 +233,7 @@ void AriaNode::flood_request(const grid::JobSpec& spec, std::size_t attempt) {
   assert(it != pending_requests_.end());
   it->second.attempt = attempt;
   it->second.offers.clear();
+  it->second.remote_round = false;  // each round gets one fresh extra window
 
   const Uuid flood_id = Uuid::generate(rng_);
   ctx_.relay->mark_seen(self_, flood_id, ctx_.sim->now());
@@ -226,13 +253,16 @@ void AriaNode::flood_request(const grid::JobSpec& spec, std::size_t attempt) {
     }
   }
 
-  const auto targets = ctx_.relay->pick_targets(
-      self_, ctx_.config->request_fanout);
+  const bool wide = wide_flood(attempt);
+  if (wide) ++counters_.wide_floods;
+  const auto targets = flood_targets(ctx_.config->request_fanout,
+                                     kInvalidNode, kInvalidNode, wide);
   const FloodMeta meta{flood_id,
                        static_cast<std::uint32_t>(ctx_.config->request_hops - 1),
                        self_};
   for (NodeId t : targets) {
-    ctx_.net->send(self_, t, std::make_unique<RequestMsg>(self_, spec, meta));
+    ctx_.net->send(self_, t,
+                   std::make_unique<RequestMsg>(self_, spec, meta, wide));
   }
   ++counters_.requests_initiated;
 
@@ -258,10 +288,22 @@ void AriaNode::decide_assignment(const JobId& id) {
     if (ctx_.observer) {
       ctx_.observer->on_request_retry(id, next_attempt, ctx_.sim->now());
     }
+    if (hierarchy_on()) {
+      // Escalate cross-region in parallel with the local backoff: the
+      // aggregator forwards the query to another region, whose members
+      // ACCEPT directly into this still-open round.
+      send_region_query(pending.spec, pending.attempt);
+    }
     const Duration backoff = ctx_.config->retry.wait_after(pending.attempt);
     ctx_.sim->schedule_after(backoff, [this, id, next_attempt] {
       auto again = pending_requests_.find(id);
       if (again == pending_requests_.end()) return;
+      if (hierarchy_on() && !again->second.offers.empty()) {
+        // Cross-region offers arrived during the backoff: decide now
+        // instead of re-flooding (which would wipe them).
+        decide_assignment(id);
+        return;
+      }
       flood_request(again->second.spec, next_attempt);
     });
     return;
@@ -271,6 +313,22 @@ void AriaNode::decide_assignment(const JobId& id) {
   const auto best = std::min_element(
       pending.offers.begin(), pending.offers.end(),
       [](const AcceptMsg& a, const AcceptMsg& b) { return a.cost < b.cost; });
+
+  // Hierarchy: a round whose best offer is poor counts as unsatisfied too.
+  // Solicit one cross-region window (digest-guided) before committing —
+  // without this, region-scoped discovery traps jobs in hot regions and the
+  // backlog re-surfaces as per-job INFORM floods. At most one extra window
+  // per round, so the decision still terminates deterministically.
+  if (hierarchy_on() && !pending.remote_round &&
+      best->cost >
+          ctx_.config->hierarchy.delegate_cost_threshold.to_seconds()) {
+    pending.remote_round = true;
+    send_region_query(pending.spec, pending.attempt);
+    const JobId again = id;
+    pending.timeout = ctx_.sim->schedule_after(
+        ctx_.config->accept_timeout, [this, again] { decide_assignment(again); });
+    return;
+  }
   const grid::JobSpec spec = std::move(pending.spec);
   const NodeId winner = best->node;
   const bool reschedule = pending.recovery_reschedule;
@@ -424,6 +482,8 @@ void AriaNode::handle(sim::Envelope env) {
     on_notify(*ntf);
   } else if (auto* rej = dynamic_cast<const RejectMsg*>(env.message.get())) {
     on_reject(env.from, *rej);
+  } else if (hierarchy_on() && handle_region(env)) {
+    // dispatched by handle_region
   } else if (ctx_.config->healing.enabled) {
     if (auto* ping = dynamic_cast<const PingMsg*>(env.message.get())) {
       on_ping(env.from, *ping);
@@ -467,12 +527,13 @@ void AriaNode::on_request(NodeId from, const RequestMsg& msg) {
 
   FloodMeta next = msg.flood;
   --next.hops_left;
-  const auto targets = ctx_.relay->pick_targets(
-      self_, ctx_.config->request_fanout, from, msg.flood.origin);
+  const auto targets = flood_targets(ctx_.config->request_fanout, from,
+                                     msg.flood.origin, msg.wide);
   for (NodeId t : targets) {
     ++counters_.requests_forwarded;
-    ctx_.net->send(self_, t,
-                   std::make_unique<RequestMsg>(msg.initiator, msg.job, next));
+    ctx_.net->send(self_, t, std::make_unique<RequestMsg>(msg.initiator,
+                                                          msg.job, next,
+                                                          msg.wide));
   }
 }
 
@@ -505,8 +566,8 @@ void AriaNode::on_inform(NodeId from, const InformMsg& msg) {
 
   FloodMeta next = msg.flood;
   --next.hops_left;
-  const auto targets = ctx_.relay->pick_targets(
-      self_, ctx_.config->inform_fanout, from, msg.flood.origin);
+  const auto targets =
+      flood_targets(ctx_.config->inform_fanout, from, msg.flood.origin);
   for (NodeId t : targets) {
     ++counters_.informs_forwarded;
     ctx_.net->send(self_, t,
@@ -774,8 +835,7 @@ void AriaNode::inform_tick() {
     const FloodMeta meta{
         flood_id, static_cast<std::uint32_t>(ctx_.config->inform_hops - 1),
         self_};
-    const auto targets =
-        ctx_.relay->pick_targets(self_, ctx_.config->inform_fanout);
+    const auto targets = flood_targets(ctx_.config->inform_fanout);
     for (NodeId t : targets) {
       ctx_.net->send(self_, t, std::make_unique<InformMsg>(self_, held->spec,
                                                            cost, meta));
@@ -933,8 +993,7 @@ void AriaNode::shed_job(sched::QueuedJob&& victim) {
   const FloodMeta meta{
       flood_id, static_cast<std::uint32_t>(ctx_.config->inform_hops - 1),
       self_};
-  const auto targets =
-      ctx_.relay->pick_targets(self_, ctx_.config->inform_fanout);
+  const auto targets = flood_targets(ctx_.config->inform_fanout);
   for (NodeId t : targets) {
     ctx_.net->send(self_, t, std::make_unique<InformMsg>(self_, victim.spec,
                                                          cost, meta));
@@ -1077,6 +1136,241 @@ void AriaNode::on_link_ack(const LinkAckMsg& msg) {
   view_.track(msg.from);
   for (NodeId c : msg.contacts) {
     view_.learn_contact(c, self_, hp.contact_cache);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchy plane (docs/hierarchy.md)
+// ---------------------------------------------------------------------------
+
+std::uint32_t AriaNode::my_region() const {
+  return overlay::region_of(self_, ctx_.config->hierarchy.region_count);
+}
+
+bool AriaNode::region_aggregator() const {
+  if (!hierarchy_on()) return false;
+  const HierarchyParams& h = ctx_.config->hierarchy;
+  return overlay::is_aggregator_candidate(self_, h.region_count,
+                                          h.agg_standby);
+}
+
+std::optional<overlay::RegionDigest> AriaNode::region_digest_of(
+    std::uint32_t region) const {
+  const auto it = digest_table_.find(region);
+  if (it == digest_table_.end()) return std::nullopt;
+  return it->second.digest;
+}
+
+std::vector<NodeId> AriaNode::flood_targets(std::size_t fanout,
+                                            NodeId exclude_a,
+                                            NodeId exclude_b, bool wide) {
+  if (!hierarchy_on() || wide) {
+    return ctx_.relay->pick_targets(self_, fanout, exclude_a, exclude_b);
+  }
+  const HierarchyParams& h = ctx_.config->hierarchy;
+  return ctx_.relay->pick_targets_in_region(
+      self_, fanout, h.region_count, my_region(), exclude_a, exclude_b);
+}
+
+bool AriaNode::wide_flood(std::size_t attempt) const {
+  const std::size_t every = ctx_.config->hierarchy.wide_flood_every;
+  return hierarchy_on() && every != 0 && attempt % every == 0;
+}
+
+bool AriaNode::handle_region(const sim::Envelope& env) {
+  if (auto* rl = dynamic_cast<const RegionLoadMsg*>(env.message.get())) {
+    on_region_load(*rl);
+  } else if (auto* rd =
+                 dynamic_cast<const RegionDigestMsg*>(env.message.get())) {
+    on_region_digest(*rd);
+  } else if (auto* rq =
+                 dynamic_cast<const RegionQueryMsg*>(env.message.get())) {
+    on_region_query(*rq);
+  } else if (auto* rf = dynamic_cast<const RegionFwdMsg*>(env.message.get())) {
+    on_region_fwd(*rf);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void AriaNode::region_report_tick() {
+  const HierarchyParams& h = ctx_.config->hierarchy;
+  const overlay::MemberLoad load{idle(), backlog_duration().to_seconds(),
+                                 static_cast<std::uint32_t>(queue_length())};
+  // Report to every candidate (not just the primary) so standbys hold a
+  // warm table and failover costs one retry, not a table rebuild.
+  for (std::size_t k = 0; k < h.agg_standby; ++k) {
+    const NodeId cand =
+        overlay::aggregator_candidate(my_region(), h.region_count, k);
+    if (cand == self_) {
+      member_loads_[self_] = MemberReport{load, ctx_.sim->now()};
+      continue;
+    }
+    ++counters_.load_reports_sent;
+    ctx_.net->send(self_, cand, std::make_unique<RegionLoadMsg>(self_, load));
+  }
+}
+
+void AriaNode::region_digest_tick() {
+  const HierarchyParams& h = ctx_.config->hierarchy;
+  // Refresh the own entry, then age out members that stopped reporting
+  // (crashed or partitioned) so the digest tracks the live region.
+  member_loads_[self_] = MemberReport{
+      overlay::MemberLoad{idle(), backlog_duration().to_seconds(),
+                          static_cast<std::uint32_t>(queue_length())},
+      ctx_.sim->now()};
+  std::vector<std::pair<NodeId, overlay::MemberLoad>> fresh;
+  fresh.reserve(member_loads_.size());
+  for (auto it = member_loads_.begin(); it != member_loads_.end();) {
+    if (it->second.received + h.staleness <= ctx_.sim->now()) {
+      it = member_loads_.erase(it);
+    } else {
+      fresh.emplace_back(it->first, it->second.load);
+      ++it;
+    }
+  }
+  // Id order, so the (float) backlog sum never depends on hash-map history.
+  std::sort(fresh.begin(), fresh.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<overlay::MemberLoad> loads;
+  loads.reserve(fresh.size());
+  for (const auto& [n, l] : fresh) loads.push_back(l);
+  const overlay::RegionDigest digest =
+      overlay::aggregate_loads(my_region(), ++digest_epoch_, loads);
+  for (std::uint32_t r = 0; r < h.region_count; ++r) {
+    if (r == my_region()) continue;
+    for (std::size_t k = 0; k < h.agg_standby; ++k) {
+      ++counters_.digests_sent;
+      ctx_.net->send(
+          self_, overlay::aggregator_candidate(r, h.region_count, k),
+          std::make_unique<RegionDigestMsg>(self_, digest));
+    }
+  }
+}
+
+void AriaNode::on_region_load(const RegionLoadMsg& msg) {
+  member_loads_[msg.from] = MemberReport{msg.load, ctx_.sim->now()};
+}
+
+void AriaNode::on_region_digest(const RegionDigestMsg& msg) {
+  ++counters_.digests_received;
+  // Last received wins: primaries and standbys broadcast independently, and
+  // a later arrival is always at least as fresh a view of that region.
+  digest_table_[msg.digest.region] = DigestEntry{msg.digest, ctx_.sim->now()};
+}
+
+void AriaNode::send_region_query(const grid::JobSpec& spec,
+                                 std::size_t attempt) {
+  const HierarchyParams& h = ctx_.config->hierarchy;
+  if (h.region_count <= 1) return;  // nowhere to delegate to
+  // Failover by rotation: if the rank-0 aggregator is dead the query dies
+  // with it, and the next attempt addresses rank 1 — no liveness tracking.
+  const std::size_t rank =
+      (attempt - 1) % std::max<std::size_t>(1, h.agg_standby);
+  const NodeId cand =
+      overlay::aggregator_candidate(my_region(), h.region_count, rank);
+  ++counters_.region_queries_sent;
+  const auto att = static_cast<std::uint32_t>(attempt);
+  if (cand == self_) {
+    serve_region_query(self_, spec, att);  // the initiator is its own
+                                           // aggregator; no wire hop
+    return;
+  }
+  ctx_.net->send(self_, cand,
+                 std::make_unique<RegionQueryMsg>(self_, spec, att));
+}
+
+void AriaNode::on_region_query(const RegionQueryMsg& msg) {
+  serve_region_query(msg.initiator, msg.job, msg.attempt);
+}
+
+void AriaNode::serve_region_query(NodeId initiator, const grid::JobSpec& spec,
+                                  std::uint32_t attempt) {
+  ++counters_.region_queries_served;
+  const HierarchyParams& h = ctx_.config->hierarchy;
+  // Candidate target regions: every fresh, non-empty digest except our own.
+  std::vector<overlay::RegionDigest> cands;
+  cands.reserve(digest_table_.size());
+  for (const auto& [r, e] : digest_table_) {
+    if (r == my_region()) continue;
+    if (e.received + h.staleness <= ctx_.sim->now()) continue;
+    if (e.digest.members == 0) continue;
+    cands.push_back(e.digest);
+  }
+  if (cands.empty()) return;  // no digests yet; the initiator's region-local
+                              // retry loop remains the fallback
+  // Idle capacity first, then the shortest total backlog; region id breaks
+  // ties deterministically.
+  std::sort(cands.begin(), cands.end(),
+            [](const overlay::RegionDigest& a, const overlay::RegionDigest& b) {
+              if (a.idle != b.idle) return a.idle > b.idle;
+              if (a.backlog_seconds != b.backlog_seconds) {
+                return a.backlog_seconds < b.backlog_seconds;
+              }
+              return a.region < b.region;
+            });
+  // A digest cannot see VO or profile constraints, so the load-best region
+  // may be wrong for this particular job — repeated retries must sweep the
+  // others. Rotating an index into the load-sorted order is NOT a sweep:
+  // idle counts drift between attempts, reshuffling the sort under the
+  // rotation, and a region can be skipped on every retry (observed with a
+  // job whose only matching machine sat in one region of 15). The first two
+  // attempts go load-best; from the third the rotation runs over the
+  // region-id order, which is stable across attempts and therefore provably
+  // visits every region within cands.size() retries.
+  std::size_t pick = attempt - 1;
+  if (attempt > 2) {
+    std::sort(cands.begin(), cands.end(),
+              [](const overlay::RegionDigest& a,
+                 const overlay::RegionDigest& b) { return a.region < b.region; });
+    pick = attempt - 3;
+  }
+  const overlay::RegionDigest& target = cands[pick % cands.size()];
+  const std::size_t rank =
+      (attempt - 1) % std::max<std::size_t>(1, h.agg_standby);
+  const NodeId remote =
+      overlay::aggregator_candidate(target.region, h.region_count, rank);
+  ++counters_.region_forwards;
+  if (ctx_.observer) {
+    ctx_.observer->on_region_delegated(spec.id, self_, my_region(),
+                                       target.region, ctx_.sim->now());
+  }
+  ctx_.net->send(self_, remote,
+                 std::make_unique<RegionFwdMsg>(initiator, spec, attempt));
+}
+
+void AriaNode::on_region_fwd(const RegionFwdMsg& msg) {
+  ++counters_.region_floods;
+  // Entry point into this region on the remote initiator's behalf: flood a
+  // REQUEST carrying the *original* initiator, so ACCEPT offers flow
+  // straight back to it — this aggregator never sits on the offer path.
+  const Uuid flood_id = Uuid::generate(rng_);
+  ctx_.relay->mark_seen(self_, flood_id, ctx_.sim->now());
+  schedule_flood_gc(flood_id);
+  if (msg.initiator != self_ && can_bid(msg.job)) {
+    // The entry aggregator is just another member here: it competes too.
+    if (overload_on() && bid_gate_closed()) {
+      ++counters_.bids_suppressed;
+    } else {
+      ++counters_.accepts_sent;
+      const double cost = my_cost(msg.job);
+      ctx_.net->send(self_, msg.initiator,
+                     std::make_unique<AcceptMsg>(self_, msg.job.id, cost));
+      if (ctx_.observer) {
+        ctx_.observer->on_bid_sent(msg.job.id, self_, msg.initiator, cost,
+                                   ctx_.sim->now());
+      }
+    }
+  }
+  const FloodMeta meta{
+      flood_id, static_cast<std::uint32_t>(ctx_.config->request_hops - 1),
+      self_};
+  const auto targets = flood_targets(ctx_.config->request_fanout);
+  for (NodeId t : targets) {
+    ++counters_.requests_forwarded;
+    ctx_.net->send(self_, t,
+                   std::make_unique<RequestMsg>(msg.initiator, msg.job, meta));
   }
 }
 

@@ -145,6 +145,20 @@ class AriaNode {
     std::uint64_t reject_rediscoveries{0};  // REJECTed delegations re-floated
     std::uint64_t bids_suppressed{0};    // ACCEPTs withheld while saturated
     std::uint64_t peak_queue_depth{0};   // high-water mark of the local queue
+    // --- hierarchy plane (all zero when the plane is off) ----------------
+    std::uint64_t region_queries_sent{0};   // empty rounds escalated to an
+                                            // aggregator
+    std::uint64_t region_queries_served{0};  // REGION_QUERYs this aggregator
+                                             // answered
+    std::uint64_t region_forwards{0};    // REGION_FWDs sent to remote regions
+    std::uint64_t region_floods{0};      // remote-initiator floods started
+                                         // here on a REGION_FWD
+    std::uint64_t load_reports_sent{0};  // REGION_LOADs to own candidates
+    std::uint64_t digests_sent{0};       // REGION_DIGESTs broadcast
+    std::uint64_t digests_received{0};   // remote digests folded into the
+                                         // table
+    std::uint64_t wide_floods{0};        // scope-widened REQUEST floods
+                                         // (wide_flood_every retries)
   };
   const Counters& counters() const { return counters_; }
 
@@ -175,6 +189,15 @@ class AriaNode {
   bool shedding(const JobId& id) const { return shed_jobs_.contains(id); }
   /// Overload plane: is this node currently withholding ACCEPT replies?
   bool bids_suppressed() const { return bids_suppressed_; }
+  /// Hierarchy plane: is this node an aggregator candidate of its region?
+  /// (Constant false when the plane is off.)
+  bool region_aggregator() const;
+  /// Hierarchy plane: this node's region under the configured partition.
+  std::uint32_t my_region() const;
+  /// Hierarchy plane: the freshest digest this aggregator holds for
+  /// `region`, if any (tests/metrics).
+  std::optional<overlay::RegionDigest> region_digest_of(
+      std::uint32_t region) const;
   /// Overload plane: remaining runtime of the executing job plus the ERTp
   /// of everything queued — the admission-watermark quantity.
   Duration backlog_duration() const {
@@ -194,6 +217,10 @@ class AriaNode {
     /// it re-floods on the original initiator's behalf; the eventual ASSIGN
     /// must still carry that initiator, not this node.
     NodeId on_behalf_of{};
+    /// Hierarchy plane: this round already solicited a cross-region offer
+    /// because the best local one was poor (delegate_cost_threshold). One
+    /// extra collection window per round, never more.
+    bool remote_round{false};
   };
   struct PendingInform {
     double advertised_cost{0.0};
@@ -263,6 +290,36 @@ class AriaNode {
   /// burst, falling back to a discovery round after shed_offer_timeout.
   void shed_job(sched::QueuedJob&& victim);
   void shed_offer_expired(const JobId& id);
+
+  // --- hierarchy plane (docs/hierarchy.md) --------------------------------
+  bool hierarchy_on() const { return ctx_.config->hierarchy.enabled; }
+  /// Dispatches REGION_* messages; false if `env` is not one of them.
+  bool handle_region(const sim::Envelope& env);
+  /// Region-scoped flood target pick when the plane is on; the plain
+  /// pick_targets otherwise (identical RNG draws to pre-plane code).
+  /// `wide` drops the region filter for scope-widened REQUEST floods.
+  std::vector<NodeId> flood_targets(std::size_t fanout,
+                                    NodeId exclude_a = kInvalidNode,
+                                    NodeId exclude_b = kInvalidNode,
+                                    bool wide = false);
+  /// Should discovery attempt `attempt` (1-based) flood without the region
+  /// filter? (hierarchy.wide_flood_every; always false with the plane off)
+  bool wide_flood(std::size_t attempt) const;
+  /// Periodic member → candidate load report.
+  void region_report_tick();
+  /// Periodic aggregate broadcast (aggregator candidates only).
+  void region_digest_tick();
+  void on_region_load(const RegionLoadMsg& msg);
+  void on_region_digest(const RegionDigestMsg& msg);
+  void on_region_query(const RegionQueryMsg& msg);
+  void on_region_fwd(const RegionFwdMsg& msg);
+  /// Escalates an unsatisfied discovery round to the own-region aggregator
+  /// whose rank rotates with the attempt number (failover by retry).
+  void send_region_query(const grid::JobSpec& spec, std::size_t attempt);
+  /// Aggregator side of a query: pick a target region from the digest table
+  /// (rotating with `attempt` so repeated retries sweep regions) and forward.
+  void serve_region_query(NodeId initiator, const grid::JobSpec& spec,
+                          std::uint32_t attempt);
 
   // --- self-healing plane (docs/overlay.md) ------------------------------
   /// One probe round: re-syncs the view against the overlay neighbor list,
@@ -348,6 +405,29 @@ class AriaNode {
   /// rejoin path LINK_REQs them on restart.
   std::vector<NodeId> stable_contacts_;
   std::uint32_t probe_seq_{0};
+
+  // --- hierarchy plane state (all inert when the plane is off) ------------
+  /// A member's latest load report, held by aggregator candidates.
+  struct MemberReport {
+    overlay::MemberLoad load;
+    TimePoint received{};
+  };
+  /// A remote region's latest digest, held by aggregator candidates.
+  struct DigestEntry {
+    overlay::RegionDigest digest;
+    TimePoint received{};
+  };
+  std::unordered_map<NodeId, MemberReport> member_loads_;
+  std::unordered_map<std::uint32_t, DigestEntry> digest_table_;
+  sim::EventHandle report_timer_;
+  sim::EventHandle digest_timer_;
+  /// Monotone per-aggregator digest sequence (informational; survives
+  /// crashes so restarted aggregators never reuse an epoch).
+  std::uint64_t digest_epoch_{0};
+  /// Hierarchy-plane randomness is its own stream seeded from the node id
+  /// only, same discipline as probe_rng_: timer phases never perturb the
+  /// protocol RNG tree, so hierarchy-off runs stay byte-identical.
+  Rng hier_rng_;
 };
 
 }  // namespace aria::proto

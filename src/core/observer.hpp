@@ -99,6 +99,15 @@ class ProtocolObserver {
   virtual void on_rejected(const JobId& id, NodeId node, TimePoint at) {
     (void)id; (void)node; (void)at;
   }
+
+  /// Hierarchy plane: `aggregator` answered a REGION_QUERY by forwarding the
+  /// job from `from_region` to `to_region`'s aggregator for a region-local
+  /// flood there. Fired on the aggregator as the REGION_FWD leaves.
+  virtual void on_region_delegated(const JobId& id, NodeId aggregator,
+                                   std::uint32_t from_region,
+                                   std::uint32_t to_region, TimePoint at) {
+    (void)id; (void)aggregator; (void)from_region; (void)to_region; (void)at;
+  }
 };
 
 }  // namespace aria::proto

@@ -1,6 +1,9 @@
 #include "overlay/bootstrap.hpp"
 
+#include <algorithm>
 #include <cassert>
+
+#include "overlay/region.hpp"
 
 namespace aria::overlay {
 
@@ -102,6 +105,91 @@ Topology bootstrap_small_world(std::size_t count, std::size_t k, double beta,
     }
   }
   return topo;
+}
+
+Topology bootstrap_hierarchical(std::size_t count, std::size_t region_count,
+                                double intra_degree,
+                                std::size_t cross_links_per_region, Rng& rng) {
+  Topology topo;
+  if (count == 0) return topo;
+  const std::size_t regions = std::max<std::size_t>(1, region_count);
+  for (std::size_t i = 0; i < count; ++i) {
+    topo.add_node(NodeId{static_cast<std::uint32_t>(i)});
+  }
+
+  // Per-region connected subgraphs: member ring plus random chords up to the
+  // requested intra-region average degree.
+  std::vector<std::vector<NodeId>> members(regions);
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId n{static_cast<std::uint32_t>(i)};
+    members[region_of(n, regions)].push_back(n);
+  }
+  for (const auto& m : members) {
+    if (m.size() < 2) continue;
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      topo.add_link(m[i], m[(i + 1) % m.size()]);
+    }
+    const auto target_links = static_cast<std::size_t>(
+        intra_degree * static_cast<double>(m.size()) / 2.0);
+    std::size_t added = m.size();  // the ring
+    std::size_t guard = 0;
+    while (added < target_links && guard < 50 * m.size()) {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(m.size()) - 1));
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(m.size()) - 1));
+      if (topo.add_link(m[i], m[j])) ++added;
+      ++guard;
+    }
+  }
+
+  // Region ring: one member of region r to one of region r+1, so the whole
+  // overlay stays connected no matter how the random cross links fall.
+  if (regions > 1) {
+    for (std::size_t r = 0; r < regions; ++r) {
+      const auto& a = members[r];
+      const auto& b = members[(r + 1) % regions];
+      if (a.empty() || b.empty()) continue;
+      const NodeId from = a[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(a.size()) - 1))];
+      const NodeId to = b[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(b.size()) - 1))];
+      topo.add_link(from, to);
+    }
+    // Extra random cross links (resilience; region-scoped floods never use
+    // them, but flat protocol traffic and healing repair do).
+    for (std::size_t r = 0; r < regions; ++r) {
+      for (std::size_t c = 0; c < cross_links_per_region; ++c) {
+        const auto& a = members[r];
+        if (a.empty()) continue;
+        const auto other = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(regions) - 1));
+        const auto& b = members[other];
+        if (other == r || b.empty()) continue;
+        topo.add_link(
+            a[static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(a.size()) - 1))],
+            b[static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(b.size()) - 1))]);
+      }
+    }
+  }
+  return topo;
+}
+
+void join_node_in_region(Topology& topo, NodeId node, std::size_t contacts,
+                         std::size_t region_count, Rng& rng) {
+  assert(!topo.has_node(node));
+  const std::uint32_t region = region_of(node, region_count);
+  std::vector<NodeId> existing;
+  for (NodeId n : topo.nodes()) {
+    if (region_of(n, region_count) == region) existing.push_back(n);
+  }
+  if (existing.empty()) existing = topo.nodes();  // empty region: link anywhere
+  topo.add_node(node);
+  if (existing.empty()) return;
+  const auto picks = rng.sample(existing, contacts == 0 ? 1 : contacts);
+  for (NodeId c : picks) topo.add_link(node, c);
 }
 
 void join_node(Topology& topo, NodeId node, std::size_t contacts, Rng& rng) {

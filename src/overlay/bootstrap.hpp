@@ -34,4 +34,22 @@ Topology bootstrap_regular(std::size_t count, std::size_t k, Rng& rng,
 Topology bootstrap_small_world(std::size_t count, std::size_t k, double beta,
                                Rng& rng, std::uint32_t first_id = 0);
 
+// --- hierarchical discovery plane (docs/hierarchy.md) -----------------------
+
+/// Region-aware overlay over nodes 0..count-1 partitioned mod `region_count`:
+/// each region's members form their own connected random subgraph (ring +
+/// chords up to `intra_degree`), one member of region r links to one member
+/// of region r+1 (the region ring, guaranteeing global connectivity), and
+/// `cross_links_per_region` extra random cross-region links per region give
+/// region-local floods an escape hatch if an entire candidate set dies.
+Topology bootstrap_hierarchical(std::size_t count, std::size_t region_count,
+                                double intra_degree,
+                                std::size_t cross_links_per_region, Rng& rng);
+
+/// Joins `node` to an existing hierarchical topology: contacts are sampled
+/// from the node's own region only, so region-scoped flooding keeps reaching
+/// late arrivals (falls back to any node while the region has no members).
+void join_node_in_region(Topology& topo, NodeId node, std::size_t contacts,
+                         std::size_t region_count, Rng& rng);
+
 }  // namespace aria::overlay

@@ -1,5 +1,7 @@
 #include "overlay/flooding.hpp"
 
+#include "overlay/region.hpp"
+
 namespace aria::overlay {
 
 bool FloodRelay::mark_seen(NodeId node, const Uuid& id, TimePoint now) {
@@ -35,6 +37,19 @@ std::vector<NodeId> FloodRelay::pick_targets(NodeId node, std::size_t fanout,
   std::vector<NodeId> candidates;
   for (NodeId n : topo_->neighbors(node)) {
     if (n == exclude_a || n == exclude_b) continue;
+    candidates.push_back(n);
+  }
+  if (candidates.size() <= fanout) return candidates;
+  return rng_.sample(candidates, fanout);
+}
+
+std::vector<NodeId> FloodRelay::pick_targets_in_region(
+    NodeId node, std::size_t fanout, std::size_t region_count,
+    std::uint32_t region, NodeId exclude_a, NodeId exclude_b) {
+  std::vector<NodeId> candidates;
+  for (NodeId n : topo_->neighbors(node)) {
+    if (n == exclude_a || n == exclude_b) continue;
+    if (region_of(n, region_count) != region) continue;
     candidates.push_back(n);
   }
   if (candidates.size() <= fanout) return candidates;

@@ -47,6 +47,18 @@ class FloodRelay {
                                    NodeId exclude_a = kInvalidNode,
                                    NodeId exclude_b = kInvalidNode);
 
+  /// Region-scoped variant (hierarchical plane, docs/hierarchy.md): same
+  /// contract, but only neighbors in `region` under an R-way mod partition
+  /// are candidates — a flood relayed through this picker can never leak
+  /// across a region boundary. Draws from the same RNG stream; with the
+  /// hierarchy plane off this is never called, so flat runs see identical
+  /// draw sequences.
+  std::vector<NodeId> pick_targets_in_region(NodeId node, std::size_t fanout,
+                                             std::size_t region_count,
+                                             std::uint32_t region,
+                                             NodeId exclude_a = kInvalidNode,
+                                             NodeId exclude_b = kInvalidNode);
+
   /// Drops dedup state for a finished flood (the protocol schedules this
   /// once a flood can no longer be in flight, bounding memory).
   void forget(const Uuid& id) { seen_.erase(id); }

@@ -1,95 +1,114 @@
 #include "overlay/topology.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <unordered_set>
 
 namespace aria::overlay {
 
 const std::vector<NodeId> Topology::kEmpty{};
 
-void Topology::add_node(NodeId n) { adj_.try_emplace(n); }
+void Topology::add_node(NodeId n) {
+  if (!n.valid() || has_node(n)) return;
+  if (n.index() >= present_.size()) {
+    present_.resize(n.index() + 1, 0);
+    adj_.resize(n.index() + 1);
+  }
+  present_[n.index()] = 1;
+  ++node_count_;
+}
 
 void Topology::remove_node(NodeId n) {
-  auto it = adj_.find(n);
-  if (it == adj_.end()) return;
-  for (NodeId m : it->second) {
-    auto& back = adj_[m];
+  if (!has_node(n)) return;
+  for (NodeId m : adj_[n.index()]) {
+    auto& back = adj_[m.index()];
     back.erase(std::remove(back.begin(), back.end(), n), back.end());
     --links_;
   }
-  adj_.erase(it);
+  adj_[n.index()].clear();
+  adj_[n.index()].shrink_to_fit();
+  present_[n.index()] = 0;
+  --node_count_;
 }
 
 bool Topology::add_link(NodeId a, NodeId b) {
-  if (a == b) return false;
+  if (a == b || !a.valid() || !b.valid()) return false;
   add_node(a);
   add_node(b);
-  auto& na = adj_[a];
+  auto& na = adj_[a.index()];
   if (std::find(na.begin(), na.end(), b) != na.end()) return false;
   na.push_back(b);
-  adj_[b].push_back(a);
+  adj_[b.index()].push_back(a);
   ++links_;
   return true;
 }
 
 bool Topology::remove_link(NodeId a, NodeId b) {
-  auto ia = adj_.find(a);
-  auto ib = adj_.find(b);
-  if (ia == adj_.end() || ib == adj_.end()) return false;
-  auto pa = std::find(ia->second.begin(), ia->second.end(), b);
-  if (pa == ia->second.end()) return false;
-  ia->second.erase(pa);
-  auto& nb = ib->second;
+  if (!has_node(a) || !has_node(b)) return false;
+  auto& na = adj_[a.index()];
+  auto pa = std::find(na.begin(), na.end(), b);
+  if (pa == na.end()) return false;
+  na.erase(pa);
+  auto& nb = adj_[b.index()];
   nb.erase(std::remove(nb.begin(), nb.end(), a), nb.end());
   --links_;
   return true;
 }
 
 bool Topology::has_link(NodeId a, NodeId b) const {
-  auto it = adj_.find(a);
-  if (it == adj_.end()) return false;
-  return std::find(it->second.begin(), it->second.end(), b) != it->second.end();
-}
-
-const std::vector<NodeId>& Topology::neighbors(NodeId n) const {
-  auto it = adj_.find(n);
-  return it == adj_.end() ? kEmpty : it->second;
+  if (!has_node(a)) return false;
+  const auto& na = adj_[a.index()];
+  return std::find(na.begin(), na.end(), b) != na.end();
 }
 
 double Topology::average_degree() const {
-  if (adj_.empty()) return 0.0;
-  return 2.0 * static_cast<double>(links_) / static_cast<double>(adj_.size());
+  if (node_count_ == 0) return 0.0;
+  return 2.0 * static_cast<double>(links_) / static_cast<double>(node_count_);
 }
 
 std::vector<NodeId> Topology::nodes() const {
   std::vector<NodeId> out;
-  out.reserve(adj_.size());
-  for (const auto& [n, _] : adj_) out.push_back(n);
-  std::sort(out.begin(), out.end());
+  out.reserve(node_count_);
+  for (std::size_t i = 0; i < present_.size(); ++i) {
+    if (present_[i]) out.push_back(NodeId{static_cast<std::uint32_t>(i)});
+  }
   return out;
 }
 
 std::optional<std::size_t> Topology::bfs(NodeId a, NodeId b, NodeId skip_x,
                                          NodeId skip_y) const {
-  if (!adj_.contains(a) || !adj_.contains(b)) return std::nullopt;
+  if (!has_node(a) || !has_node(b)) return std::nullopt;
   if (a == b) return 0;
-  std::unordered_map<NodeId, std::size_t> dist;
-  dist.emplace(a, 0);
-  std::deque<NodeId> frontier{a};
-  while (!frontier.empty()) {
-    const NodeId u = frontier.front();
-    frontier.pop_front();
-    const std::size_t du = dist[u];
-    for (NodeId v : neighbors(u)) {
+  std::vector<std::uint32_t> dist(present_.size(), kUnvisited);
+  dist[a.index()] = 0;
+  std::vector<NodeId> queue{a};
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    const std::uint32_t du = dist[u.index()];
+    for (NodeId v : adj_[u.index()]) {
       if ((u == skip_x && v == skip_y) || (u == skip_y && v == skip_x)) continue;
-      if (dist.contains(v)) continue;
+      if (dist[v.index()] != kUnvisited) continue;
       if (v == b) return du + 1;
-      dist.emplace(v, du + 1);
-      frontier.push_back(v);
+      dist[v.index()] = du + 1;
+      queue.push_back(v);
     }
   }
   return std::nullopt;
+}
+
+void Topology::bfs_all(NodeId src, std::vector<std::uint32_t>& dist,
+                       std::vector<NodeId>& queue) const {
+  dist.assign(present_.size(), kUnvisited);
+  queue.clear();
+  dist[src.index()] = 0;
+  queue.push_back(src);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    const std::uint32_t du = dist[u.index()];
+    for (NodeId v : adj_[u.index()]) {
+      if (dist[v.index()] != kUnvisited) continue;
+      dist[v.index()] = du + 1;
+      queue.push_back(v);
+    }
+  }
 }
 
 std::optional<std::size_t> Topology::distance(NodeId a, NodeId b) const {
@@ -103,64 +122,60 @@ std::optional<std::size_t> Topology::distance_without_link(NodeId a, NodeId b,
 }
 
 bool Topology::connected() const {
-  if (adj_.size() <= 1) return true;
-  const NodeId start = adj_.begin()->first;
-  std::unordered_set<NodeId> seen{start};
-  std::deque<NodeId> frontier{start};
-  while (!frontier.empty()) {
-    const NodeId u = frontier.front();
-    frontier.pop_front();
-    for (NodeId v : neighbors(u)) {
-      if (seen.insert(v).second) frontier.push_back(v);
+  if (node_count_ <= 1) return true;
+  NodeId start = kInvalidNode;
+  for (std::size_t i = 0; i < present_.size(); ++i) {
+    if (present_[i]) {
+      start = NodeId{static_cast<std::uint32_t>(i)};
+      break;
     }
   }
-  return seen.size() == adj_.size();
+  std::vector<std::uint32_t> dist;
+  std::vector<NodeId> queue;
+  bfs_all(start, dist, queue);
+  return queue.size() == node_count_;
 }
 
 bool Topology::connected_among(
     const std::function<bool(NodeId)>& alive) const {
   std::size_t alive_count = 0;
   NodeId start = kInvalidNode;
-  for (const auto& [n, _] : adj_) {
+  for (std::size_t i = 0; i < present_.size(); ++i) {
+    if (!present_[i]) continue;
+    const NodeId n{static_cast<std::uint32_t>(i)};
     if (!alive(n)) continue;
     ++alive_count;
     if (!start.valid()) start = n;
   }
   if (alive_count <= 1) return true;
-  std::unordered_set<NodeId> seen{start};
-  std::deque<NodeId> frontier{start};
-  while (!frontier.empty()) {
-    const NodeId u = frontier.front();
-    frontier.pop_front();
-    for (NodeId v : neighbors(u)) {
+  std::vector<std::uint32_t> dist(present_.size(), kUnvisited);
+  dist[start.index()] = 0;
+  std::vector<NodeId> queue{start};
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    for (NodeId v : adj_[u.index()]) {
       if (!alive(v)) continue;
-      if (seen.insert(v).second) frontier.push_back(v);
+      if (dist[v.index()] != kUnvisited) continue;
+      dist[v.index()] = dist[u.index()] + 1;
+      queue.push_back(v);
     }
   }
-  return seen.size() == alive_count;
+  return queue.size() == alive_count;
 }
 
 double Topology::average_path_length() const {
-  if (adj_.size() < 2) return 0.0;
+  if (node_count_ < 2) return 0.0;
   std::uint64_t total = 0;
   std::uint64_t pairs = 0;
-  for (const auto& [src, _] : adj_) {
-    // Single-source BFS accumulating all distances.
-    std::unordered_map<NodeId, std::size_t> dist;
-    dist.emplace(src, 0);
-    std::deque<NodeId> frontier{src};
-    while (!frontier.empty()) {
-      const NodeId u = frontier.front();
-      frontier.pop_front();
-      const std::size_t du = dist[u];
-      for (NodeId v : neighbors(u)) {
-        if (dist.contains(v)) continue;
-        dist.emplace(v, du + 1);
-        frontier.push_back(v);
-        total += du + 1;
-        ++pairs;
-      }
+  std::vector<std::uint32_t> dist;
+  std::vector<NodeId> queue;
+  for (std::size_t i = 0; i < present_.size(); ++i) {
+    if (!present_[i]) continue;
+    bfs_all(NodeId{static_cast<std::uint32_t>(i)}, dist, queue);
+    for (NodeId v : queue) {
+      total += dist[v.index()];
     }
+    pairs += queue.size() - 1;  // exclude the source itself
   }
   if (pairs == 0) return 0.0;
   return static_cast<double>(total) / static_cast<double>(pairs);
@@ -168,20 +183,13 @@ double Topology::average_path_length() const {
 
 std::size_t Topology::diameter() const {
   std::size_t best = 0;
-  for (const auto& [src, _] : adj_) {
-    std::unordered_map<NodeId, std::size_t> dist;
-    dist.emplace(src, 0);
-    std::deque<NodeId> frontier{src};
-    while (!frontier.empty()) {
-      const NodeId u = frontier.front();
-      frontier.pop_front();
-      const std::size_t du = dist[u];
-      best = std::max(best, du);
-      for (NodeId v : neighbors(u)) {
-        if (dist.contains(v)) continue;
-        dist.emplace(v, du + 1);
-        frontier.push_back(v);
-      }
+  std::vector<std::uint32_t> dist;
+  std::vector<NodeId> queue;
+  for (std::size_t i = 0; i < present_.size(); ++i) {
+    if (!present_[i]) continue;
+    bfs_all(NodeId{static_cast<std::uint32_t>(i)}, dist, queue);
+    if (!queue.empty()) {
+      best = std::max<std::size_t>(best, dist[queue.back().index()]);
     }
   }
   return best;

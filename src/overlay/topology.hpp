@@ -3,12 +3,23 @@
 // In a deployment every node stores only its own neighbor set; the
 // simulation keeps the union of those sets in one structure — the two views
 // are equivalent because protocol code only ever reads `neighbors(self)`.
+//
+// Storage is structure-of-arrays, indexed by the dense NodeId value: one
+// flat presence bitmap plus one neighbor vector per id slot. Compared to
+// the former unordered_map<NodeId, vector> this removes a hash probe from
+// every neighbors() call (the hottest overlay read — every flood hop makes
+// one) and lets the BFS helpers use flat distance arrays instead of hash
+// maps, which is what keeps 10k+-node overlays (docs/hierarchy.md)
+// tractable. Results are unchanged: the map's iteration order never leaked
+// into any output (nodes() sorted, connectivity/path metrics are
+// order-independent) and per-slot neighbor order is append order, exactly
+// as before.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -23,7 +34,9 @@ class Topology {
   /// Removes a node and all incident links; no-op if absent.
   void remove_node(NodeId n);
 
-  bool has_node(NodeId n) const { return adj_.contains(n); }
+  bool has_node(NodeId n) const {
+    return n.valid() && n.index() < present_.size() && present_[n.index()];
+  }
 
   /// Adds an undirected link; inserts missing endpoints. Returns false if
   /// the link already existed or a == b.
@@ -36,13 +49,16 @@ class Topology {
 
   /// Neighbor list of `n` (empty for unknown nodes). The reference is
   /// invalidated by any mutation.
-  const std::vector<NodeId>& neighbors(NodeId n) const;
+  const std::vector<NodeId>& neighbors(NodeId n) const {
+    return has_node(n) ? adj_[n.index()] : kEmpty;
+  }
 
   std::size_t degree(NodeId n) const { return neighbors(n).size(); }
-  std::size_t node_count() const { return adj_.size(); }
+  std::size_t node_count() const { return node_count_; }
   std::size_t link_count() const { return links_; }
   double average_degree() const;
 
+  /// All nodes in ascending id order.
   std::vector<NodeId> nodes() const;
 
   /// BFS hop distance; nullopt if unreachable or either node is unknown.
@@ -71,10 +87,18 @@ class Topology {
   std::size_t diameter() const;
 
  private:
+  static constexpr std::uint32_t kUnvisited = UINT32_MAX;
+
   std::optional<std::size_t> bfs(NodeId a, NodeId b, NodeId skip_x,
                                  NodeId skip_y) const;
+  /// Single-source BFS into a reusable flat distance array (kUnvisited =
+  /// unreached); returns the visit queue (every reached node, BFS order).
+  void bfs_all(NodeId src, std::vector<std::uint32_t>& dist,
+               std::vector<NodeId>& queue) const;
 
-  std::unordered_map<NodeId, std::vector<NodeId>> adj_;
+  std::vector<std::vector<NodeId>> adj_;  // slot per id value
+  std::vector<std::uint8_t> present_;     // slot occupancy
+  std::size_t node_count_{0};
   std::size_t links_{0};
   static const std::vector<NodeId> kEmpty;
 };

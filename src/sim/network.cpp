@@ -26,8 +26,18 @@ void Network::send(NodeId from, NodeId to, std::unique_ptr<Message> message) {
   assert(message);
   assert(from.valid() && to.valid());
   const MessageTypeId type = message->type_id();
-  traffic_.record(type, message->wire_size());
+  const std::size_t bytes = message->wire_size();
+  traffic_.record(type, bytes);
   ++sent_;
+  if (region_count_ > 1) {
+    if (from.value() % region_count_ == to.value() % region_count_) {
+      ++intra_region_messages_;
+      intra_region_bytes_ += bytes;
+    } else {
+      ++cross_region_messages_;
+      cross_region_bytes_ += bytes;
+    }
+  }
 
   // Fault injection: one cheap null/flag test on the fault-free path; all
   // fault RNG draws happen on a dedicated stream inside the plane, so the

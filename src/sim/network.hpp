@@ -129,6 +129,19 @@ class Network {
   }
   MessageTap* tap() const { return tap_; }
 
+  /// Enables the intra/cross-region traffic split: with `regions` > 1 every
+  /// send is classified by the sender's and receiver's region (id mod
+  /// regions — the same stateless partition overlay::region_of uses; the
+  /// modulo is inlined here so the sim layer needs no overlay dependency).
+  /// 0 (the default) disables the split entirely — not even the modulo runs,
+  /// keeping non-hierarchical sends on the exact historic path.
+  void set_region_count(std::size_t regions) { region_count_ = regions; }
+
+  std::uint64_t intra_region_messages() const { return intra_region_messages_; }
+  std::uint64_t cross_region_messages() const { return cross_region_messages_; }
+  std::uint64_t intra_region_bytes() const { return intra_region_bytes_; }
+  std::uint64_t cross_region_bytes() const { return cross_region_bytes_; }
+
   TrafficLedger& traffic() { return traffic_; }
   const TrafficLedger& traffic() const { return traffic_; }
 
@@ -166,6 +179,11 @@ class Network {
   std::uint64_t tap_every_{1};
   std::uint64_t tap_counter_{0};
   std::unordered_map<NodeId, NodeState> nodes_;
+  std::size_t region_count_{0};
+  std::uint64_t intra_region_messages_{0};
+  std::uint64_t cross_region_messages_{0};
+  std::uint64_t intra_region_bytes_{0};
+  std::uint64_t cross_region_bytes_{0};
   std::uint64_t sent_{0};
   std::uint64_t delivered_{0};
   std::uint64_t dropped_{0};

@@ -168,12 +168,44 @@ SweepMatrix SweepMatrix::preset(const std::string& name, std::size_t seeds,
     }
     return matrix;
   }
+  if (name == "scale2k") {
+    // Flat vs hierarchical ARiA head-to-head at 2 000 nodes: same scenario,
+    // same workload, same seeds — only the discovery plane differs. The
+    // merged report's traffic columns are the Fig.-10-style comparison
+    // docs/hierarchy.md quotes.
+    for (const bool hier : {false, true}) {
+      MatrixEntry e = row("iMixed");
+      e.label = hier ? "scale2k-hier" : "scale2k-flat";
+      e.options.nodes = 2000;
+      e.options.jobs = 400;
+      e.options.horizon_min = 16.0 * 60.0;
+      e.options.hierarchy = hier;
+      matrix.add(std::move(e));
+    }
+    return matrix;
+  }
+  if (name == "scale10k-hier") {
+    // 10 000 nodes under the fault cocktail — hierarchy only (flat flooding
+    // at this scale is global-fanout-bound and takes hours of wall clock).
+    // Churn implies the failsafe, so the zero-stranded-jobs guarantee is
+    // what this preset certifies.
+    MatrixEntry e = row("iMixed");
+    e.label = "scale10k-hier";
+    e.options.nodes = 10000;
+    e.options.jobs = 1000;
+    e.options.horizon_min = 24.0 * 60.0;
+    e.options.hierarchy = true;
+    e.options.churn = true;
+    e.options.loss = 0.01;
+    matrix.add(std::move(e));
+    return matrix;
+  }
   throw std::invalid_argument("unknown sweep preset: " + name);
 }
 
 const std::vector<std::string>& SweepMatrix::preset_names() {
-  static const std::vector<std::string> names{"table2", "table2-smoke",
-                                              "quick"};
+  static const std::vector<std::string> names{
+      "table2", "table2-smoke", "quick", "scale2k", "scale10k-hier"};
   return names;
 }
 

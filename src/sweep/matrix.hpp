@@ -63,6 +63,8 @@ class SweepMatrix {
   ///   "table2"        all 26 Table-II scenarios at paper scale
   ///   "table2-smoke"  all 26, downsized (100 nodes / 150 jobs / 30 h)
   ///   "quick"         4 representative scenarios, tiny (40 nodes / 60 jobs)
+  ///   "scale2k"       flat vs --hierarchy head-to-head at 2 000 nodes
+  ///   "scale10k-hier" 10 000 nodes, --hierarchy, churn + 1% loss cocktail
   /// Throws std::invalid_argument for unknown names.
   static SweepMatrix preset(const std::string& name, std::size_t seeds,
                             std::uint64_t base_seed);

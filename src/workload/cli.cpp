@@ -93,6 +93,16 @@ std::optional<std::string> parse_cli(const std::vector<std::string>& args,
       out.healing = true;
     } else if (a == "--overload") {
       out.overload = true;
+    } else if (a == "--hierarchy") {
+      out.hierarchy = true;
+    } else if (a == "--regions") {
+      const auto v = next("--regions");
+      std::size_t n = 0;
+      if (!v || !parse_size(*v, n) || n == 0) {
+        return "--regions requires a positive integer";
+      }
+      out.regions = n;
+      out.hierarchy = true;
     } else if (a == "--queue-cap") {
       const auto v = next("--queue-cap");
       char* end = nullptr;
@@ -257,6 +267,11 @@ usage: aria_sim [options]
   --storm S,D,I       request storm: starting S minutes into the submission
                       phase, for D minutes, jobs arrive I× faster
                       (implies --overload)
+  --hierarchy         enable the hierarchical discovery plane: super-peer
+                      regions, region-scoped floods, cross-region delegation
+                      through load-digest aggregators (docs/hierarchy.md)
+  --regions N         partition the overlay into N regions (implies
+                      --hierarchy; default: auto-size to ~128 nodes/region)
   --csv DIR           write idle/completed series as CSV into DIR
   --quiet             print only the summary block
   -h, --help          this text
@@ -312,6 +327,10 @@ ScenarioConfig resolve_scenario(const CliOptions& options) {
     }
   }
   if (options.storm) cfg.storm = options.storm;
+  if (options.hierarchy) {
+    cfg.aria.hierarchy.enabled = true;
+    if (options.regions != 0) cfg.aria.hierarchy.region_count = options.regions;
+  }
   if (options.tracing()) {
     cfg.trace.enabled = true;
     cfg.trace.message_sample_every = options.trace_sample;

@@ -35,6 +35,11 @@ struct CliOptions {
   bool healing{false};
   /// Overload plane (bounded queues, admission REJECT, shed-and-forward).
   bool overload{false};
+  /// Hierarchical discovery plane (super-peer regions, docs/hierarchy.md).
+  bool hierarchy{false};
+  /// Region count override (0 = auto-size to the target region size).
+  /// Setting it implies --hierarchy.
+  std::size_t regions{0};
   /// Queue bound override: jobs per unit of performance index (0 = keep the
   /// default). Setting it implies --overload.
   double queue_cap{0.0};

@@ -7,6 +7,7 @@
 #include "common/logging.hpp"
 #include "grid/profile_gen.hpp"
 #include "overlay/bootstrap.hpp"
+#include "overlay/region.hpp"
 #include "sched/policies.hpp"
 #include "sim/latency.hpp"
 
@@ -112,6 +113,13 @@ double RunResult::probe_traffic_mib() const {
          traffic_mib(proto::kLinkReqType) + traffic_mib(proto::kLinkAckType);
 }
 
+double RunResult::region_traffic_mib() const {
+  return traffic_mib(proto::kRegionLoadType) +
+         traffic_mib(proto::kRegionDigestType) +
+         traffic_mib(proto::kRegionQueryType) +
+         traffic_mib(proto::kRegionFwdType);
+}
+
 metrics::LoadBalance RunResult::execution_balance() const {
   std::vector<double> per_node(final_node_count, 0.0);
   for (const auto& [id, r] : tracker.records()) {
@@ -152,15 +160,10 @@ GridSimulation::~GridSimulation() = default;
 
 proto::AriaNode* GridSimulation::node(NodeId id) {
   const std::size_t i = id.index();
-  return i < nodes_.size() ? nodes_[i].get() : nullptr;
+  return i < nodes_.size() ? nodes_[i] : nullptr;
 }
 
-std::vector<proto::AriaNode*> GridSimulation::all_nodes() {
-  std::vector<proto::AriaNode*> out;
-  out.reserve(nodes_.size());
-  for (auto& n : nodes_) out.push_back(n.get());
-  return out;
-}
+std::vector<proto::AriaNode*> GridSimulation::all_nodes() { return nodes_; }
 
 std::size_t GridSimulation::idle_count_scan() const {
   std::size_t n = 0;
@@ -174,11 +177,26 @@ void GridSimulation::build() {
   if (built_) return;
   built_ = true;
 
+  // Resolve the region partition up front: nodes read region_count through
+  // their shared config pointer, so auto-sizing must be written back before
+  // the first node is constructed. Expansion joiners keep the partition
+  // resolved against the initial grid (region_of is id mod R — a fixed R
+  // keeps every already-built digest table and flood scope valid).
+  if (config_.aria.hierarchy.enabled) {
+    auto& h = config_.aria.hierarchy;
+    h.region_count = overlay::resolve_region_count(
+        h.region_count, config_.node_count, h.target_region_size,
+        h.agg_standby);
+  }
+
   net_ = std::make_unique<sim::Network>(
       sim_,
       std::make_unique<sim::GeoLatencyModel>(
           sim::GeoLatencyModel::Params{.seed = seed_ ^ 0xA51C17ULL}),
       rng_.fork(1));
+  if (config_.aria.hierarchy.enabled) {
+    net_->set_region_count(config_.aria.hierarchy.region_count);
+  }
   if (config_.faults.enabled) {
     // Mix the per-run seed into the fault stream: repeated runs of the same
     // scenario see different fault schedules, while any (run seed, fault
@@ -216,6 +234,17 @@ void GridSimulation::build() {
 
 void GridSimulation::build_overlay() {
   Rng boot_rng = rng_.fork(5);
+  if (config_.aria.hierarchy.enabled) {
+    // Region-structured bootstrap replaces the overlay family: floods are
+    // region-scoped, so the graph must keep every region internally
+    // connected. No BlatantMaintainer either — its ants rewire by random
+    // walk and would erode region locality faster than any digest refresh.
+    const auto& h = config_.aria.hierarchy;
+    topo_ = overlay::bootstrap_hierarchical(config_.node_count, h.region_count,
+                                            h.intra_degree, h.cross_links,
+                                            boot_rng);
+    return;
+  }
   using Family = ScenarioConfig::OverlayFamily;
   switch (config_.overlay_family) {
     case Family::kBlatant:
@@ -228,7 +257,7 @@ void GridSimulation::build_overlay() {
       // draw-preserving, so fault-free topologies are unchanged.
       maintainer_->set_liveness([this](NodeId id) {
         const proto::AriaNode* n =
-            id.index() < nodes_.size() ? nodes_[id.index()].get() : nullptr;
+            id.index() < nodes_.size() ? nodes_[id.index()] : nullptr;
         return n == nullptr || !n->crashed();
       });
       // Let the ants reshape the bootstrap graph before traffic starts.
@@ -274,11 +303,11 @@ void GridSimulation::spawn_node() {
   if (config_.vo_count > 1) {
     vo = "vo" + std::to_string(id.value() % config_.vo_count);
   }
-  auto node = std::make_unique<proto::AriaNode>(
-      ctx, id, profile, sched::make_scheduler(kind), profile_rng.fork(7),
-      std::move(vo));
+  proto::AriaNode* node =
+      node_arena_.emplace(ctx, id, profile, sched::make_scheduler(kind),
+                          profile_rng.fork(7), std::move(vo));
   node->start();
-  nodes_.push_back(std::move(node));
+  nodes_.push_back(node);
 }
 
 void GridSimulation::build_nodes() {
@@ -358,7 +387,12 @@ void GridSimulation::expansion_step(const ScenarioConfig::Expansion& plan,
                                     Rng join_rng) {
   if (nodes_.size() >= plan.target_node_count) return;
   const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
-  overlay::join_node(topo_, id, plan.join_contacts, join_rng);
+  if (config_.aria.hierarchy.enabled) {
+    overlay::join_node_in_region(topo_, id, plan.join_contacts,
+                                 config_.aria.hierarchy.region_count, join_rng);
+  } else {
+    overlay::join_node(topo_, id, plan.join_contacts, join_rng);
+  }
   spawn_node();
   const Duration gap = join_rng.uniform_duration(
       plan.mean_interval / 2, plan.mean_interval + plan.mean_interval / 2);
@@ -446,7 +480,7 @@ void GridSimulation::schedule_sampling() {
 void GridSimulation::sample_live_connectivity() {
   const bool ok = topo_.connected_among([this](NodeId id) {
     const proto::AriaNode* n =
-        id.index() < nodes_.size() ? nodes_[id.index()].get() : nullptr;
+        id.index() < nodes_.size() ? nodes_[id.index()] : nullptr;
     return n != nullptr && !n->crashed();
   });
   if (ok) {
@@ -511,7 +545,7 @@ RunResult GridSimulation::run() {
         config_.metrics_sample_period.to_minutes();
     r.live_subgraph_connected_at_end = topo_.connected_among([this](NodeId id) {
       const proto::AriaNode* n =
-          id.index() < nodes_.size() ? nodes_[id.index()].get() : nullptr;
+          id.index() < nodes_.size() ? nodes_[id.index()] : nullptr;
       return n != nullptr && !n->crashed();
     });
   }
@@ -531,6 +565,25 @@ RunResult GridSimulation::run() {
     r.queue_depth_series = queue_depth_series_;
     r.shed_series = shed_series_;
     r.reject_series = reject_series_;
+  }
+  if (config_.aria.hierarchy.enabled) {
+    r.hierarchy_enabled = true;
+    r.region_count = config_.aria.hierarchy.region_count;
+    for (const auto& n : nodes_) {
+      const auto& c = n->counters();
+      r.region_queries += c.region_queries_sent;
+      r.region_queries_served += c.region_queries_served;
+      r.region_forwards += c.region_forwards;
+      r.region_floods += c.region_floods;
+      r.wide_floods += c.wide_floods;
+      r.load_reports += c.load_reports_sent;
+      r.digests_sent += c.digests_sent;
+      r.digests_received += c.digests_received;
+    }
+    r.intra_region_messages = net_->intra_region_messages();
+    r.cross_region_messages = net_->cross_region_messages();
+    r.intra_region_bytes = net_->intra_region_bytes();
+    r.cross_region_bytes = net_->cross_region_bytes();
   }
   if (tracer_) {
     r.trace_enabled = true;

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/rng.hpp"
 #include "core/centralized.hpp"
 #include "core/config.hpp"
@@ -71,6 +72,25 @@ struct RunResult {
   metrics::Series shed_series;           // cumulative sheds over time
   metrics::Series reject_series;         // cumulative REJECTs over time
 
+  // --- hierarchy plane (all zero when hierarchy is off) -----------------
+  bool hierarchy_enabled{false};
+  /// Resolved region count R (the engine writes auto-sizing back).
+  std::size_t region_count{0};
+  std::uint64_t region_queries{0};        // empty rounds escalated cross-region
+  std::uint64_t region_queries_served{0}; // queries aggregators answered
+  std::uint64_t region_forwards{0};       // REGION_FWDs to remote aggregators
+  std::uint64_t region_floods{0};         // remote floods run for initiators
+  std::uint64_t wide_floods{0};           // scope-widened REQUEST floods
+  std::uint64_t load_reports{0};          // member REGION_LOADs sent
+  std::uint64_t digests_sent{0};          // REGION_DIGEST broadcasts
+  std::uint64_t digests_received{0};      // remote digests folded into tables
+  /// Wire split by the sender/receiver region partition (see
+  /// sim::Network::set_region_count).
+  std::uint64_t intra_region_messages{0};
+  std::uint64_t cross_region_messages{0};
+  std::uint64_t intra_region_bytes{0};
+  std::uint64_t cross_region_bytes{0};
+
   // --- tracing plane (null when tracing is off) -------------------------
   bool trace_enabled{false};
   /// The collected stream (job lifecycle + sampled messages); feed to
@@ -108,6 +128,9 @@ struct RunResult {
   double traffic_mib_total() const;
   /// Healing-plane control traffic (PING + PONG + LINK_REQ + LINK_ACK).
   double probe_traffic_mib() const;
+  /// Hierarchy-plane control traffic (REGION_LOAD + REGION_DIGEST +
+  /// REGION_QUERY + REGION_FWD).
+  double region_traffic_mib() const;
 
   /// Load-balance over executed-job counts per node (paper abstract:
   /// "improving the overall performance in terms of ... load-balancing").
@@ -178,8 +201,8 @@ class GridSimulation {
   std::uint64_t seed_;
   Rng rng_;
 
-  // Order matters: nodes_ must be destroyed before net_/sim_ (their dtors
-  // detach from the network and cancel simulator events).
+  // Order matters: node_arena_ must be destroyed before net_/sim_ (node
+  // dtors detach from the network and cancel simulator events).
   sim::Simulator sim_;
   overlay::Topology topo_;
   /// Null on fault-free runs; must outlive net_ (which holds a raw pointer).
@@ -194,9 +217,15 @@ class GridSimulation {
   std::unique_ptr<trace::TraceCollector> tracer_;
   std::unique_ptr<JobGenerator> jobgen_;
   Rng submit_rng_{0};
-  // Declared before nodes_: nodes decrement the gauge in their destructor.
+  // Declared before the arena: nodes decrement the gauge in their destructor.
   std::size_t idle_nodes_{0};
-  std::vector<std::unique_ptr<proto::AriaNode>> nodes_;
+  /// Arena-backed node storage (common/arena.hpp): one placement-new per
+  /// node into contiguous slabs with stable addresses — AriaNode pins its
+  /// own address inside scheduled lambdas, and at 10k+ nodes the slabs
+  /// avoid a heap allocation and a pointer chase per node. nodes_ is the
+  /// id-indexed view over the arena.
+  SlabArena<proto::AriaNode> node_arena_;
+  std::vector<proto::AriaNode*> nodes_;
 
   metrics::Series idle_series_;
   metrics::Series node_count_series_;

@@ -89,11 +89,12 @@ int main(int argc, char** argv) {
               << " MiB\n";
   }
 
-  // Jobs with no terminal state feed the exit code whenever either
-  // robustness plane ran: under faults *and* under overload the protocol
-  // promises every submitted job still terminates.
+  // Jobs with no terminal state feed the exit code whenever a robustness
+  // plane ran: under faults, overload, *and* hierarchical discovery the
+  // protocol promises every submitted job still terminates.
   std::size_t stranded = 0;
-  if (cfg.faults.enabled || cfg.aria.overload.enabled) {
+  if (cfg.faults.enabled || cfg.aria.overload.enabled ||
+      cfg.aria.hierarchy.enabled) {
     for (const auto& r : results) stranded += r.stranded();
   }
 
@@ -185,6 +186,45 @@ int main(int argc, char** argv) {
               << "  peak queue depth: " << peak_depth
               << ", rejected jobs left incomplete: " << rejected_incomplete
               << ", jobs stranded: " << stranded << "\n";
+  }
+
+  // Printed only when the hierarchy plane ran (same byte-identity contract).
+  if (cfg.aria.hierarchy.enabled && !results.empty()) {
+    std::uint64_t queries = 0, served = 0, forwards = 0, floods = 0;
+    std::uint64_t wide = 0, reports = 0, digests = 0;
+    std::uint64_t intra_msgs = 0, cross_msgs = 0;
+    std::uint64_t intra_bytes = 0, cross_bytes = 0;
+    double region_mib = 0.0;
+    for (const auto& r : results) {
+      queries += r.region_queries;
+      served += r.region_queries_served;
+      forwards += r.region_forwards;
+      floods += r.region_floods;
+      wide += r.wide_floods;
+      reports += r.load_reports;
+      digests += r.digests_sent;
+      intra_msgs += r.intra_region_messages;
+      cross_msgs += r.cross_region_messages;
+      intra_bytes += r.intra_region_bytes;
+      cross_bytes += r.cross_region_bytes;
+      region_mib += r.region_traffic_mib();
+    }
+    const double mib = 1024.0 * 1024.0;
+    std::cout << "\nhierarchy (totals over " << results.size() << " run(s), "
+              << results.front().region_count << " regions):\n"
+              << "  region queries: " << queries << " sent, " << served
+              << " served, " << forwards << " forwarded, " << floods
+              << " remote floods, " << wide << " wide floods\n"
+              << "  load reports: " << reports
+              << ", digests broadcast: " << digests
+              << ", region-plane traffic: "
+              << metrics::Table::num(region_mib, 2) << " MiB\n"
+              << "  intra-region wire: " << intra_msgs << " msgs / "
+              << metrics::Table::num(static_cast<double>(intra_bytes) / mib, 2)
+              << " MiB; cross-region: " << cross_msgs << " msgs / "
+              << metrics::Table::num(static_cast<double>(cross_bytes) / mib, 2)
+              << " MiB\n"
+              << "  jobs stranded: " << stranded << "\n";
   }
 
   // Printed only when the tracing plane ran (same byte-identity contract):
