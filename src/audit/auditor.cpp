@@ -1,0 +1,273 @@
+#include "audit/auditor.hpp"
+
+#include <algorithm>
+
+#include "core/messages.hpp"
+
+namespace aria::audit {
+
+namespace {
+
+/// Population of region `r` under the arithmetic partition n % R (the
+/// overlay's region_of): node_count / R rounded up for the low regions.
+std::size_t region_population(std::size_t node_count, std::uint32_t regions,
+                              std::uint32_t r) {
+  if (regions == 0) return 0;
+  return node_count / regions + (r < node_count % regions ? 1 : 0);
+}
+
+}  // namespace
+
+AuditCollector::AuditCollector(const AuditConfig& config, AuditContext ctx,
+                               proto::ProtocolObserver* next)
+    : config_{config}, ctx_{ctx}, next_{next} {}
+
+void AuditCollector::set_forward_tap(sim::MessageTap* tap,
+                                     std::uint64_t sample_every) {
+  fwd_tap_ = tap;
+  fwd_every_ = sample_every == 0 ? 1 : sample_every;
+  fwd_counter_ = 0;
+}
+
+void AuditCollector::violate(std::string kind, std::string detail,
+                             TimePoint at) {
+  ++violation_count_;
+  ++by_kind_[kind];
+  if (violations_.size() < config_.max_recorded) {
+    violations_.push_back(
+        Violation{std::move(kind), std::move(detail), at});
+  }
+}
+
+AuditCollector::JobAudit& AuditCollector::touch(const JobId& id,
+                                                TimePoint at) {
+  JobAudit& j = jobs_[id];
+  j.last_event = at;
+  j.pending_delegation.reset();  // the escalation produced *some* signal
+  return j;
+}
+
+bool AuditCollector::offer_known(const JobAudit& j, NodeId collector,
+                                 NodeId bidder) const {
+  return std::find(j.offers.begin(), j.offers.end(),
+                   std::make_pair(collector, bidder)) != j.offers.end();
+}
+
+// --- observer forwarding + online checks -----------------------------------
+
+void AuditCollector::on_submitted(const grid::JobSpec& job, NodeId initiator,
+                                  TimePoint at) {
+  if (next_) next_->on_submitted(job, initiator, at);
+  touch(job.id, at);
+}
+
+void AuditCollector::on_request_retry(const JobId& id, std::size_t attempt,
+                                      TimePoint at) {
+  if (next_) next_->on_request_retry(id, attempt, at);
+  touch(id, at);
+}
+
+void AuditCollector::on_unschedulable(const JobId& id, TimePoint at) {
+  if (next_) next_->on_unschedulable(id, at);
+  touch(id, at).terminal = true;
+}
+
+void AuditCollector::on_bid_sent(const JobId& id, NodeId bidder, NodeId to,
+                                 double cost, TimePoint at) {
+  if (next_) next_->on_bid_sent(id, bidder, to, cost, at);
+  touch(id, at);
+}
+
+void AuditCollector::on_bid_received(const JobId& id, NodeId collector,
+                                     NodeId bidder, double cost,
+                                     TimePoint at) {
+  if (next_) next_->on_bid_received(id, collector, bidder, cost, at);
+  JobAudit& j = touch(id, at);
+  if (!offer_known(j, collector, bidder)) {
+    j.offers.emplace_back(collector, bidder);
+  }
+}
+
+void AuditCollector::on_delegated(const JobId& id, NodeId from, NodeId to,
+                                  TimePoint at, bool reschedule) {
+  if (next_) next_->on_delegated(id, from, to, at, reschedule);
+  JobAudit& j = touch(id, at);
+  // No ASSIGN without a matching ACCEPT: the delegator must have collected
+  // an offer from the chosen assignee in some earlier round. Crashes wipe a
+  // node's round state but not the audit record, so the check is a strict
+  // superset of what any live delegator could legitimately know.
+  if (!offer_known(j, from, to)) {
+    violate("assign-without-accept",
+            "job " + id.to_string() + ": " + from.to_string() +
+                " delegated to " + to.to_string() +
+                " which never offered to it",
+            at);
+  }
+}
+
+void AuditCollector::on_assigned(const grid::JobSpec& job, NodeId node,
+                                 TimePoint at, bool reschedule) {
+  if (next_) next_->on_assigned(job, node, at, reschedule);
+  touch(job.id, at);
+}
+
+void AuditCollector::on_started(const JobId& id, NodeId node, TimePoint at) {
+  if (next_) next_->on_started(id, node, at);
+  touch(id, at);
+}
+
+void AuditCollector::on_completed(const JobId& id, NodeId node, TimePoint at,
+                                  Duration art) {
+  if (next_) next_->on_completed(id, node, at, art);
+  JobAudit& j = touch(id, at);
+  // Exactly-once modulo recovery: each failsafe recovery (watchdog re-flood
+  // or ASSIGN_ACK rediscovery) licenses at most one extra execution, and
+  // the watchdog may fire *before* the original run finishes — so the
+  // orderings are free but the budget is not: completions <= 1 + recoveries
+  // always. A completion past that budget is a protocol bug.
+  if (j.completions > 0 && j.completions > j.recoveries) {
+    violate("duplicate-completion",
+            "job " + id.to_string() + " completed again on " +
+                node.to_string() + " (" +
+                std::to_string(j.completions + 1) + " completions, " +
+                std::to_string(j.recoveries) + " recoveries)",
+            at);
+  }
+  ++j.completions;
+  j.terminal = true;
+}
+
+void AuditCollector::on_recovery(const JobId& id, std::size_t attempt,
+                                 TimePoint at) {
+  if (next_) next_->on_recovery(id, attempt, at);
+  JobAudit& j = touch(id, at);
+  ++j.recoveries;
+  // Budget: watchdog recovery attempts are 1-based and abandon past
+  // failsafe_max_recoveries, so a larger attempt number must never appear.
+  if (ctx_.failsafe_max_recoveries > 0 &&
+      attempt > ctx_.failsafe_max_recoveries) {
+    violate("recovery-budget-exceeded",
+            "job " + id.to_string() + " recovery attempt " +
+                std::to_string(attempt) + " > budget " +
+                std::to_string(ctx_.failsafe_max_recoveries),
+            at);
+  }
+}
+
+void AuditCollector::on_abandoned(const JobId& id, TimePoint at) {
+  if (next_) next_->on_abandoned(id, at);
+  touch(id, at).terminal = true;
+}
+
+void AuditCollector::on_shed(const grid::JobSpec& job, NodeId node,
+                             TimePoint at) {
+  if (next_) next_->on_shed(job, node, at);
+  touch(job.id, at);
+}
+
+void AuditCollector::on_rejected(const JobId& id, NodeId node, TimePoint at) {
+  if (next_) next_->on_rejected(id, node, at);
+  touch(id, at);
+}
+
+void AuditCollector::on_region_delegated(const JobId& id, NodeId aggregator,
+                                         std::uint32_t from_region,
+                                         std::uint32_t to_region,
+                                         TimePoint at) {
+  if (next_) next_->on_region_delegated(id, aggregator, from_region,
+                                        to_region, at);
+  JobAudit& j = touch(id, at);
+  j.pending_delegation = at;  // must produce some later event for the job
+  if (ctx_.region_count > 0 &&
+      (from_region >= ctx_.region_count || to_region >= ctx_.region_count)) {
+    violate("delegation-bad-region",
+            "job " + id.to_string() + ": delegation " +
+                std::to_string(from_region) + " -> " +
+                std::to_string(to_region) + " outside R=" +
+                std::to_string(ctx_.region_count),
+            at);
+  }
+}
+
+// --- wire tap ---------------------------------------------------------------
+
+void AuditCollector::on_message(NodeId from, NodeId to,
+                                const sim::Message& message, TimePoint sent,
+                                TimePoint deliver, bool faulted) {
+  // Digest conservation against ground truth: a REGION_DIGEST may summarize
+  // fewer members than the region holds (staleness ages reporters out) but
+  // never more, idle capacity can never exceed the member count, backlogs
+  // are non-negative, and epochs never run backwards per aggregator (the
+  // fault plane may *duplicate* a digest, so equality is legitimate).
+  if (const auto* rd = dynamic_cast<const proto::RegionDigestMsg*>(&message)) {
+    const overlay::RegionDigest& d = rd->digest;
+    if (ctx_.region_count > 0 && d.region >= ctx_.region_count) {
+      violate("digest-bad-region",
+              from.to_string() + " digests region " +
+                  std::to_string(d.region) + " outside R=" +
+                  std::to_string(ctx_.region_count),
+              sent);
+    } else if (ctx_.region_count > 0 &&
+               d.members >
+                   region_population(ctx_.node_count, ctx_.region_count,
+                                     d.region)) {
+      violate("digest-overcount",
+              from.to_string() + " claims " + std::to_string(d.members) +
+                  " members in region " + std::to_string(d.region) +
+                  " (population " +
+                  std::to_string(region_population(
+                      ctx_.node_count, ctx_.region_count, d.region)) +
+                  ")",
+              sent);
+    }
+    if (d.idle > d.members) {
+      violate("digest-idle-overcount",
+              from.to_string() + ": idle " + std::to_string(d.idle) + " > " +
+                  std::to_string(d.members) + " members",
+              sent);
+    }
+    if (d.backlog_seconds < 0.0) {
+      violate("digest-negative-backlog",
+              from.to_string() + ": backlog " +
+                  std::to_string(d.backlog_seconds) + "s",
+              sent);
+    }
+    const auto it = digest_epochs_.find(rd->from);
+    if (it != digest_epochs_.end() && d.epoch < it->second) {
+      violate("digest-epoch-regression",
+              rd->from.to_string() + ": epoch " + std::to_string(d.epoch) +
+                  " after " + std::to_string(it->second),
+              sent);
+    } else {
+      digest_epochs_[rd->from] = d.epoch;
+    }
+  }
+  // Re-sample for the displaced tap with the Network's own arithmetic, so
+  // e.g. the trace plane records exactly the messages it would have seen
+  // had the auditor not been in between.
+  if (fwd_tap_ != nullptr && fwd_counter_++ % fwd_every_ == 0) {
+    fwd_tap_->on_message(from, to, message, sent, deliver, faulted);
+  }
+}
+
+// --- end-of-run checks ------------------------------------------------------
+
+void AuditCollector::finish(TimePoint horizon) {
+  if (finished_) return;
+  finished_ = true;
+  // Every cross-region delegation must resolve: after an aggregator
+  // forwarded a job, *something* must happen to that job — an offer, a
+  // retry, a recovery, a terminal state. A job whose last trace is the
+  // delegation itself fell into a void (unless the run ended right away, or
+  // the job did terminate through a path the delegation raced with).
+  for (const auto& [id, j] : jobs_) {
+    if (!j.pending_delegation || j.terminal) continue;
+    if (*j.pending_delegation + config_.delegation_grace > horizon) continue;
+    violate("unresolved-delegation",
+            "job " + id.to_string() +
+                ": nothing happened after its cross-region delegation",
+            *j.pending_delegation);
+  }
+}
+
+}  // namespace aria::audit

@@ -1,0 +1,162 @@
+// Online invariant auditor (docs/audit.md).
+//
+// The AuditCollector is an observer-seam decorator plus a network
+// MessageTap, exactly like trace::TraceCollector: it wraps the run's
+// existing observer chain and forwards every callback unchanged, so
+// attaching the auditor never alters what the tracker — and therefore
+// every golden metric — sees. While forwarding it checks protocol
+// invariants *online* (duplicate completions, delegations without a
+// matching offer, malformed region digests, recovery-budget overruns) and
+// records any violation; finish() runs the end-of-run checks that need the
+// horizon (unresolved cross-region delegations).
+//
+// A disabled audit plane constructs nothing: no collector, no decorated
+// observer, no tap — zero cost and byte-identical output.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "core/observer.hpp"
+#include "sim/network.hpp"
+
+namespace aria::audit {
+
+struct AuditConfig {
+  bool enabled{false};
+  /// Violations stored verbatim; the count keeps going past this cap so a
+  /// pathological run cannot blow up memory on violation records.
+  std::size_t max_recorded{64};
+  /// A cross-region delegation still unresolved this close to the horizon
+  /// is in-flight at shutdown, not stranded — no violation.
+  Duration delegation_grace{Duration::minutes(10)};
+};
+
+/// Ground truth the engine hands the auditor at construction; everything
+/// the digest-conservation checks compare wire claims against.
+struct AuditContext {
+  /// Upper bound on grid size (initial nodes plus any expansion target).
+  std::size_t node_count{0};
+  /// Resolved region count R; 0 when the hierarchy plane is off (digest
+  /// checks are then skipped — no REGION_DIGEST can legitimately appear).
+  std::uint32_t region_count{0};
+  /// AriaConfig::failsafe_max_recoveries (0 = failsafe off; budget check
+  /// skipped).
+  std::size_t failsafe_max_recoveries{0};
+};
+
+/// One invariant violation. `kind` is a stable machine-readable tag (the
+/// sweep reports aggregate on it); `detail` is for humans.
+struct Violation {
+  std::string kind;
+  std::string detail;
+  TimePoint at{};
+};
+
+class AuditCollector final : public proto::ProtocolObserver,
+                             public sim::MessageTap {
+ public:
+  /// `next` (may be null) receives every observer callback unchanged,
+  /// before the invariant checks run.
+  AuditCollector(const AuditConfig& config, AuditContext ctx,
+                 proto::ProtocolObserver* next = nullptr);
+
+  /// The auditor replaces any previous tap (it must see *every* message,
+  /// sample_every == 1); `tap` gets the stream the displaced tap would
+  /// have seen, re-sampled with the same counter arithmetic the Network
+  /// uses so e.g. trace output stays byte-identical with auditing on.
+  void set_forward_tap(sim::MessageTap* tap, std::uint64_t sample_every);
+
+  /// End-of-run checks (unresolved delegations). Call once, at the horizon.
+  void finish(TimePoint horizon);
+
+  /// Total violations observed (not capped by max_recorded).
+  std::uint64_t violation_count() const { return violation_count_; }
+  /// The first max_recorded violations, in detection order.
+  const std::vector<Violation>& violations() const { return violations_; }
+  /// Violation totals per kind, name-sorted (stable report order).
+  const std::map<std::string, std::uint64_t>& by_kind() const {
+    return by_kind_;
+  }
+
+  // --- proto::ProtocolObserver ------------------------------------------
+  void on_submitted(const grid::JobSpec& job, NodeId initiator,
+                    TimePoint at) override;
+  void on_request_retry(const JobId& id, std::size_t attempt,
+                        TimePoint at) override;
+  void on_unschedulable(const JobId& id, TimePoint at) override;
+  void on_bid_sent(const JobId& id, NodeId bidder, NodeId to, double cost,
+                   TimePoint at) override;
+  void on_bid_received(const JobId& id, NodeId collector, NodeId bidder,
+                       double cost, TimePoint at) override;
+  void on_delegated(const JobId& id, NodeId from, NodeId to, TimePoint at,
+                    bool reschedule) override;
+  void on_assigned(const grid::JobSpec& job, NodeId node, TimePoint at,
+                   bool reschedule) override;
+  void on_started(const JobId& id, NodeId node, TimePoint at) override;
+  void on_completed(const JobId& id, NodeId node, TimePoint at,
+                    Duration art) override;
+  void on_recovery(const JobId& id, std::size_t attempt,
+                   TimePoint at) override;
+  void on_abandoned(const JobId& id, TimePoint at) override;
+  void on_shed(const grid::JobSpec& job, NodeId node, TimePoint at) override;
+  void on_rejected(const JobId& id, NodeId node, TimePoint at) override;
+  void on_region_delegated(const JobId& id, NodeId aggregator,
+                           std::uint32_t from_region, std::uint32_t to_region,
+                           TimePoint at) override;
+
+  // --- sim::MessageTap ---------------------------------------------------
+  void on_message(NodeId from, NodeId to, const sim::Message& message,
+                  TimePoint sent, TimePoint deliver, bool faulted) override;
+
+ private:
+  /// Per-job invariant state, keyed by JobId.
+  struct JobAudit {
+    bool terminal{false};       // completed / unschedulable / abandoned
+    std::size_t completions{0};
+    std::size_t recoveries{0};  // recovery events seen (watchdog + ACK paths)
+    /// Every (collector, bidder) offer pair seen; a delegation from → to
+    /// must match one (ASSIGN-without-ACCEPT check).
+    std::vector<std::pair<NodeId, NodeId>> offers;
+    /// Outstanding cross-region delegation, cleared by any later event for
+    /// the job (offer, retry, recovery, terminal state).
+    std::optional<TimePoint> pending_delegation{};
+    TimePoint last_event{};
+  };
+
+  JobAudit& job(const JobId& id) { return jobs_[id]; }
+  /// Any observer event for `id`: bumps last_event and resolves an
+  /// outstanding cross-region delegation.
+  JobAudit& touch(const JobId& id, TimePoint at);
+  void violate(std::string kind, std::string detail, TimePoint at);
+  bool offer_known(const JobAudit& j, NodeId collector, NodeId bidder) const;
+
+  AuditConfig config_;
+  AuditContext ctx_;
+  proto::ProtocolObserver* next_;
+
+  sim::MessageTap* fwd_tap_{nullptr};
+  std::uint64_t fwd_every_{1};
+  /// Mirrors sim::Network's tap counter arithmetic: the forwarded stream
+  /// must equal what the displaced tap would have received directly.
+  std::uint64_t fwd_counter_{0};
+
+  std::unordered_map<JobId, JobAudit> jobs_;
+  /// Last digest epoch seen per aggregator (monotonicity check; duplicated
+  /// deliveries repeat an epoch, so the check is non-strict).
+  std::unordered_map<NodeId, std::uint64_t> digest_epochs_;
+
+  std::uint64_t violation_count_{0};
+  std::vector<Violation> violations_;
+  std::map<std::string, std::uint64_t> by_kind_;
+  bool finished_{false};
+};
+
+}  // namespace aria::audit

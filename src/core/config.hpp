@@ -116,6 +116,32 @@ struct HierarchyParams {
   /// Random cross-region links per region at bootstrap (resilience only;
   /// region-scoped floods never traverse them).
   std::size_t cross_links{2};
+
+  // --- chaos hardening (docs/hierarchy.md "Failure modes") ---------------
+  /// Cold-restart discipline for aggregator candidates: a restarted
+  /// candidate has lost its member reports and digest table, so for up to
+  /// this long it solicits fresh REGION_LOADs (a region-scoped REGION_PULL
+  /// flood) and hands REGION_QUERYs off to the next-rank candidate instead
+  /// of answering from an empty/stale table. Warmth returns early with the
+  /// first fresh member report. Zero disables the discipline (a cold
+  /// candidate then serves whatever it has, the pre-hardening behavior).
+  /// Only the restart path consults this, so fault-free runs are untouched.
+  Duration aggregator_warmup{Duration::minutes(5)};
+  /// Early wide-flood escalation: after this many *consecutive* discovery
+  /// rounds with zero offers (region-local flood and cross-region
+  /// delegation both silent — the signature of a fully dead candidate
+  /// list), the next flood widens immediately instead of waiting for the
+  /// wide_flood_every rotation. 0 disables; the CLI arms it (2) whenever
+  /// the fault plane runs alongside the hierarchy, keeping fault-free
+  /// hierarchy runs byte-identical to the unhardened plane.
+  std::size_t escalate_silent_rounds{0};
+  /// Backoff cap once sustained silence is detected: while a request's
+  /// consecutive silent-round count is at or past escalate_silent_rounds,
+  /// the exponential retry backoff factor is clamped to this value, so a
+  /// job facing a dead candidate list retries on a short, bounded cadence
+  /// instead of the full exponential curve. 0 = no cap. Armed with
+  /// escalate_silent_rounds.
+  std::size_t silent_backoff_factor_cap{0};
 };
 
 struct AriaConfig {

@@ -52,6 +52,10 @@ inline constexpr std::size_t kRegionLoadWireBytes = 64;
 inline constexpr std::size_t kRegionDigestWireBytes = 256;
 inline constexpr std::size_t kRegionQueryWireBytes = 1024;
 inline constexpr std::size_t kRegionFwdWireBytes = 1024;
+// Cold-restart solicitation (docs/hierarchy.md "Failure modes"): a bare
+// (candidate address, flood meta) pair, metered like the other 64 B control
+// messages.
+inline constexpr std::size_t kRegionPullWireBytes = 64;
 
 inline constexpr const char* kRequestType = "REQUEST";
 inline constexpr const char* kAcceptType = "ACCEPT";
@@ -68,6 +72,7 @@ inline constexpr const char* kRegionLoadType = "REGION_LOAD";
 inline constexpr const char* kRegionDigestType = "REGION_DIGEST";
 inline constexpr const char* kRegionQueryType = "REGION_QUERY";
 inline constexpr const char* kRegionFwdType = "REGION_FWD";
+inline constexpr const char* kRegionPullType = "REGION_PULL";
 
 /// Flood bookkeeping carried by REQUEST and INFORM.
 struct FloodMeta {
@@ -387,9 +392,18 @@ struct RegionQueryMsg final : sim::Message {
   NodeId initiator;
   grid::JobSpec job;
   std::uint32_t attempt;
+  /// Cold-restart handoffs already taken (docs/hierarchy.md "Failure
+  /// modes"): a cold candidate forwards the query to the next rank and
+  /// increments this; once every rank has been tried the holder serves
+  /// best-effort instead of bouncing forever.
+  std::uint32_t handoffs;
 
-  RegionQueryMsg(NodeId initiator_, grid::JobSpec job_, std::uint32_t attempt_)
-      : initiator{initiator_}, job{std::move(job_)}, attempt{attempt_} {}
+  RegionQueryMsg(NodeId initiator_, grid::JobSpec job_, std::uint32_t attempt_,
+                 std::uint32_t handoffs_ = 0)
+      : initiator{initiator_},
+        job{std::move(job_)},
+        attempt{attempt_},
+        handoffs{handoffs_} {}
   std::size_t wire_size() const override { return kRegionQueryWireBytes; }
   std::unique_ptr<sim::Message> clone() const override {
     return std::make_unique<RegionQueryMsg>(*this);
@@ -421,6 +435,28 @@ struct RegionFwdMsg final : sim::Message {
   static sim::MessageTypeId static_type() {
     static const sim::MessageTypeId id =
         sim::MessageTypeRegistry::intern(kRegionFwdType);
+    return id;
+  }
+};
+
+/// Restarted aggregator candidate → its region (flood-relayed, region
+/// scoped): "I came back cold; send me a fresh REGION_LOAD now" (docs/
+/// hierarchy.md "Failure modes"). Members answer with an immediate
+/// out-of-cycle report so the candidate can warm up without waiting a full
+/// load_report_period.
+struct RegionPullMsg final : sim::Message {
+  NodeId from;
+  FloodMeta flood;
+
+  RegionPullMsg(NodeId from_, FloodMeta flood_) : from{from_}, flood{flood_} {}
+  std::size_t wire_size() const override { return kRegionPullWireBytes; }
+  std::unique_ptr<sim::Message> clone() const override {
+    return std::make_unique<RegionPullMsg>(*this);
+  }
+  sim::MessageTypeId type_id() const override { return static_type(); }
+  static sim::MessageTypeId static_type() {
+    static const sim::MessageTypeId id =
+        sim::MessageTypeRegistry::intern(kRegionPullType);
     return id;
   }
 };

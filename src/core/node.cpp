@@ -184,6 +184,17 @@ void AriaNode::restart() {
       ctx_.net->send(self_, c, std::make_unique<LinkReqMsg>(self_));
     }
   }
+  if (hierarchy_on() && region_aggregator() &&
+      !ctx_.config->hierarchy.aggregator_warmup.is_zero()) {
+    // Cold-restart discipline: the crash wiped member_loads_ and
+    // digest_table_, so until a fresh report arrives this candidate would
+    // answer REGION_QUERYs from nothing. Mark it cold (serve_region_query
+    // hands queries to the next rank meanwhile) and solicit immediate
+    // out-of-cycle reports instead of waiting a full load_report_period.
+    agg_cold_ = true;
+    cold_until_ = ctx_.sim->now() + ctx_.config->hierarchy.aggregator_warmup;
+    solicit_region_reports();
+  }
   sync_idle_gauge();
 }
 
@@ -253,7 +264,15 @@ void AriaNode::flood_request(const grid::JobSpec& spec, std::size_t attempt) {
     }
   }
 
-  const bool wide = wide_flood(attempt);
+  bool wide = wide_flood(attempt);
+  const std::size_t escalate = ctx_.config->hierarchy.escalate_silent_rounds;
+  if (!wide && escalate > 0 && it->second.silent_rounds >= escalate) {
+    // Sustained silence — region-local floods AND the cross-region
+    // escalation path both drew nothing, the signature of a fully dead
+    // candidate list. Widen now instead of waiting for wide_flood_every.
+    wide = true;
+    ++counters_.early_wide_escalations;
+  }
   if (wide) ++counters_.wide_floods;
   const auto targets = flood_targets(ctx_.config->request_fanout,
                                      kInvalidNode, kInvalidNode, wide);
@@ -277,6 +296,7 @@ void AriaNode::decide_assignment(const JobId& id) {
   PendingRequest& pending = it->second;
 
   if (pending.offers.empty()) {
+    ++pending.silent_rounds;  // feeds early wide-flood escalation
     const std::size_t next_attempt = pending.attempt + 1;
     if (ctx_.config->retry.exhausted(pending.attempt)) {
       ARIA_WARN << self_.to_string() << ": job " << id.to_string()
@@ -294,7 +314,16 @@ void AriaNode::decide_assignment(const JobId& id) {
       // ACCEPT directly into this still-open round.
       send_region_query(pending.spec, pending.attempt);
     }
-    const Duration backoff = ctx_.config->retry.wait_after(pending.attempt);
+    Duration backoff = ctx_.config->retry.wait_after(pending.attempt);
+    const HierarchyParams& h = ctx_.config->hierarchy;
+    if (h.silent_backoff_factor_cap > 0 && h.escalate_silent_rounds > 0 &&
+        pending.silent_rounds >= h.escalate_silent_rounds) {
+      // Dead-candidate-list suspicion: clamp the exponential curve so the
+      // widened retries come on a short, bounded cadence.
+      backoff = std::min(
+          backoff, ctx_.config->retry.backoff *
+                       static_cast<std::int64_t>(h.silent_backoff_factor_cap));
+    }
     ctx_.sim->schedule_after(backoff, [this, id, next_attempt] {
       auto again = pending_requests_.find(id);
       if (again == pending_requests_.end()) return;
@@ -501,6 +530,19 @@ void AriaNode::handle(sim::Envelope env) {
 void AriaNode::on_request(NodeId from, const RequestMsg& msg) {
   if (!ctx_.relay->mark_seen(self_, msg.flood.flood_id, ctx_.sim->now())) {
     return;  // duplicate
+  }
+
+  if (ctx_.config->failsafe && completed_here_.contains(msg.job.id)) {
+    // This node already ran the job to completion, so the flood is a
+    // failsafe recovery whose NOTIFY never reached the initiator (down or
+    // partitioned when the receipt landed). Replay the receipt and stop:
+    // bidding would buy a pointless re-execution, and forwarding would
+    // spread a flood whose answer is already known here.
+    ++counters_.completion_replays;
+    ctx_.net->send(self_, msg.initiator,
+                   std::make_unique<NotifyMsg>(NotifyMsg::Kind::kCompleted,
+                                               msg.job.id, self_));
+    return;
   }
 
   bool replied = false;
@@ -739,6 +781,10 @@ void AriaNode::on_notify(const NotifyMsg& msg) {
     case NotifyMsg::Kind::kCompleted:
       w.timer.cancel();
       watched_.erase(it);
+      // A recovery round may already be in flight (the watchdog re-flooded
+      // before this receipt arrived); drop it — assigning a job that is
+      // known-completed would only re-execute it.
+      pending_requests_.erase(msg.job_id);
       break;
   }
 }
@@ -890,6 +936,7 @@ void AriaNode::complete_running() {
   const Duration art = running_->art;
   if (ctx_.config->failsafe) {
     notify_initiator_of(id, NotifyMsg::Kind::kCompleted);
+    completed_here_.insert(id);  // durable receipt, see completed_here_
   }
   initiator_of_.erase(id);
   ++counters_.jobs_executed;
@@ -1188,6 +1235,8 @@ bool AriaNode::handle_region(const sim::Envelope& env) {
     on_region_query(*rq);
   } else if (auto* rf = dynamic_cast<const RegionFwdMsg*>(env.message.get())) {
     on_region_fwd(*rf);
+  } else if (auto* rp = dynamic_cast<const RegionPullMsg*>(env.message.get())) {
+    on_region_pull(env.from, *rp);
   } else {
     return false;
   }
@@ -1238,6 +1287,18 @@ void AriaNode::region_digest_tick() {
   for (const auto& [n, l] : fresh) loads.push_back(l);
   const overlay::RegionDigest digest =
       overlay::aggregate_loads(my_region(), ++digest_epoch_, loads);
+  // Staleness hard bound: drop remote digests past the age-out instead of
+  // merely skipping them at serve time, so a region severed for hours can
+  // never resurface through region_digest_of or a future code path that
+  // forgets the freshness check. Behavior-neutral for serve_region_query
+  // (it already skips stale entries); pure state hygiene otherwise.
+  for (auto it = digest_table_.begin(); it != digest_table_.end();) {
+    if (it->second.received + h.staleness <= ctx_.sim->now()) {
+      it = digest_table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   for (std::uint32_t r = 0; r < h.region_count; ++r) {
     if (r == my_region()) continue;
     for (std::size_t k = 0; k < h.agg_standby; ++k) {
@@ -1251,6 +1312,7 @@ void AriaNode::region_digest_tick() {
 
 void AriaNode::on_region_load(const RegionLoadMsg& msg) {
   member_loads_[msg.from] = MemberReport{msg.load, ctx_.sim->now()};
+  agg_cold_ = false;  // first fresh report ends a cold-restart warm-up early
 }
 
 void AriaNode::on_region_digest(const RegionDigestMsg& msg) {
@@ -1273,8 +1335,8 @@ void AriaNode::send_region_query(const grid::JobSpec& spec,
   ++counters_.region_queries_sent;
   const auto att = static_cast<std::uint32_t>(attempt);
   if (cand == self_) {
-    serve_region_query(self_, spec, att);  // the initiator is its own
-                                           // aggregator; no wire hop
+    serve_region_query(self_, spec, att, 0);  // the initiator is its own
+                                              // aggregator; no wire hop
     return;
   }
   ctx_.net->send(self_, cand,
@@ -1282,13 +1344,37 @@ void AriaNode::send_region_query(const grid::JobSpec& spec,
 }
 
 void AriaNode::on_region_query(const RegionQueryMsg& msg) {
-  serve_region_query(msg.initiator, msg.job, msg.attempt);
+  serve_region_query(msg.initiator, msg.job, msg.attempt, msg.handoffs);
+}
+
+bool AriaNode::aggregator_cold() const {
+  return agg_cold_ && ctx_.sim->now() < cold_until_;
 }
 
 void AriaNode::serve_region_query(NodeId initiator, const grid::JobSpec& spec,
-                                  std::uint32_t attempt) {
-  ++counters_.region_queries_served;
+                                  std::uint32_t attempt,
+                                  std::uint32_t handoffs) {
   const HierarchyParams& h = ctx_.config->hierarchy;
+  // Cold-restart discipline: a candidate inside its warm-up window lost its
+  // tables in the crash, so an answer would silently strand the escalation.
+  // Bounce the query to the next-rank candidate — at most agg_standby hops,
+  // after which the holder serves best-effort rather than ping-ponging.
+  if (aggregator_cold() && handoffs < h.agg_standby) {
+    const std::size_t next_rank =
+        (attempt - 1 + handoffs + 1) %
+        std::max<std::size_t>(1, h.agg_standby);
+    const NodeId next =
+        overlay::aggregator_candidate(my_region(), h.region_count, next_rank);
+    if (next != self_) {
+      ++counters_.region_handoffs;
+      ctx_.net->send(self_, next,
+                     std::make_unique<RegionQueryMsg>(initiator, spec, attempt,
+                                                      handoffs + 1));
+      return;
+    }
+    // Sole candidate of the region: nobody to hand off to, serve anyway.
+  }
+  ++counters_.region_queries_served;
   // Candidate target regions: every fresh, non-empty digest except our own.
   std::vector<overlay::RegionDigest> cands;
   cands.reserve(digest_table_.size());
@@ -1371,6 +1457,45 @@ void AriaNode::on_region_fwd(const RegionFwdMsg& msg) {
     ++counters_.requests_forwarded;
     ctx_.net->send(self_, t,
                    std::make_unique<RequestMsg>(msg.initiator, msg.job, meta));
+  }
+}
+
+void AriaNode::solicit_region_reports() {
+  // Region-scoped flood announcing "this candidate is back and cold"; every
+  // member that sees it answers with an immediate out-of-cycle REGION_LOAD.
+  // The flood id comes from the hierarchy stream — this path only runs
+  // after a churn restart, but the per-plane RNG discipline holds anyway.
+  ++counters_.region_pulls_sent;
+  const Uuid flood_id = Uuid::generate(hier_rng_);
+  ctx_.relay->mark_seen(self_, flood_id, ctx_.sim->now());
+  schedule_flood_gc(flood_id);
+  const FloodMeta meta{
+      flood_id, static_cast<std::uint32_t>(ctx_.config->request_hops - 1),
+      self_};
+  for (NodeId t : flood_targets(ctx_.config->request_fanout)) {
+    ctx_.net->send(self_, t, std::make_unique<RegionPullMsg>(self_, meta));
+  }
+}
+
+void AriaNode::on_region_pull(NodeId from, const RegionPullMsg& msg) {
+  if (!ctx_.relay->mark_seen(self_, msg.flood.flood_id, ctx_.sim->now())) {
+    return;  // duplicate
+  }
+  schedule_flood_gc(msg.flood.flood_id);
+  // Answer straight to the soliciting candidate, skipping the report cycle.
+  if (msg.from != self_) {
+    const overlay::MemberLoad load{idle(), backlog_duration().to_seconds(),
+                                   static_cast<std::uint32_t>(queue_length())};
+    ++counters_.load_reports_sent;
+    ctx_.net->send(self_, msg.from,
+                   std::make_unique<RegionLoadMsg>(self_, load));
+  }
+  if (msg.flood.hops_left == 0) return;
+  FloodMeta next = msg.flood;
+  --next.hops_left;
+  for (NodeId t :
+       flood_targets(ctx_.config->request_fanout, from, msg.flood.origin)) {
+    ctx_.net->send(self_, t, std::make_unique<RegionPullMsg>(msg.from, next));
   }
 }
 

@@ -136,6 +136,8 @@ class AriaNode {
     std::uint64_t assign_acks_sent{0};   // ASSIGN_ACK replies (assign_ack on)
     std::uint64_t assign_retries{0};     // ASSIGN retransmissions
     std::uint64_t assign_rediscoveries{0};  // ACKs exhausted, re-flooded
+    std::uint64_t completion_replays{0};  // recovery floods answered with a
+                                          // replayed completion receipt
     // --- overload plane (all zero when the plane is off) -----------------
     std::uint64_t jobs_shed{0};          // bounded-queue evictions here
     std::uint64_t sheds_rescheduled{0};  // shed jobs taken by an INFORM offer
@@ -159,6 +161,11 @@ class AriaNode {
                                          // table
     std::uint64_t wide_floods{0};        // scope-widened REQUEST floods
                                          // (wide_flood_every retries)
+    // --- hierarchy chaos hardening (docs/hierarchy.md "Failure modes") ---
+    std::uint64_t region_pulls_sent{0};  // cold-restart REGION_PULL floods
+    std::uint64_t region_handoffs{0};    // queries bounced while cold/empty
+    std::uint64_t early_wide_escalations{0};  // wide floods forced by
+                                              // sustained aggregator silence
   };
   const Counters& counters() const { return counters_; }
 
@@ -221,6 +228,11 @@ class AriaNode {
     /// because the best local one was poor (delegate_cost_threshold). One
     /// extra collection window per round, never more.
     bool remote_round{false};
+    /// Consecutive rounds that ended with zero offers AND no sign of life
+    /// from the escalation path. Feeds escalate_silent_rounds: a sustained
+    /// streak means every aggregator candidate may be dead, so widen the
+    /// flood early instead of waiting for wide_flood_every.
+    std::size_t silent_rounds{0};
   };
   struct PendingInform {
     double advertised_cost{0.0};
@@ -313,13 +325,22 @@ class AriaNode {
   void on_region_digest(const RegionDigestMsg& msg);
   void on_region_query(const RegionQueryMsg& msg);
   void on_region_fwd(const RegionFwdMsg& msg);
+  void on_region_pull(NodeId from, const RegionPullMsg& msg);
+  /// Cold-restart discipline: floods a REGION_PULL through the region so
+  /// members answer with immediate out-of-cycle REGION_LOADs.
+  void solicit_region_reports();
+  /// Is this aggregator candidate still inside its post-restart warm-up
+  /// (no fresh member report since it came back)?
+  bool aggregator_cold() const;
   /// Escalates an unsatisfied discovery round to the own-region aggregator
   /// whose rank rotates with the attempt number (failover by retry).
   void send_region_query(const grid::JobSpec& spec, std::size_t attempt);
   /// Aggregator side of a query: pick a target region from the digest table
   /// (rotating with `attempt` so repeated retries sweep regions) and forward.
+  /// A cold or digest-less candidate hands the query to the next rank
+  /// instead (bounded by `handoffs`, see RegionQueryMsg::handoffs).
   void serve_region_query(NodeId initiator, const grid::JobSpec& spec,
-                          std::uint32_t attempt);
+                          std::uint32_t attempt, std::uint32_t handoffs);
 
   // --- self-healing plane (docs/overlay.md) ------------------------------
   /// One probe round: re-syncs the view against the overlay neighbor list,
@@ -378,6 +399,12 @@ class AriaNode {
   std::unordered_set<Uuid> acked_assigns_;
   /// Initiator address for every job currently queued or running here.
   std::unordered_map<JobId, NodeId> initiator_of_;
+  /// Jobs this node ran to completion (failsafe only). Like watched_ on the
+  /// initiator side, the receipt models stable storage and survives
+  /// crashes: a failsafe recovery flood for one of these jobs means the
+  /// completion NOTIFY never landed, and the answer is a replayed receipt,
+  /// not a bid for a second execution.
+  std::unordered_set<JobId> completed_here_;
   /// Overload plane: shed jobs waiting out their INFORM burst.
   std::unordered_map<JobId, ShedJob> shed_jobs_;
   /// REJECT ids already acted on, so network duplicates of one refusal do
@@ -424,6 +451,13 @@ class AriaNode {
   /// Monotone per-aggregator digest sequence (informational; survives
   /// crashes so restarted aggregators never reuse an epoch).
   std::uint64_t digest_epoch_{0};
+  /// Cold-restart discipline (aggregator_warmup): set on the restart path
+  /// only — fault-free runs never touch it — and cleared by the first fresh
+  /// REGION_LOAD or by the warm-up deadline passing. While cold the
+  /// candidate refuses to serve REGION_QUERYs on stale state and hands them
+  /// to the next rank.
+  bool agg_cold_{false};
+  TimePoint cold_until_{};
   /// Hierarchy-plane randomness is its own stream seeded from the node id
   /// only, same discipline as probe_rng_: timer phases never perturb the
   /// protocol RNG tree, so hierarchy-off runs stay byte-identical.

@@ -19,11 +19,14 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
+#include "sim/message_types.hpp"
 
 namespace aria::sim {
 
@@ -63,6 +66,26 @@ struct FaultConfig {
   };
   std::optional<Churn> churn{};
 
+  // --- targeted churn (role-aimed crash schedules) ------------------------
+  /// Crash/restart schedules aimed at the hierarchy's interior: aggregator
+  /// candidates of rank < `ranks` (designation is stateless — candidate k of
+  /// region r is node r + k*R — so targeting needs no overlay state). The
+  /// adversarial counterpart of `churn`, which picks victims uniformly.
+  /// Timing draws come from a stream disjoint from the untargeted one
+  /// (`targeted_rng()`), so adding a targeted plan never shifts existing
+  /// churn schedules.
+  struct TargetedChurn {
+    /// Candidate ranks to attack (0 = plan inert; 1 = primaries only;
+    /// agg_standby = the whole candidate list of every targeted region).
+    std::uint32_t ranks{0};
+    /// Restrict to these region ids; empty = every region.
+    std::vector<std::uint32_t> regions{};
+    Duration mean_uptime{Duration::minutes(30)};
+    Duration mean_downtime{Duration::minutes(10)};
+    Duration start{Duration::minutes(30)};
+  };
+  std::optional<TargetedChurn> targeted_churn{};
+
   // --- partitions --------------------------------------------------------
   /// A pairwise/group partition: for [start, start + duration) the grid is
   /// split in two sides (a stateless per-node hash puts ~`fraction` of the
@@ -76,10 +99,43 @@ struct FaultConfig {
   };
   std::vector<Partition> partitions{};
 
+  /// A region-aligned partition: for [start, start + duration) region
+  /// `region` — its members *and* its aggregator candidates, which share
+  /// the `n mod R` partition — is severed from the rest of the grid; the
+  /// window's end is the heal time. Checked statelessly against
+  /// `region_count` (the resolved R, written by the engine at build time),
+  /// so mid-run joiners land on a deterministic side. Inert when
+  /// `region_count` is 0 (hierarchy off).
+  struct RegionPartition {
+    std::uint32_t region{0};
+    Duration start{};
+    Duration duration{};
+  };
+  std::vector<RegionPartition> region_partitions{};
+  /// Resolved region count backing region_partitions and targeted_churn.
+  /// Filled in by GridSimulation::build() after region auto-sizing; 0 when
+  /// the hierarchy plane is off (region-targeted faults are then inert).
+  std::uint32_t region_count{0};
+
+  // --- message-class fault bias ------------------------------------------
+  /// Loss/duplication multipliers keyed on a message type name, resolved to
+  /// interned MessageTypeIds when the plane is built. A bias lets one
+  /// message class be starved independently of the rest — e.g. multiplying
+  /// REGION_DIGEST loss 25x while job traffic keeps the base rate. A
+  /// multiplier of 1 leaves the draw sequence bit-identical to an unbiased
+  /// run; a multiplier of 0 makes that class's fault draw-free (the same
+  /// zero-probability contract as the base rates).
+  struct MessageBias {
+    std::string type;  // message type name (e.g. "REGION_DIGEST")
+    double loss_mult{1.0};
+    double dup_mult{1.0};
+  };
+  std::vector<MessageBias> message_bias{};
+
   bool any_message_faults() const {
     return enabled &&
            (loss > 0.0 || duplicate > 0.0 || spike > 0.0 ||
-            !partitions.empty());
+            !partitions.empty() || !region_partitions.empty());
   }
 };
 
@@ -103,37 +159,58 @@ class FaultPlane {
     std::uint64_t partition_drops{0};
     std::uint64_t crashes{0};
     std::uint64_t restarts{0};
+    /// Subset of `crashes` caused by the targeted (role-aimed) schedule.
+    std::uint64_t targeted_crashes{0};
 
     std::uint64_t injected_drops() const { return lost + partition_drops; }
   };
 
-  explicit FaultPlane(FaultConfig config)
-      : config_{std::move(config)}, rng_{config_.seed} {}
+  explicit FaultPlane(FaultConfig config);
 
   const FaultConfig& config() const { return config_; }
 
   /// Cheap master-switch test; Network::send short-circuits on this.
   bool active() const { return config_.enabled; }
 
-  /// Draws the fault verdict for one message. Deterministic in call order
-  /// for a fixed fault seed. Zero-probability faults consume no RNG draws,
-  /// so an enabled plane with all rates at zero behaves identically to a
-  /// disabled one.
-  Verdict on_send(NodeId from, NodeId to, TimePoint now);
+  /// Draws the fault verdict for one message of interned type `type`.
+  /// Deterministic in call order for a fixed fault seed. Zero-probability
+  /// faults consume no RNG draws, so an enabled plane with all rates at
+  /// zero behaves identically to a disabled one — and a message-class bias
+  /// multiplier of 1 (or no bias at all) leaves the draw sequence
+  /// bit-identical to an unbiased plane.
+  Verdict on_send(NodeId from, NodeId to, MessageTypeId type, TimePoint now);
 
-  /// True when an active partition window separates `from` and `to`.
+  /// True when an active partition window (hash-sliced or region-aligned)
+  /// separates `from` and `to`.
   bool partitioned(NodeId from, NodeId to, TimePoint now) const;
 
   /// Which side of partition `index` a node falls on (stateless hash of
   /// (fault seed, partition index, node); true = minority side).
   bool minority_side(std::size_t index, NodeId node) const;
 
+  /// Is `node` a victim of the targeted churn plan? Pure function of the
+  /// config (candidate designation is stateless), so the engine's schedule
+  /// builder and tests agree without sharing state.
+  bool churn_target(NodeId node) const;
+
+  /// Effective (loss, duplicate) probabilities for a message type after the
+  /// class bias; equals the base rates for unbiased types.
+  std::pair<double, double> biased_rates(MessageTypeId type) const;
+
   /// Independent stream for churn schedules, so message faults and churn
   /// timing never perturb each other.
   Rng churn_rng() const { return Rng{config_.seed}.fork(0xC0FFu); }
 
+  /// Independent stream for the *targeted* churn plan: adding a targeted
+  /// schedule must never shift the untargeted one (and vice versa).
+  Rng targeted_rng() const { return Rng{config_.seed}.fork(0xA66Cu); }
+
   // --- lifecycle accounting (incremented by the churn driver) ------------
   void count_crash() { ++counters_.crashes; }
+  void count_targeted_crash() {
+    ++counters_.crashes;
+    ++counters_.targeted_crashes;
+  }
   void count_restart() { ++counters_.restarts; }
 
   const Counters& counters() const { return counters_; }
@@ -142,6 +219,9 @@ class FaultPlane {
   FaultConfig config_;
   Rng rng_;
   Counters counters_;
+  /// (loss_mult, dup_mult) per interned message-type index; types beyond
+  /// the vector (or interned later without a bias entry) are unbiased.
+  std::vector<std::pair<double, double>> bias_;
 };
 
 }  // namespace aria::sim

@@ -43,7 +43,7 @@ void Network::send(NodeId from, NodeId to, std::unique_ptr<Message> message) {
   // fault RNG draws happen on a dedicated stream inside the plane, so the
   // latency RNG below never shifts when faults are disabled.
   if (faults_ != nullptr && faults_->active()) {
-    const FaultPlane::Verdict v = faults_->on_send(from, to, sim_.now());
+    const FaultPlane::Verdict v = faults_->on_send(from, to, type, sim_.now());
     if (v.drop) {
       ++faulted_;
       traffic_.record_fault(type);

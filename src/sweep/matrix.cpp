@@ -184,6 +184,53 @@ SweepMatrix SweepMatrix::preset(const std::string& name, std::size_t seeds,
     }
     return matrix;
   }
+  if (name == "chaos-hier") {
+    // Chaos certification for the hierarchy at 2 000 nodes (same grid and
+    // workload as scale2k-hier): a fault-free control, then aggregator-
+    // targeted churn, a region-aligned partition, digest starvation via
+    // message-class bias, and the full cocktail. Every row runs the
+    // invariant auditor; the acceptance bar is zero stranded jobs and zero
+    // violations on every row (docs/audit.md, docs/faults.md).
+    auto base = [&](const char* label) {
+      MatrixEntry e = row("iMixed");
+      e.label = label;
+      e.options.nodes = 2000;
+      e.options.jobs = 400;
+      e.options.horizon_min = 16.0 * 60.0;
+      e.options.hierarchy = true;
+      e.options.audit = true;
+      return e;
+    };
+    matrix.add(base("chaos-control"));
+    {
+      MatrixEntry e = base("chaos-target-churn");
+      e.options.target_churn_ranks = 2;
+      matrix.add(std::move(e));
+    }
+    {
+      MatrixEntry e = base("chaos-region-partition");
+      e.options.region_partitions.push_back({3, 120.0, 90.0});
+      e.options.failsafe = true;  // severed initiators need recovery
+      matrix.add(std::move(e));
+    }
+    {
+      MatrixEntry e = base("chaos-digest-starve");
+      e.options.loss = 0.02;
+      e.options.msg_fault_bias.push_back({"REGION_DIGEST", 25.0, 1.0});
+      e.options.msg_fault_bias.push_back({"REGION_LOAD", 25.0, 1.0});
+      matrix.add(std::move(e));
+    }
+    {
+      MatrixEntry e = base("chaos-cocktail");
+      e.options.target_churn_ranks = 2;
+      e.options.region_partitions.push_back({3, 120.0, 90.0});
+      e.options.loss = 0.02;
+      e.options.msg_fault_bias.push_back({"REGION_DIGEST", 25.0, 1.0});
+      e.options.msg_fault_bias.push_back({"REGION_LOAD", 25.0, 1.0});
+      matrix.add(std::move(e));
+    }
+    return matrix;
+  }
   if (name == "scale10k-hier") {
     // 10 000 nodes under the fault cocktail — hierarchy only (flat flooding
     // at this scale is global-fanout-bound and takes hours of wall clock).
@@ -205,7 +252,8 @@ SweepMatrix SweepMatrix::preset(const std::string& name, std::size_t seeds,
 
 const std::vector<std::string>& SweepMatrix::preset_names() {
   static const std::vector<std::string> names{
-      "table2", "table2-smoke", "quick", "scale2k", "scale10k-hier"};
+      "table2", "table2-smoke", "quick", "scale2k", "scale10k-hier",
+      "chaos-hier"};
   return names;
 }
 

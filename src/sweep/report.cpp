@@ -43,6 +43,18 @@ void write_traffic(std::ostream& out, const sim::TrafficLedger& ledger,
   out << "}}";
 }
 
+void write_audit_by_kind(std::ostream& out,
+                         const std::map<std::string, std::uint64_t>& by_kind) {
+  out << '{';
+  bool first = true;
+  for (const auto& [kind, count] : by_kind) {  // std::map => name-sorted
+    if (!first) out << ',';
+    first = false;
+    out << '"' << kind << "\":" << count;
+  }
+  out << '}';
+}
+
 }  // namespace
 
 SweepReport SweepReport::build(
@@ -74,6 +86,14 @@ SweepReport SweepReport::build(
     run.traffic_bytes = traffic.bytes;
     run.events_fired = r.events_fired;
     run.final_nodes = r.final_node_count;
+    run.digests_sent = r.digests_sent;
+    run.region_queries_served = r.region_queries_served;
+    run.region_forwards = r.region_forwards;
+    run.region_handoffs = r.region_handoffs;
+    run.region_pulls = r.region_pulls;
+    run.wide_floods = r.wide_floods;
+    run.early_wide_escalations = r.early_wide_escalations;
+    run.audit_violations = r.audit_violations;
     report.runs.push_back(std::move(run));
 
     if (spec.rep_index != 0 &&
@@ -103,9 +123,22 @@ SweepReport SweepReport::build(
     row.stranded += r.stranded();
     row.violations += r.tracker.violations().size();
     row.traffic.merge(r.traffic);
+    row.digests_sent += r.digests_sent;
+    row.region_queries_served += r.region_queries_served;
+    row.region_forwards += r.region_forwards;
+    row.region_handoffs += r.region_handoffs;
+    row.region_pulls += r.region_pulls;
+    row.wide_floods += r.wide_floods;
+    row.early_wide_escalations += r.early_wide_escalations;
+    row.audit_violations += r.audit_violations;
+    for (const auto& [kind, count] : r.audit_by_kind) {
+      row.audit_by_kind[kind] += count;
+      report.audit_by_kind[kind] += count;
+    }
 
     report.total_stranded += r.stranded();
     report.total_violations += r.tracker.violations().size();
+    report.total_audit_violations += r.audit_violations;
     report.traffic.merge(r.traffic);
   }
   return report;
@@ -134,13 +167,28 @@ void SweepReport::write_json(std::ostream& out) const {
     out << ',';
     write_stats(out, "traffic_mib", row.traffic_mib);
     out << ",\"stranded\":" << row.stranded
-        << ",\"violations\":" << row.violations << ",\"traffic\":";
+        << ",\"violations\":" << row.violations
+        << ",\"hierarchy\":{\"digests_sent\":" << row.digests_sent
+        << ",\"region_queries_served\":" << row.region_queries_served
+        << ",\"region_forwards\":" << row.region_forwards
+        << ",\"region_handoffs\":" << row.region_handoffs
+        << ",\"region_pulls\":" << row.region_pulls
+        << ",\"wide_floods\":" << row.wide_floods
+        << ",\"early_wide_escalations\":" << row.early_wide_escalations
+        << "},\"audit\":{\"violations\":" << row.audit_violations
+        << ",\"by_kind\":";
+    write_audit_by_kind(out, row.audit_by_kind);
+    out << "},\"traffic\":";
     write_traffic(out, row.traffic, row.runs);
     out << '}';
   }
   out << "],\"totals\":{\"runs\":" << total_runs
       << ",\"stranded\":" << total_stranded
-      << ",\"violations\":" << total_violations << ",\"traffic\":";
+      << ",\"violations\":" << total_violations
+      << ",\"audit_violations\":" << total_audit_violations
+      << ",\"audit_by_kind\":";
+  write_audit_by_kind(out, audit_by_kind);
+  out << ",\"traffic\":";
   write_traffic(out, traffic, total_runs);
   out << "}}\n";
 }
@@ -151,7 +199,10 @@ void SweepReport::write_summary_csv(std::ostream& out) const {
          "completion_min_mean,completion_min_stddev,"
          "waiting_min_mean,execution_min_mean,"
          "reschedules_mean,missed_deadlines_mean,"
-         "stranded,violations,traffic_mib_mean\n";
+         "stranded,violations,traffic_mib_mean,"
+         "digests_sent,region_queries_served,region_forwards,"
+         "region_handoffs,region_pulls,wide_floods,"
+         "early_wide_escalations,audit_violations\n";
   for (const RowSummary& row : rows) {
     out << row.label << ',' << row.scenario << ',' << row.runs << ','
         << row.nodes << ',' << row.jobs << ',' << row.base_seed << ','
@@ -162,7 +213,11 @@ void SweepReport::write_summary_csv(std::ostream& out) const {
         << fmt(row.execution_minutes.mean()) << ','
         << fmt(row.reschedules.mean()) << ','
         << fmt(row.missed_deadlines.mean()) << ',' << row.stranded << ','
-        << row.violations << ',' << fmt(row.traffic_mib.mean()) << '\n';
+        << row.violations << ',' << fmt(row.traffic_mib.mean()) << ','
+        << row.digests_sent << ',' << row.region_queries_served << ','
+        << row.region_forwards << ',' << row.region_handoffs << ','
+        << row.region_pulls << ',' << row.wide_floods << ','
+        << row.early_wide_escalations << ',' << row.audit_violations << '\n';
   }
 }
 
@@ -170,7 +225,9 @@ void SweepReport::write_runs_csv(std::ostream& out) const {
   out << "label,scenario,seed,completed,completion_minutes,waiting_minutes,"
          "execution_minutes,reschedules,missed_deadlines,stranded,"
          "violations,traffic_messages,traffic_bytes,events_fired,"
-         "final_nodes\n";
+         "final_nodes,digests_sent,region_queries_served,region_forwards,"
+         "region_handoffs,region_pulls,wide_floods,early_wide_escalations,"
+         "audit_violations\n";
   for (const RunRow& run : runs) {
     out << run.label << ',' << run.scenario << ',' << run.seed << ','
         << run.completed << ',' << fmt(run.completion_minutes) << ','
@@ -178,7 +235,11 @@ void SweepReport::write_runs_csv(std::ostream& out) const {
         << ',' << run.reschedules << ',' << run.missed_deadlines << ','
         << run.stranded << ',' << run.violations << ','
         << run.traffic_messages << ',' << run.traffic_bytes << ','
-        << run.events_fired << ',' << run.final_nodes << '\n';
+        << run.events_fired << ',' << run.final_nodes << ','
+        << run.digests_sent << ',' << run.region_queries_served << ','
+        << run.region_forwards << ',' << run.region_handoffs << ','
+        << run.region_pulls << ',' << run.wide_floods << ','
+        << run.early_wide_escalations << ',' << run.audit_violations << '\n';
   }
 }
 

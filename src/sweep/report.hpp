@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,16 @@ struct RunRow {
   std::uint64_t traffic_bytes{0};
   std::uint64_t events_fired{0};
   std::size_t final_nodes{0};
+  // Hierarchy/overlay health (all zero when the hierarchy is off).
+  std::uint64_t digests_sent{0};
+  std::uint64_t region_queries_served{0};
+  std::uint64_t region_forwards{0};
+  std::uint64_t region_handoffs{0};  // cold-aggregator failovers taken
+  std::uint64_t region_pulls{0};
+  std::uint64_t wide_floods{0};
+  std::uint64_t early_wide_escalations{0};
+  // Invariant auditor (zero when --audit is off; see docs/audit.md).
+  std::uint64_t audit_violations{0};
 };
 
 /// Welford aggregate over one matrix row (every seed of one label).
@@ -60,6 +71,18 @@ struct RowSummary {
   std::uint64_t stranded{0};    // summed over the row's runs
   std::uint64_t violations{0};  // summed lifecycle violations
   sim::TrafficLedger traffic;   // summed; divide by runs for per-run means
+
+  // Hierarchy/overlay health, summed over the row's runs.
+  std::uint64_t digests_sent{0};
+  std::uint64_t region_queries_served{0};
+  std::uint64_t region_forwards{0};
+  std::uint64_t region_handoffs{0};
+  std::uint64_t region_pulls{0};
+  std::uint64_t wide_floods{0};
+  std::uint64_t early_wide_escalations{0};
+  // Auditor violations, summed plus per-kind (std::map => name-sorted).
+  std::uint64_t audit_violations{0};
+  std::map<std::string, std::uint64_t> audit_by_kind;
 };
 
 struct SweepReport {
@@ -69,6 +92,8 @@ struct SweepReport {
   std::size_t total_runs{0};
   std::uint64_t total_stranded{0};
   std::uint64_t total_violations{0};
+  std::uint64_t total_audit_violations{0};
+  std::map<std::string, std::uint64_t> audit_by_kind;  // name-sorted
   sim::TrafficLedger traffic;  // summed over every run
 
   /// Folds results (indexed like specs, the expand() order) into the

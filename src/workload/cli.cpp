@@ -64,6 +64,73 @@ bool parse_storm(const std::string& text, StormParams& out) {
   return true;
 }
 
+/// "RANKS" or "RANKS@R1,R2,...": candidate ranks to target, optionally
+/// restricted to the listed regions. RANKS may be 0 (inert).
+bool parse_target_churn(const std::string& text, std::uint32_t& ranks,
+                        std::vector<std::uint32_t>& regions) {
+  const auto at = text.find('@');
+  std::size_t n = 0;
+  if (!parse_size(text.substr(0, at), n)) return false;
+  ranks = static_cast<std::uint32_t>(n);
+  if (at == std::string::npos) return true;
+  std::string rest = text.substr(at + 1);
+  if (rest.empty()) return false;
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string head = rest.substr(0, comma);
+    std::size_t r = 0;
+    if (!parse_size(head, r)) return false;
+    regions.push_back(static_cast<std::uint32_t>(r));
+    if (comma == std::string::npos) break;
+    rest = rest.substr(comma + 1);
+  }
+  return !regions.empty();
+}
+
+/// "REGION,START,DURATION": region index, then minutes. A zero duration is
+/// accepted and inert (the flags-present-but-zeroed determinism contract).
+bool parse_region_partition(const std::string& text,
+                            CliOptions::RegionPartitionOpt& out) {
+  const auto c1 = text.find(',');
+  if (c1 == std::string::npos) return false;
+  const auto c2 = text.find(',', c1 + 1);
+  if (c2 == std::string::npos) return false;
+  std::size_t region = 0;
+  if (!parse_size(text.substr(0, c1), region)) return false;
+  char* end = nullptr;
+  const std::string mid = text.substr(c1 + 1, c2 - c1 - 1);
+  const std::string tail = text.substr(c2 + 1);
+  const double start = std::strtod(mid.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  const double duration = std::strtod(tail.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  if (start < 0.0 || duration < 0.0) return false;
+  out = {region, start, duration};
+  return true;
+}
+
+/// "TYPE:LOSS_MULT,DUP_MULT": interned-message-type loss/dup multipliers,
+/// both >= 0 (1 = neutral, 0 = immune, >1 = starved).
+bool parse_msg_bias(const std::string& text, sim::FaultConfig::MessageBias& out) {
+  const auto colon = text.find(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  const std::string rest = text.substr(colon + 1);
+  const auto comma = rest.find(',');
+  if (comma == std::string::npos) return false;
+  char* end = nullptr;
+  const std::string head = rest.substr(0, comma);
+  const std::string tail = rest.substr(comma + 1);
+  const double loss_mult = std::strtod(head.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  const double dup_mult = std::strtod(tail.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  if (loss_mult < 0.0 || dup_mult < 0.0) return false;
+  out.type = text.substr(0, colon);
+  out.loss_mult = loss_mult;
+  out.dup_mult = dup_mult;
+  return true;
+}
+
 }  // namespace
 
 std::optional<std::string> parse_cli(const std::vector<std::string>& args,
@@ -230,6 +297,32 @@ std::optional<std::string> parse_cli(const std::vector<std::string>& args,
       std::size_t n = 0;
       if (!v || !parse_size(*v, n)) return "--fault-seed requires an integer";
       out.fault_seed = n;
+    } else if (a == "--target-churn") {
+      const auto v = next("--target-churn");
+      if (!v ||
+          !parse_target_churn(*v, out.target_churn_ranks,
+                              out.target_churn_regions)) {
+        return "--target-churn requires RANKS or RANKS@R1,R2,... "
+               "(candidate ranks, optional region list)";
+      }
+    } else if (a == "--region-partition") {
+      const auto v = next("--region-partition");
+      CliOptions::RegionPartitionOpt rp;
+      if (!v || !parse_region_partition(*v, rp)) {
+        return "--region-partition requires REGION,START,DURATION "
+               "(region index, minutes, minutes)";
+      }
+      out.region_partitions.push_back(rp);
+    } else if (a == "--msg-fault-bias") {
+      const auto v = next("--msg-fault-bias");
+      sim::FaultConfig::MessageBias bias;
+      if (!v || !parse_msg_bias(*v, bias)) {
+        return "--msg-fault-bias requires TYPE:LOSS_MULT,DUP_MULT "
+               "(e.g. REGION_DIGEST:25,1)";
+      }
+      out.msg_fault_bias.push_back(bias);
+    } else if (a == "--audit") {
+      out.audit = true;
     } else {
       return "unknown option: " + a;
     }
@@ -293,6 +386,29 @@ acknowledged delegation, and — with --churn — the failsafe):
   --partition S,D     split the grid for D minutes starting at minute S
                       (repeatable for multiple windows)
   --fault-seed S      fault schedule seed (default: derived from --seed)
+
+targeted faults (docs/faults.md "Targeted faults"; these aim at the
+hierarchy's weak points instead of sampling uniformly):
+  --target-churn N[@R1,R2,...]
+                      churn aimed at aggregator candidates of ranks 0..N-1,
+                      optionally only in the listed regions (implies
+                      --hierarchy and the failsafe; 0 is inert)
+  --region-partition R,S,D
+                      sever region R — members and aggregators — from the
+                      rest of the grid for D minutes starting at minute S
+                      (repeatable; implies --hierarchy; D=0 is inert)
+  --msg-fault-bias TYPE:L,D
+                      multiply the --loss rate by L and the --dup rate by D
+                      for messages of TYPE only (repeatable; e.g.
+                      REGION_DIGEST:25,1 starves digests; a modifier — it
+                      never enables the fault plane by itself)
+
+auditing (docs/audit.md):
+  --audit             run the online invariant auditor: exactly-once
+                      completion, offers-before-delegation, digest
+                      conservation, resolved cross-region delegations,
+                      recovery budgets. Metrics stay byte-identical;
+                      violations print and make aria_sim exit nonzero
 )";
 }
 
@@ -358,10 +474,44 @@ ScenarioConfig resolve_scenario(const CliOptions& options) {
           Duration::seconds_f(start * 60.0),
           Duration::seconds_f(duration * 60.0), 0.5});
     }
+    if (options.target_churn_ranks > 0) {
+      // Role-targeted churn only makes sense against the hierarchy, and it
+      // crashes exactly the nodes holding other people's jobs — the
+      // failsafe rides along for the same reason it does with --churn.
+      sim::FaultConfig::TargetedChurn tc;
+      tc.ranks = options.target_churn_ranks;
+      tc.regions = options.target_churn_regions;
+      cfg.faults.targeted_churn = tc;
+      cfg.aria.hierarchy.enabled = true;
+      cfg.aria.failsafe = true;
+    }
+    for (const auto& rp : options.region_partitions) {
+      if (rp.duration_min <= 0.0) continue;  // inert zeroed window
+      cfg.faults.region_partitions.push_back(sim::FaultConfig::RegionPartition{
+          static_cast<std::uint32_t>(rp.region),
+          Duration::seconds_f(rp.start_min * 60.0),
+          Duration::seconds_f(rp.duration_min * 60.0)});
+      cfg.aria.hierarchy.enabled = true;
+    }
+    // Message-class bias modifies the loss/dup sources above; attaching it
+    // only when the plane is armed keeps a bias-only invocation inert.
+    cfg.faults.message_bias = options.msg_fault_bias;
     // A lossy wire can eat an ASSIGN outright; acknowledged delegation is
     // the matching protocol hardening.
     cfg.aria.assign_ack = true;
   }
+  if (options.any_faults() && cfg.aria.hierarchy.enabled) {
+    // Chaos hardening rides along whenever faults run against the
+    // hierarchy, mirroring how fault flags imply assign_ack: sustained
+    // silence (a fully dead candidate list) escalates to a wide flood
+    // early, on a clamped backoff. Fault-free --hierarchy runs keep the
+    // knobs at 0 and stay byte-identical to the unhardened plane.
+    if (cfg.aria.hierarchy.escalate_silent_rounds == 0) {
+      cfg.aria.hierarchy.escalate_silent_rounds = 2;
+      cfg.aria.hierarchy.silent_backoff_factor_cap = 2;
+    }
+  }
+  if (options.audit) cfg.audit.enabled = true;
   return cfg;
 }
 

@@ -73,9 +73,43 @@ struct CliOptions {
   /// Fault stream seed; 0 = derive from the run seed.
   std::uint64_t fault_seed{0};
 
+  // --- targeted faults (docs/faults.md "Targeted faults") -----------------
+  /// Role-targeted churn: crash/restart cycles aimed at the aggregator
+  /// candidates of ranks [0, N), optionally restricted to listed regions
+  /// ("N@r1,r2,..."). 0 = flag present but inert. Implies --hierarchy and
+  /// the failsafe.
+  std::uint32_t target_churn_ranks{0};
+  std::vector<std::uint32_t> target_churn_regions;
+  /// Region-aligned partitions as (region, start min, duration min):
+  /// severs the whole region — members and aggregators — from the rest of
+  /// the grid. Zero-duration windows are inert. Implies --hierarchy.
+  struct RegionPartitionOpt {
+    std::size_t region{0};
+    double start_min{0.0};
+    double duration_min{0.0};
+  };
+  std::vector<RegionPartitionOpt> region_partitions;
+  /// Message-class loss/dup multipliers ("TYPE:LOSS_MULT,DUP_MULT"). A
+  /// modifier, not a fault source: it never arms the plane by itself, and
+  /// 1,1 entries are draw-for-draw inert.
+  std::vector<sim::FaultConfig::MessageBias> msg_fault_bias;
+
+  // --- invariant auditing (docs/audit.md) ---------------------------------
+  /// Online invariant auditor; metrics stay byte-identical, violations make
+  /// aria_sim exit nonzero.
+  bool audit{false};
+
+  bool any_region_partitions() const {
+    for (const auto& rp : region_partitions) {
+      if (rp.duration_min > 0.0) return true;
+    }
+    return false;
+  }
+
   bool any_faults() const {
     return loss > 0.0 || duplicate > 0.0 || spike > 0.0 || churn ||
-           !partitions.empty();
+           !partitions.empty() || target_churn_ranks > 0 ||
+           any_region_partitions();
   }
 };
 

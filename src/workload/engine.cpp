@@ -205,6 +205,13 @@ void GridSimulation::build() {
     // nothing.
     sim::FaultConfig fc = config_.faults;
     fc.seed = fc.seed ^ (seed_ * 0x9E3779B97F4A7C15ULL);
+    // Region-targeted faults (region partitions, role-targeted churn) need
+    // the resolved R; with the hierarchy off there are no regions or roles
+    // to aim at and both modes stay inert.
+    fc.region_count = config_.aria.hierarchy.enabled
+                          ? static_cast<std::uint32_t>(
+                                config_.aria.hierarchy.region_count)
+                          : 0u;
     faults_ = std::make_unique<sim::FaultPlane>(fc);
     net_->set_fault_plane(faults_.get());
   }
@@ -214,6 +221,33 @@ void GridSimulation::build() {
     // neither the metrics nor the event stream (docs/tracing.md).
     tracer_ = std::make_unique<trace::TraceCollector>(config_.trace, &tracker_);
     net_->set_tap(tracer_.get(), config_.trace.message_sample_every);
+  }
+  if (config_.audit.enabled) {
+    // Outermost decorator: auditor -> (tracer ->) tracker. The auditor
+    // needs every wire message (invariants cannot be sampled), so it takes
+    // the tap slot at sample_every 1 and re-samples for the tracer with the
+    // Network's own counter arithmetic — trace output stays byte-identical
+    // whether or not the auditor sits in between (docs/audit.md).
+    audit::AuditContext actx;
+    actx.node_count = config_.expansion
+                          ? std::max(config_.node_count,
+                                     config_.expansion->target_node_count)
+                          : config_.node_count;
+    actx.region_count = config_.aria.hierarchy.enabled
+                            ? static_cast<std::uint32_t>(
+                                  config_.aria.hierarchy.region_count)
+                            : 0u;
+    actx.failsafe_max_recoveries =
+        config_.aria.failsafe ? config_.aria.failsafe_max_recoveries : 0;
+    auditor_ = std::make_unique<audit::AuditCollector>(
+        config_.audit, actx,
+        tracer_ ? static_cast<proto::ProtocolObserver*>(tracer_.get())
+                : &tracker_);
+    net_->set_tap(auditor_.get(), 1);
+    if (tracer_) {
+      auditor_->set_forward_tap(tracer_.get(),
+                                config_.trace.message_sample_every);
+    }
   }
   relay_ = std::make_unique<overlay::FloodRelay>(topo_, rng_.fork(2));
   // Entries a late duplicate re-creates after the protocol's explicit
@@ -230,6 +264,7 @@ void GridSimulation::build() {
   schedule_maintenance();
   schedule_sampling();
   schedule_churn();
+  schedule_targeted_churn();
 }
 
 void GridSimulation::build_overlay() {
@@ -294,8 +329,11 @@ void GridSimulation::spawn_node() {
   ctx.relay = relay_.get();
   ctx.config = &config_.aria;
   ctx.ert_error = &ert_error_;
-  ctx.observer = tracer_ ? static_cast<proto::ProtocolObserver*>(tracer_.get())
-                         : &tracker_;
+  ctx.observer =
+      auditor_
+          ? static_cast<proto::ProtocolObserver*>(auditor_.get())
+          : (tracer_ ? static_cast<proto::ProtocolObserver*>(tracer_.get())
+                     : &tracker_);
   ctx.idle_gauge = &idle_nodes_;
   if (config_.aria.healing.enabled) ctx.healing_topo = &topo_;
 
@@ -426,29 +464,63 @@ void GridSimulation::schedule_churn() {
   }
 }
 
+// Targeted churn: the adversarial variant of schedule_churn. Victims are
+// not sampled — they are *designated* (the aggregator candidates of the
+// configured ranks/regions, a pure function of the fault config via
+// FaultPlane::churn_target) — and every timing draw comes from a stream
+// disjoint from the untargeted plan's, so composing both plans never
+// shifts either schedule.
+void GridSimulation::schedule_targeted_churn() {
+  if (!faults_ || !faults_->config().targeted_churn) return;
+  const auto& tc = *faults_->config().targeted_churn;
+  if (tc.ranks == 0 || faults_->config().region_count == 0) return;  // inert
+  sim::FaultConfig::Churn plan;
+  plan.mean_uptime = tc.mean_uptime;
+  plan.mean_downtime = tc.mean_downtime;
+  plan.start = tc.start;
+  Rng stream = faults_->targeted_rng();
+  for (std::size_t i = 0; i < config_.node_count; ++i) {
+    const NodeId id{static_cast<std::uint32_t>(i)};
+    if (!faults_->churn_target(id)) continue;
+    Rng node_rng = stream.fork(1 + i);
+    const Duration first_up =
+        plan.start +
+        node_rng.uniform_duration(plan.mean_uptime / 2,
+                                  plan.mean_uptime + plan.mean_uptime / 2);
+    sim_.schedule_at(TimePoint::origin() + first_up,
+                     [this, id, plan, node_rng] {
+                       churn_crash(id, plan, node_rng, /*targeted=*/true);
+                     });
+  }
+}
+
 void GridSimulation::churn_crash(NodeId id, sim::FaultConfig::Churn plan,
-                                 Rng rng) {
+                                 Rng rng, bool targeted) {
   proto::AriaNode* n = node(id);
   if (n == nullptr || n->crashed()) return;
   n->crash();
-  faults_->count_crash();
+  if (targeted) {
+    faults_->count_targeted_crash();
+  } else {
+    faults_->count_crash();
+  }
   const Duration down = rng.uniform_duration(
       plan.mean_downtime / 2, plan.mean_downtime + plan.mean_downtime / 2);
-  sim_.schedule_after(down, [this, id, plan, rng] {
-    churn_restart(id, plan, rng);
+  sim_.schedule_after(down, [this, id, plan, rng, targeted] {
+    churn_restart(id, plan, rng, targeted);
   });
 }
 
 void GridSimulation::churn_restart(NodeId id, sim::FaultConfig::Churn plan,
-                                   Rng rng) {
+                                   Rng rng, bool targeted) {
   proto::AriaNode* n = node(id);
   if (n == nullptr || !n->crashed()) return;
   n->restart();
   faults_->count_restart();
   const Duration up = rng.uniform_duration(
       plan.mean_uptime / 2, plan.mean_uptime + plan.mean_uptime / 2);
-  sim_.schedule_after(up, [this, id, plan, rng] {
-    churn_crash(id, plan, rng);
+  sim_.schedule_after(up, [this, id, plan, rng, targeted] {
+    churn_crash(id, plan, rng, targeted);
   });
 }
 
@@ -529,6 +601,11 @@ RunResult GridSimulation::run() {
     r.duplicated_messages = net_->duplicated_messages();
   }
   r.submissions_dropped = submissions_dropped_;
+  if (config_.aria.failsafe) {
+    for (const auto& n : nodes_) {
+      r.completion_replays += n->counters().completion_replays;
+    }
+  }
   if (config_.aria.healing.enabled) {
     r.healing_enabled = true;
     for (const auto& n : nodes_) {
@@ -579,6 +656,9 @@ RunResult GridSimulation::run() {
       r.load_reports += c.load_reports_sent;
       r.digests_sent += c.digests_sent;
       r.digests_received += c.digests_received;
+      r.region_pulls += c.region_pulls_sent;
+      r.region_handoffs += c.region_handoffs;
+      r.early_wide_escalations += c.early_wide_escalations;
     }
     r.intra_region_messages = net_->intra_region_messages();
     r.cross_region_messages = net_->cross_region_messages();
@@ -588,6 +668,19 @@ RunResult GridSimulation::run() {
   if (tracer_) {
     r.trace_enabled = true;
     r.trace = tracer_->buffer();
+  }
+  if (auditor_) {
+    auditor_->finish(TimePoint::origin() + config_.horizon);
+    r.audit_enabled = true;
+    r.audit_violations = auditor_->violation_count();
+    r.violations = auditor_->violations();
+    r.audit_by_kind = auditor_->by_kind();
+    if (r.audit_violations != 0) {
+      ARIA_ERROR << config_.name << " (seed " << seed_ << "): "
+                 << r.audit_violations << " audit violations; first: "
+                 << r.violations.front().kind << " — "
+                 << r.violations.front().detail;
+    }
   }
   r.final_node_count = nodes_.size();
   r.overlay_links = topo_.link_count();

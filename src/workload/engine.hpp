@@ -3,9 +3,11 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
+#include "audit/auditor.hpp"
 #include "common/arena.hpp"
 #include "common/rng.hpp"
 #include "core/centralized.hpp"
@@ -44,6 +46,10 @@ struct RunResult {
   /// Submissions that found no alive node to accept them (whole-grid
   /// outage); these jobs never reach the tracker, so stranded() adds them.
   std::uint64_t submissions_dropped{0};
+  /// Failsafe recovery floods answered by an executor replaying the
+  /// completion receipt (the original NOTIFY never landed); each one is an
+  /// avoided duplicate execution.
+  std::uint64_t completion_replays{0};
 
   // --- self-healing overlay plane (all zero when healing is off) --------
   bool healing_enabled{false};
@@ -84,12 +90,26 @@ struct RunResult {
   std::uint64_t load_reports{0};          // member REGION_LOADs sent
   std::uint64_t digests_sent{0};          // REGION_DIGEST broadcasts
   std::uint64_t digests_received{0};      // remote digests folded into tables
+  // Chaos-hardening telemetry (docs/hierarchy.md "Failure modes"):
+  std::uint64_t region_pulls{0};          // cold-restart REGION_PULL floods
+  std::uint64_t region_handoffs{0};       // queries bounced to the next rank
+  std::uint64_t early_wide_escalations{0};  // silence-forced wide floods
   /// Wire split by the sender/receiver region partition (see
   /// sim::Network::set_region_count).
   std::uint64_t intra_region_messages{0};
   std::uint64_t cross_region_messages{0};
   std::uint64_t intra_region_bytes{0};
   std::uint64_t cross_region_bytes{0};
+
+  // --- audit plane (all empty when auditing is off) ---------------------
+  bool audit_enabled{false};
+  /// Total invariant violations detected (docs/audit.md). Must be 0 on
+  /// every run — aria_sim exits nonzero otherwise.
+  std::uint64_t audit_violations{0};
+  /// The first AuditConfig::max_recorded violations, in detection order.
+  std::vector<audit::Violation> violations{};
+  /// Violation totals per kind, name-sorted (feeds sweep reports).
+  std::map<std::string, std::uint64_t> audit_by_kind{};
 
   // --- tracing plane (null when tracing is off) -------------------------
   bool trace_enabled{false};
@@ -193,8 +213,11 @@ class GridSimulation {
   void sample_live_connectivity();
   void sample_overload();
   void schedule_churn();
-  void churn_crash(NodeId id, sim::FaultConfig::Churn plan, Rng rng);
-  void churn_restart(NodeId id, sim::FaultConfig::Churn plan, Rng rng);
+  void schedule_targeted_churn();
+  void churn_crash(NodeId id, sim::FaultConfig::Churn plan, Rng rng,
+                   bool targeted = false);
+  void churn_restart(NodeId id, sim::FaultConfig::Churn plan, Rng rng,
+                     bool targeted = false);
   void submit_one(std::size_t index);
 
   ScenarioConfig config_;
@@ -215,6 +238,10 @@ class GridSimulation {
   /// Null unless config_.trace.enabled; decorates tracker_ as the nodes'
   /// observer and taps net_ for sampled wire messages.
   std::unique_ptr<trace::TraceCollector> tracer_;
+  /// Null unless config_.audit.enabled; outermost observer decorator
+  /// (auditor -> tracer -> tracker) and the network tap (sample_every 1,
+  /// re-sampling forwards to the tracer). See docs/audit.md.
+  std::unique_ptr<audit::AuditCollector> auditor_;
   std::unique_ptr<JobGenerator> jobgen_;
   Rng submit_rng_{0};
   // Declared before the arena: nodes decrement the gauge in their destructor.

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/auditor.hpp"
 #include "common/time.hpp"
 #include "core/config.hpp"
 #include "grid/job.hpp"
@@ -75,6 +76,11 @@ struct ScenarioConfig {
   /// Off by default: no collector is constructed and no tap attached, so
   /// default output stays byte-identical. See docs/tracing.md.
   trace::TraceConfig trace{};
+
+  // --- invariant auditing ---------------------------------------------------
+  /// Off by default, same zero-cost contract as tracing: no collector, no
+  /// decorated observer, no tap. See docs/audit.md.
+  audit::AuditConfig audit{};
 
   // --- simulation ----------------------------------------------------------
   Duration horizon{Duration::hours(41) + Duration::minutes(40)};

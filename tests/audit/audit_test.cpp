@@ -1,0 +1,320 @@
+// Online invariant auditor (docs/audit.md). Two layers: unit tests drive an
+// AuditCollector directly with synthetic lifecycle events and wire messages
+// to pin every violation kind, and integration tests run real scenarios to
+// pin the two ends of the contract — a clean run (even under the full fault
+// cocktail) audits clean, and attaching the auditor never perturbs a run's
+// metrics or wire traffic.
+#include "audit/auditor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/messages.hpp"
+#include "workload/engine.hpp"
+#include "workload/scenario.hpp"
+
+namespace aria::audit {
+namespace {
+
+using namespace aria::literals;
+
+TimePoint at(std::int64_t minutes) {
+  return TimePoint::origin() + Duration::minutes(minutes);
+}
+
+JobId job_id(std::uint64_t salt) {
+  Rng rng{salt};
+  return JobId::generate(rng);
+}
+
+grid::JobSpec spec(const JobId& id) {
+  grid::JobSpec s;
+  s.id = id;
+  s.ert = 10_min;
+  return s;
+}
+
+AuditCollector make_collector(AuditContext ctx = {}) {
+  return AuditCollector{AuditConfig{}, ctx};
+}
+
+// ---------------------------------------------------------------------------
+// Unit: lifecycle checks
+// ---------------------------------------------------------------------------
+
+TEST(Audit, CleanLifecycleAuditsClean) {
+  AuditCollector a = make_collector();
+  const JobId id = job_id(1);
+  a.on_submitted(spec(id), NodeId{0}, at(0));
+  a.on_bid_received(id, NodeId{0}, NodeId{7}, 3.0, at(1));
+  a.on_delegated(id, NodeId{0}, NodeId{7}, at(2), false);
+  a.on_assigned(spec(id), NodeId{7}, at(2), false);
+  a.on_started(id, NodeId{7}, at(3));
+  a.on_completed(id, NodeId{7}, at(13), 10_min);
+  a.finish(at(1000));
+  EXPECT_EQ(a.violation_count(), 0u);
+  EXPECT_TRUE(a.violations().empty());
+  EXPECT_TRUE(a.by_kind().empty());
+}
+
+TEST(Audit, DelegationWithoutOfferIsFlagged) {
+  AuditCollector a = make_collector();
+  const JobId id = job_id(2);
+  a.on_submitted(spec(id), NodeId{0}, at(0));
+  // Node 9 never bid, yet the initiator hands the job to it.
+  a.on_delegated(id, NodeId{0}, NodeId{9}, at(1), false);
+  ASSERT_EQ(a.violation_count(), 1u);
+  EXPECT_EQ(a.violations()[0].kind, "assign-without-accept");
+  EXPECT_EQ(a.by_kind().at("assign-without-accept"), 1u);
+}
+
+TEST(Audit, DuplicateCompletionWithoutRecoveryIsFlagged) {
+  AuditCollector a = make_collector();
+  const JobId id = job_id(3);
+  a.on_completed(id, NodeId{4}, at(10), 10_min);
+  a.on_completed(id, NodeId{5}, at(12), 10_min);
+  ASSERT_EQ(a.violation_count(), 1u);
+  EXPECT_EQ(a.violations()[0].kind, "duplicate-completion");
+}
+
+TEST(Audit, RecoveryExplainsASecondCompletion) {
+  // The failsafe's at-least-once contract: a watchdog re-flood between the
+  // two completions makes the duplicate legitimate.
+  AuditCollector a = make_collector();
+  const JobId id = job_id(4);
+  a.on_completed(id, NodeId{4}, at(10), 10_min);
+  a.on_recovery(id, 1, at(11));
+  a.on_completed(id, NodeId{5}, at(20), 10_min);
+  EXPECT_EQ(a.violation_count(), 0u);
+}
+
+TEST(Audit, RecoveryBudgetOverrunIsFlagged) {
+  AuditContext ctx;
+  ctx.failsafe_max_recoveries = 3;
+  AuditCollector a = make_collector(ctx);
+  const JobId id = job_id(5);
+  a.on_recovery(id, 3, at(10));  // at the budget: fine
+  EXPECT_EQ(a.violation_count(), 0u);
+  a.on_recovery(id, 4, at(20));  // past it: the watchdog should have abandoned
+  ASSERT_EQ(a.violation_count(), 1u);
+  EXPECT_EQ(a.violations()[0].kind, "recovery-budget-exceeded");
+
+  // Budget 0 = failsafe off = check skipped entirely.
+  AuditCollector off = make_collector();
+  off.on_recovery(id, 99, at(10));
+  EXPECT_EQ(off.violation_count(), 0u);
+}
+
+TEST(Audit, UnresolvedDelegationSurfacesAtFinish) {
+  AuditContext ctx;
+  ctx.region_count = 4;
+  AuditCollector a = make_collector(ctx);
+  const JobId id = job_id(6);
+  a.on_region_delegated(id, NodeId{1}, 0, 2, at(10));
+  a.finish(at(1000));  // nothing ever happened to the job afterwards
+  ASSERT_EQ(a.violation_count(), 1u);
+  EXPECT_EQ(a.violations()[0].kind, "unresolved-delegation");
+}
+
+TEST(Audit, LaterEventResolvesADelegation) {
+  AuditContext ctx;
+  ctx.region_count = 4;
+  AuditCollector a = make_collector(ctx);
+  const JobId id = job_id(7);
+  a.on_region_delegated(id, NodeId{1}, 0, 2, at(10));
+  a.on_bid_received(id, NodeId{0}, NodeId{42}, 2.0, at(15));
+  a.finish(at(1000));
+  EXPECT_EQ(a.violation_count(), 0u);
+}
+
+TEST(Audit, DelegationNearHorizonGetsGrace) {
+  AuditContext ctx;
+  ctx.region_count = 4;
+  AuditCollector a = make_collector(ctx);
+  const JobId id = job_id(8);
+  a.on_region_delegated(id, NodeId{1}, 0, 2, at(995));
+  a.finish(at(1000));  // inside delegation_grace: in flight, not stranded
+  EXPECT_EQ(a.violation_count(), 0u);
+}
+
+TEST(Audit, DelegationOutsideRegionRangeIsFlagged) {
+  AuditContext ctx;
+  ctx.region_count = 4;
+  AuditCollector a = make_collector(ctx);
+  a.on_region_delegated(job_id(9), NodeId{1}, 0, 7, at(10));
+  ASSERT_GE(a.violation_count(), 1u);
+  EXPECT_EQ(a.violations()[0].kind, "delegation-bad-region");
+}
+
+// ---------------------------------------------------------------------------
+// Unit: digest conservation on the wire tap
+// ---------------------------------------------------------------------------
+
+void tap_digest(AuditCollector& a, NodeId from, overlay::RegionDigest d,
+                std::int64_t minute = 10) {
+  const proto::RegionDigestMsg msg{from, d};
+  a.on_message(from, NodeId{99}, msg, at(minute), at(minute), false);
+}
+
+TEST(Audit, WellFormedDigestPasses) {
+  AuditContext ctx;
+  ctx.node_count = 100;
+  ctx.region_count = 4;
+  AuditCollector a = make_collector(ctx);
+  tap_digest(a, NodeId{1}, {/*region=*/1, /*epoch=*/3, /*members=*/25,
+                            /*idle=*/10, /*backlog_seconds=*/12.5,
+                            /*queue_len=*/4});
+  EXPECT_EQ(a.violation_count(), 0u);
+}
+
+TEST(Audit, DigestClaimingMoreMembersThanThePopulationIsFlagged) {
+  AuditContext ctx;
+  ctx.node_count = 100;   // region 1 of R=4 holds exactly 25 nodes
+  ctx.region_count = 4;
+  AuditCollector a = make_collector(ctx);
+  tap_digest(a, NodeId{1}, {1, 3, /*members=*/26, 0, 0.0, 0});
+  ASSERT_EQ(a.violation_count(), 1u);
+  EXPECT_EQ(a.violations()[0].kind, "digest-overcount");
+}
+
+TEST(Audit, DigestMalformationsAreFlagged) {
+  AuditContext ctx;
+  ctx.node_count = 100;
+  ctx.region_count = 4;
+  AuditCollector a = make_collector(ctx);
+  tap_digest(a, NodeId{1}, {/*region=*/9, 1, 5, 0, 0.0, 0});   // bad region
+  tap_digest(a, NodeId{2}, {2, 1, 5, /*idle=*/6, 0.0, 0});     // idle > members
+  tap_digest(a, NodeId{3}, {3, 1, 5, 0, /*backlog=*/-1.0, 0}); // negative
+  EXPECT_EQ(a.by_kind().at("digest-bad-region"), 1u);
+  EXPECT_EQ(a.by_kind().at("digest-idle-overcount"), 1u);
+  EXPECT_EQ(a.by_kind().at("digest-negative-backlog"), 1u);
+}
+
+TEST(Audit, DigestEpochMayRepeatButNeverRegress) {
+  // The fault plane duplicates messages, so an equal epoch is legitimate;
+  // only a strictly smaller one means the aggregator ran backwards.
+  AuditContext ctx;
+  ctx.node_count = 100;
+  ctx.region_count = 4;
+  AuditCollector a = make_collector(ctx);
+  tap_digest(a, NodeId{1}, {1, /*epoch=*/5, 5, 0, 0.0, 0});
+  tap_digest(a, NodeId{1}, {1, /*epoch=*/5, 5, 0, 0.0, 0});  // duplicate: fine
+  EXPECT_EQ(a.violation_count(), 0u);
+  tap_digest(a, NodeId{1}, {1, /*epoch=*/4, 5, 0, 0.0, 0});  // regression
+  ASSERT_EQ(a.violation_count(), 1u);
+  EXPECT_EQ(a.violations()[0].kind, "digest-epoch-regression");
+}
+
+// ---------------------------------------------------------------------------
+// Unit: decorator + recording cap
+// ---------------------------------------------------------------------------
+
+TEST(Audit, ForwardsEveryCallbackToTheWrappedObserver) {
+  struct Recorder : proto::ProtocolObserver {
+    std::vector<std::string> calls;
+    void on_submitted(const grid::JobSpec&, NodeId, TimePoint) override {
+      calls.push_back("submitted");
+    }
+    void on_delegated(const JobId&, NodeId, NodeId, TimePoint,
+                      bool) override {
+      calls.push_back("delegated");
+    }
+    void on_completed(const JobId&, NodeId, TimePoint, Duration) override {
+      calls.push_back("completed");
+    }
+  } rec;
+  AuditCollector a{AuditConfig{}, AuditContext{}, &rec};
+  const JobId id = job_id(10);
+  a.on_submitted(spec(id), NodeId{0}, at(0));
+  a.on_delegated(id, NodeId{0}, NodeId{1}, at(1), false);
+  a.on_completed(id, NodeId{1}, at(5), 4_min);
+  EXPECT_EQ(rec.calls,
+            (std::vector<std::string>{"submitted", "delegated", "completed"}));
+}
+
+TEST(Audit, RecordingCapBoundsMemoryNotTheCount) {
+  AuditConfig cfg;
+  cfg.max_recorded = 2;
+  AuditCollector a{cfg, AuditContext{}};
+  for (int i = 0; i < 5; ++i) {
+    a.on_completed(job_id(20), NodeId{1}, at(i + 1), 1_min);  // same job id
+  }
+  EXPECT_EQ(a.violation_count(), 4u);   // every duplicate counted...
+  EXPECT_EQ(a.violations().size(), 2u); // ...but only the first two stored
+}
+
+TEST(Audit, ForwardTapResamplesLikeTheNetwork) {
+  struct CountingTap : sim::MessageTap {
+    std::size_t seen{0};
+    void on_message(NodeId, NodeId, const sim::Message&, TimePoint, TimePoint,
+                    bool) override {
+      ++seen;
+    }
+  } tap;
+  AuditCollector a = make_collector();
+  a.set_forward_tap(&tap, 4);
+  const proto::RegionDigestMsg msg{NodeId{1}, overlay::RegionDigest{}};
+  for (int i = 0; i < 10; ++i) {
+    a.on_message(NodeId{1}, NodeId{2}, msg, at(1), at(1), false);
+  }
+  // Network's arithmetic (counter++ % every == 0): messages 0, 4, 8.
+  EXPECT_EQ(tap.seen, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Integration: real runs
+// ---------------------------------------------------------------------------
+
+workload::ScenarioConfig small_grid() {
+  workload::ScenarioConfig cfg = workload::scenario_by_name("iMixed");
+  cfg.node_count = 60;
+  cfg.job_count = 80;
+  return cfg;
+}
+
+TEST(Audit, EnabledAuditorIsMetricInertAndCleanOnAHealthyRun) {
+  const workload::RunResult base = workload::run_scenario(small_grid(), 31);
+
+  workload::ScenarioConfig cfg = small_grid();
+  cfg.audit.enabled = true;
+  const workload::RunResult r = workload::run_scenario(cfg, 31);
+
+  ASSERT_TRUE(r.audit_enabled);
+  EXPECT_EQ(r.audit_violations, 0u);
+  EXPECT_TRUE(r.violations.empty());
+  // The auditor observes; it must never perturb.
+  EXPECT_EQ(r.completed(), base.completed());
+  EXPECT_EQ(r.events_fired, base.events_fired);
+  EXPECT_EQ(r.traffic.total().messages, base.traffic.total().messages);
+  EXPECT_EQ(r.traffic.total().bytes, base.traffic.total().bytes);
+}
+
+TEST(Audit, CleanUnderHierarchyFaultCocktail) {
+  // The point of the auditor: under churn + loss + duplication with the
+  // hierarchy on, the protocol must still satisfy every invariant.
+  workload::ScenarioConfig cfg = small_grid();
+  cfg.aria.hierarchy.enabled = true;
+  cfg.aria.hierarchy.region_count = 4;
+  cfg.aria.failsafe = true;
+  cfg.aria.assign_ack = true;  // the CLI arms this with any message fault
+  cfg.faults.enabled = true;
+  cfg.faults.seed = 0xAD17;
+  cfg.faults.loss = 0.02;
+  cfg.faults.duplicate = 0.02;
+  cfg.faults.churn = sim::FaultConfig::Churn{};
+  cfg.audit.enabled = true;
+
+  const workload::RunResult r = workload::run_scenario(cfg, 37);
+  ASSERT_TRUE(r.audit_enabled);
+  EXPECT_EQ(r.stranded(), 0u);
+  EXPECT_EQ(r.audit_violations, 0u)
+      << (r.violations.empty()
+              ? std::string{}
+              : r.violations[0].kind + ": " + r.violations[0].detail);
+}
+
+}  // namespace
+}  // namespace aria::audit

@@ -35,6 +35,12 @@ struct OpaqueMsg final : Message {
   }
 };
 
+// Interned id the direct on_send tests pass for an unbiased message class.
+MessageTypeId test_type() {
+  static const MessageTypeId id = MessageTypeRegistry::intern("FAULT_TEST");
+  return id;
+}
+
 // ---------------------------------------------------------------------------
 // Determinism
 // ---------------------------------------------------------------------------
@@ -52,8 +58,8 @@ TEST(FaultPlane, SameSeedSameVerdictSequence) {
     const NodeId from{static_cast<std::uint32_t>(i % 7)};
     const NodeId to{static_cast<std::uint32_t>(i % 11)};
     const TimePoint now = TimePoint::origin() + Duration::seconds(i);
-    const auto va = a.on_send(from, to, now);
-    const auto vb = b.on_send(from, to, now);
+    const auto va = a.on_send(from, to, test_type(), now);
+    const auto vb = b.on_send(from, to, test_type(), now);
     ASSERT_EQ(va.drop, vb.drop) << i;
     ASSERT_EQ(va.duplicate, vb.duplicate) << i;
     ASSERT_EQ(va.duplicate_lag, vb.duplicate_lag) << i;
@@ -74,8 +80,8 @@ TEST(FaultPlane, DifferentSeedsDiverge) {
   FaultPlane b{cfg};
   int disagreements = 0;
   for (int i = 0; i < 500; ++i) {
-    const auto va = a.on_send(NodeId{1}, NodeId{2}, TimePoint::origin());
-    const auto vb = b.on_send(NodeId{1}, NodeId{2}, TimePoint::origin());
+    const auto va = a.on_send(NodeId{1}, NodeId{2}, test_type(), TimePoint::origin());
+    const auto vb = b.on_send(NodeId{1}, NodeId{2}, test_type(), TimePoint::origin());
     if (va.drop != vb.drop) ++disagreements;
   }
   EXPECT_GT(disagreements, 0);
@@ -90,7 +96,7 @@ TEST(FaultPlane, LossRateIsRoughlyHonored) {
   const int n = 20000;
   int dropped = 0;
   for (int i = 0; i < n; ++i) {
-    if (plane.on_send(NodeId{1}, NodeId{2}, TimePoint::origin()).drop) {
+    if (plane.on_send(NodeId{1}, NodeId{2}, test_type(), TimePoint::origin()).drop) {
       ++dropped;
     }
   }
@@ -105,7 +111,7 @@ TEST(FaultPlane, ZeroRatesProduceNoFaults) {
   cfg.seed = 5;
   FaultPlane plane{cfg};
   for (int i = 0; i < 1000; ++i) {
-    const auto v = plane.on_send(NodeId{1}, NodeId{2}, TimePoint::origin());
+    const auto v = plane.on_send(NodeId{1}, NodeId{2}, test_type(), TimePoint::origin());
     ASSERT_FALSE(v.drop);
     ASSERT_FALSE(v.duplicate);
     ASSERT_TRUE(v.extra_delay.is_zero());
@@ -164,7 +170,7 @@ TEST(FaultPlane, PartitionBlocksOnlyCrossSideAndOnlyDuringWindow) {
   // Same side passes even mid-window.
   EXPECT_FALSE(plane.partitioned(in_majority, in_majority, inside));
 
-  const auto v = plane.on_send(in_minority, in_majority, inside);
+  const auto v = plane.on_send(in_minority, in_majority, test_type(), inside);
   EXPECT_TRUE(v.drop);
   EXPECT_TRUE(v.partitioned);
   EXPECT_EQ(plane.counters().partition_drops, 1u);

@@ -133,6 +133,99 @@ TEST(Cli, FaultFlagsArmThePlaneAndTheHardenings) {
   EXPECT_EQ(resolve_scenario(o2).faults.seed, 123u);
 }
 
+TEST(Cli, ParsesTargetedFaultFlags) {
+  CliOptions o;
+  const auto err = parse_cli(
+      {"--target-churn", "2@1,3", "--region-partition", "3,120,90",
+       "--msg-fault-bias", "REGION_DIGEST:25,1", "--audit"},
+      o);
+  EXPECT_FALSE(err.has_value()) << *err;
+  EXPECT_EQ(o.target_churn_ranks, 2u);
+  EXPECT_EQ(o.target_churn_regions, (std::vector<std::uint32_t>{1, 3}));
+  ASSERT_EQ(o.region_partitions.size(), 1u);
+  EXPECT_EQ(o.region_partitions[0].region, 3u);
+  EXPECT_DOUBLE_EQ(o.region_partitions[0].start_min, 120.0);
+  EXPECT_DOUBLE_EQ(o.region_partitions[0].duration_min, 90.0);
+  ASSERT_EQ(o.msg_fault_bias.size(), 1u);
+  EXPECT_EQ(o.msg_fault_bias[0].type, "REGION_DIGEST");
+  EXPECT_DOUBLE_EQ(o.msg_fault_bias[0].loss_mult, 25.0);
+  EXPECT_DOUBLE_EQ(o.msg_fault_bias[0].dup_mult, 1.0);
+  EXPECT_TRUE(o.audit);
+  EXPECT_TRUE(o.any_faults());
+}
+
+TEST(Cli, RejectsBadTargetedFaultValues) {
+  CliOptions o;
+  EXPECT_TRUE(parse_cli({"--target-churn", "x"}, o).has_value());
+  EXPECT_TRUE(parse_cli({"--target-churn", "2@"}, o).has_value());
+  EXPECT_TRUE(parse_cli({"--region-partition", "3,120"}, o).has_value());
+  EXPECT_TRUE(parse_cli({"--region-partition", "3,120,-5"}, o).has_value());
+  EXPECT_TRUE(parse_cli({"--msg-fault-bias", "REGION_DIGEST"}, o).has_value());
+  EXPECT_TRUE(
+      parse_cli({"--msg-fault-bias", "REGION_DIGEST:25"}, o).has_value());
+  EXPECT_TRUE(
+      parse_cli({"--msg-fault-bias", "REGION_DIGEST:-1,1"}, o).has_value());
+  for (const char* flag :
+       {"--target-churn", "--region-partition", "--msg-fault-bias"}) {
+    CliOptions o2;
+    EXPECT_TRUE(parse_cli({flag}, o2).has_value()) << flag;
+  }
+}
+
+TEST(Cli, TargetedFlagsArmThePlaneAndImplyTheirPlanes) {
+  CliOptions o;
+  ASSERT_FALSE(parse_cli({"--target-churn", "2", "--region-partition",
+                          "3,120,90", "--msg-fault-bias", "REGION_LOAD:25,1"},
+                         o)
+                   .has_value());
+  const ScenarioConfig cfg = resolve_scenario(o);
+  EXPECT_TRUE(cfg.faults.enabled);
+  ASSERT_TRUE(cfg.faults.targeted_churn.has_value());
+  EXPECT_EQ(cfg.faults.targeted_churn->ranks, 2u);
+  ASSERT_EQ(cfg.faults.region_partitions.size(), 1u);
+  EXPECT_EQ(cfg.faults.region_partitions[0].region, 3u);
+  EXPECT_EQ(cfg.faults.region_partitions[0].start, 120_min);
+  EXPECT_EQ(cfg.faults.region_partitions[0].duration, 90_min);
+  ASSERT_EQ(cfg.faults.message_bias.size(), 1u);
+  EXPECT_EQ(cfg.faults.message_bias[0].type, "REGION_LOAD");
+  // Targeting the hierarchy's interior implies the hierarchy (and churn
+  // implies the failsafe); faults on a hierarchy run arm the silence
+  // hardenings.
+  EXPECT_TRUE(cfg.aria.hierarchy.enabled);
+  EXPECT_TRUE(cfg.aria.failsafe);
+  EXPECT_EQ(cfg.aria.hierarchy.escalate_silent_rounds, 2u);
+  EXPECT_EQ(cfg.aria.hierarchy.silent_backoff_factor_cap, 2u);
+}
+
+TEST(Cli, ZeroedTargetedKnobsStayInert) {
+  // Every new flag present but zeroed: the fault plane must stay off and
+  // the resolved scenario must equal the flagless one (the byte-for-byte
+  // run-level pin lives in TargetedFault.ZeroedCliKnobsReproduceTheGolden).
+  CliOptions o;
+  ASSERT_FALSE(parse_cli({"--target-churn", "0", "--region-partition",
+                          "1,60,0", "--msg-fault-bias", "REGION_DIGEST:1,1"},
+                         o)
+                   .has_value());
+  EXPECT_FALSE(o.any_faults());
+  const ScenarioConfig cfg = resolve_scenario(o);
+  EXPECT_FALSE(cfg.faults.enabled);
+  EXPECT_FALSE(cfg.faults.targeted_churn.has_value());
+  EXPECT_TRUE(cfg.faults.region_partitions.empty());
+  EXPECT_FALSE(cfg.aria.hierarchy.enabled);
+  EXPECT_EQ(cfg.aria.hierarchy.escalate_silent_rounds, 0u);
+  EXPECT_FALSE(cfg.audit.enabled);
+}
+
+TEST(Cli, AuditFlagArmsTheAuditorOnly) {
+  CliOptions o;
+  ASSERT_FALSE(parse_cli({"--audit"}, o).has_value());
+  EXPECT_FALSE(o.any_faults());
+  const ScenarioConfig cfg = resolve_scenario(o);
+  EXPECT_TRUE(cfg.audit.enabled);
+  EXPECT_FALSE(cfg.faults.enabled);
+  EXPECT_FALSE(cfg.aria.hierarchy.enabled);
+}
+
 TEST(Cli, NoFaultFlagsLeaveThePlaneOff) {
   CliOptions o;
   ASSERT_FALSE(parse_cli({"--scenario", "iMixed"}, o).has_value());
@@ -172,7 +265,9 @@ TEST(Cli, UsageMentionsEveryFlag) {
                            "--expand", "--resched", "--no-resched",
                            "--failsafe", "--overlay", "--csv", "--quiet",
                            "--loss", "--dup", "--spike", "--churn",
-                           "--partition", "--fault-seed"}) {
+                           "--partition", "--fault-seed", "--target-churn",
+                           "--region-partition", "--msg-fault-bias",
+                           "--audit"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }

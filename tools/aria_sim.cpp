@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 
 #include "metrics/report.hpp"
 #include "trace/critical_path.hpp"
@@ -225,6 +226,22 @@ int main(int argc, char** argv) {
               << metrics::Table::num(static_cast<double>(cross_bytes) / mib, 2)
               << " MiB\n"
               << "  jobs stranded: " << stranded << "\n";
+    if (cfg.faults.enabled) {
+      // Chaos-hardening telemetry; gated on the fault plane so fault-free
+      // hierarchy output stays byte-identical to historical runs.
+      std::uint64_t pulls = 0, handoffs = 0, escalations = 0;
+      std::uint64_t targeted = 0;
+      for (const auto& r : results) {
+        pulls += r.region_pulls;
+        handoffs += r.region_handoffs;
+        escalations += r.early_wide_escalations;
+        targeted += r.faults.targeted_crashes;
+      }
+      std::cout << "  targeted crashes: " << targeted
+                << ", cold-restart pulls: " << pulls
+                << ", query handoffs: " << handoffs
+                << ", early wide escalations: " << escalations << "\n";
+    }
   }
 
   // Printed only when the tracing plane ran (same byte-identity contract):
@@ -257,6 +274,26 @@ int main(int argc, char** argv) {
               << buf.dropped_job_events() << " job + "
               << buf.dropped_message_events()
               << " message records dropped at ring capacity\n";
+  }
+
+  // Printed only when the auditor ran (same byte-identity contract).
+  std::uint64_t audit_violations = 0;
+  if (cfg.audit.enabled) {
+    std::map<std::string, std::uint64_t> by_kind;
+    for (const auto& r : results) {
+      audit_violations += r.audit_violations;
+      for (const auto& [kind, n] : r.audit_by_kind) by_kind[kind] += n;
+    }
+    std::cout << "\ninvariant audit (totals over " << results.size()
+              << " run(s)): " << audit_violations << " violation(s)\n";
+    for (const auto& [kind, n] : by_kind) {
+      std::cout << "  " << kind << ": " << n << "\n";
+    }
+    for (const auto& r : results) {
+      for (const auto& v : r.violations) {
+        std::cout << "  [" << v.kind << "] " << v.detail << "\n";
+      }
+    }
   }
 
   bool violations = false;
@@ -313,5 +350,5 @@ int main(int argc, char** argv) {
                 << "\n";
     }
   }
-  return (violations || stranded != 0) ? 1 : 0;
+  return (violations || stranded != 0 || audit_violations != 0) ? 1 : 0;
 }
