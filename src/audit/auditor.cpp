@@ -1,6 +1,7 @@
 #include "audit/auditor.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/messages.hpp"
 
@@ -121,16 +122,18 @@ void AuditCollector::on_completed(const JobId& id, NodeId node, TimePoint at,
   if (next_) next_->on_completed(id, node, at, art);
   JobAudit& j = touch(id, at);
   // Exactly-once modulo recovery: each failsafe recovery (watchdog re-flood
-  // or ASSIGN_ACK rediscovery) licenses at most one extra execution, and
-  // the watchdog may fire *before* the original run finishes — so the
+  // or ASSIGN_ACK rediscovery) licenses at most one extra execution, each
+  // hedged re-dispatch (the revoked straggler may still finish) one more,
+  // and the watchdog may fire *before* the original run finishes — so the
   // orderings are free but the budget is not: completions <= 1 + recoveries
-  // always. A completion past that budget is a protocol bug.
-  if (j.completions > 0 && j.completions > j.recoveries) {
+  // + hedges always. A completion past that budget is a protocol bug.
+  if (j.completions > 0 && j.completions > j.recoveries + j.hedges) {
     violate("duplicate-completion",
             "job " + id.to_string() + " completed again on " +
                 node.to_string() + " (" +
                 std::to_string(j.completions + 1) + " completions, " +
-                std::to_string(j.recoveries) + " recoveries)",
+                std::to_string(j.recoveries) + " recoveries, " +
+                std::to_string(j.hedges) + " hedges)",
             at);
   }
   ++j.completions;
@@ -189,6 +192,56 @@ void AuditCollector::on_region_delegated(const JobId& id, NodeId aggregator,
   }
 }
 
+void AuditCollector::on_digest_clamped(NodeId owner, NodeId from,
+                                       std::uint32_t region,
+                                       std::uint64_t epoch, TimePoint at) {
+  if (next_) next_->on_digest_clamped(owner, from, region, epoch, at);
+  // A clamp must be *justified*: the rejected digest's (originator, region,
+  // epoch) must have failed a conservation check when it crossed the tap
+  // (send precedes delivery, so the key is always recorded first). A clamp
+  // with no matching lie threw away an honest aggregator's digest — the
+  // defense harming the protocol it guards.
+  if (bad_digests_.find({static_cast<std::uint32_t>(from.value()), region,
+                         epoch}) == bad_digests_.end()) {
+    violate("clamp-without-cause",
+            owner.to_string() + " clamped a conserving digest from " +
+                from.to_string() + " (region " + std::to_string(region) +
+                ", epoch " + std::to_string(epoch) + ")",
+            at);
+  }
+}
+
+void AuditCollector::on_reputation(NodeId owner, NodeId subject, double score,
+                                   TimePoint at) {
+  if (next_) next_->on_reputation(owner, subject, score, at);
+  if (ctx_.reputation_alpha <= 0.0) return;  // defense off: stream must be
+                                             // empty anyway, nothing to bound
+  constexpr double kEps = 1e-9;
+  if (score < -kEps || score > 1.0 + kEps) {
+    violate("reputation-out-of-range",
+            owner.to_string() + " scored " + subject.to_string() + " at " +
+                std::to_string(score),
+            at);
+  }
+  // EWMA movement bound: one observation moves a score by at most
+  // alpha * |outcome - score| <= alpha. A larger jump means the ledger is
+  // folding something other than single clamped observations.
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(owner.value()) << 32) |
+      static_cast<std::uint64_t>(subject.value());
+  const auto it = rep_scores_.find(key);
+  const double prev =
+      it == rep_scores_.end() ? ctx_.reputation_initial : it->second;
+  if (std::abs(score - prev) > ctx_.reputation_alpha + kEps) {
+    violate("reputation-jump",
+            owner.to_string() + " moved " + subject.to_string() + " from " +
+                std::to_string(prev) + " to " + std::to_string(score) +
+                " (bound " + std::to_string(ctx_.reputation_alpha) + ")",
+            at);
+  }
+  rep_scores_[key] = score;
+}
+
 // --- wire tap ---------------------------------------------------------------
 
 void AuditCollector::on_message(NodeId from, NodeId to,
@@ -199,38 +252,52 @@ void AuditCollector::on_message(NodeId from, NodeId to,
   // never more, idle capacity can never exceed the member count, backlogs
   // are non-negative, and epochs never run backwards per aggregator (the
   // fault plane may *duplicate* a digest, so equality is legitimate).
+  // Conservation failures from *designated* adversaries (the poison
+  // injection doing its job) are re-attributed to an informational counter;
+  // either way the (originator, region, epoch) key is remembered so the
+  // defense clamp's rejections can be matched against real lies.
   if (const auto* rd = dynamic_cast<const proto::RegionDigestMsg*>(&message)) {
     const overlay::RegionDigest& d = rd->digest;
+    bool bad = false;
+    const bool expected =
+        ctx_.expected_adversary && ctx_.expected_adversary(rd->from);
+    const auto flag = [&](std::string kind, std::string detail) {
+      bad = true;
+      if (expected) {
+        ++expected_adversary_digests_;
+      } else {
+        violate(std::move(kind), std::move(detail), sent);
+      }
+    };
     if (ctx_.region_count > 0 && d.region >= ctx_.region_count) {
-      violate("digest-bad-region",
-              from.to_string() + " digests region " +
-                  std::to_string(d.region) + " outside R=" +
-                  std::to_string(ctx_.region_count),
-              sent);
+      flag("digest-bad-region",
+           from.to_string() + " digests region " + std::to_string(d.region) +
+               " outside R=" + std::to_string(ctx_.region_count));
     } else if (ctx_.region_count > 0 &&
                d.members >
                    region_population(ctx_.node_count, ctx_.region_count,
                                      d.region)) {
-      violate("digest-overcount",
-              from.to_string() + " claims " + std::to_string(d.members) +
-                  " members in region " + std::to_string(d.region) +
-                  " (population " +
-                  std::to_string(region_population(
-                      ctx_.node_count, ctx_.region_count, d.region)) +
-                  ")",
-              sent);
+      flag("digest-overcount",
+           from.to_string() + " claims " + std::to_string(d.members) +
+               " members in region " + std::to_string(d.region) +
+               " (population " +
+               std::to_string(region_population(
+                   ctx_.node_count, ctx_.region_count, d.region)) +
+               ")");
     }
     if (d.idle > d.members) {
-      violate("digest-idle-overcount",
-              from.to_string() + ": idle " + std::to_string(d.idle) + " > " +
-                  std::to_string(d.members) + " members",
-              sent);
+      flag("digest-idle-overcount",
+           from.to_string() + ": idle " + std::to_string(d.idle) + " > " +
+               std::to_string(d.members) + " members");
     }
     if (d.backlog_seconds < 0.0) {
-      violate("digest-negative-backlog",
-              from.to_string() + ": backlog " +
-                  std::to_string(d.backlog_seconds) + "s",
-              sent);
+      flag("digest-negative-backlog",
+           from.to_string() + ": backlog " +
+               std::to_string(d.backlog_seconds) + "s");
+    }
+    if (bad) {
+      bad_digests_.insert({static_cast<std::uint32_t>(rd->from.value()),
+                           d.region, d.epoch});
     }
     const auto it = digest_epochs_.find(rd->from);
     if (it != digest_epochs_.end() && d.epoch < it->second) {
@@ -240,6 +307,32 @@ void AuditCollector::on_message(NodeId from, NodeId to,
               sent);
     } else {
       digest_epochs_[rd->from] = d.epoch;
+    }
+  }
+  // Hedge metering: every hedged delegation carries the flag on the wire,
+  // and ACK retransmissions reuse the assign_id — so distinct ids per job
+  // count dispatch decisions, compared against the per-job budget. A nil id
+  // (hedging without acknowledged delegation) cannot be deduplicated, so
+  // each send counts; the engine always arms assign_ack with the defenses.
+  if (const auto* as = dynamic_cast<const proto::AssignMsg*>(&message)) {
+    if (as->hedge) {
+      JobAudit& j = job(as->job.id);
+      bool fresh = as->assign_id.is_nil();
+      if (!fresh && std::find(j.hedge_ids.begin(), j.hedge_ids.end(),
+                              as->assign_id) == j.hedge_ids.end()) {
+        j.hedge_ids.push_back(as->assign_id);
+        fresh = true;
+      }
+      if (fresh) {
+        ++j.hedges;
+        if (j.hedges > ctx_.hedge_budget) {
+          violate("hedge-budget-exceeded",
+                  "job " + as->job.id.to_string() + ": hedge " +
+                      std::to_string(j.hedges) + " from " + from.to_string() +
+                      " exceeds budget " + std::to_string(ctx_.hedge_budget),
+                  sent);
+        }
+      }
     }
   }
   // Re-sample for the displaced tap with the Network's own arithmetic, so

@@ -15,9 +15,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -50,6 +53,23 @@ struct AuditContext {
   /// AriaConfig::failsafe_max_recoveries (0 = failsafe off; budget check
   /// skipped).
   std::size_t failsafe_max_recoveries{0};
+  /// DefenseParams::hedge_budget when the defense plane is on; caps the
+  /// hedged ASSIGNs any one job may carry on the wire. 0 = hedging off, so
+  /// any hedge-flagged delegation is itself a violation.
+  std::size_t hedge_budget{0};
+  /// DefenseParams::reputation_alpha when the defense plane is on; one
+  /// reputation update may move a score by at most this much. 0 = the
+  /// reputation checks are skipped (defense off).
+  double reputation_alpha{0.0};
+  /// DefenseParams::initial_reputation — the pre-first-observation score
+  /// the movement bound measures the first update against.
+  double reputation_initial{1.0};
+  /// Designated-adversary predicate (FaultPlane::adversary_role). Digest
+  /// violations whose originator is an *expected* adversary are
+  /// re-attributed to an informational counter instead of failing the run —
+  /// the injection working as configured is not a protocol bug, while the
+  /// same lie from an honest node still is.
+  std::function<bool(NodeId)> expected_adversary{};
 };
 
 /// One invariant violation. `kind` is a stable machine-readable tag (the
@@ -85,6 +105,12 @@ class AuditCollector final : public proto::ProtocolObserver,
   const std::map<std::string, std::uint64_t>& by_kind() const {
     return by_kind_;
   }
+  /// Digest violations re-attributed to designated adversaries (the
+  /// injection, not a protocol bug). Informational — not in
+  /// violation_count().
+  std::uint64_t expected_adversary_digests() const {
+    return expected_adversary_digests_;
+  }
 
   // --- proto::ProtocolObserver ------------------------------------------
   void on_submitted(const grid::JobSpec& job, NodeId initiator,
@@ -111,6 +137,10 @@ class AuditCollector final : public proto::ProtocolObserver,
   void on_region_delegated(const JobId& id, NodeId aggregator,
                            std::uint32_t from_region, std::uint32_t to_region,
                            TimePoint at) override;
+  void on_digest_clamped(NodeId owner, NodeId from, std::uint32_t region,
+                         std::uint64_t epoch, TimePoint at) override;
+  void on_reputation(NodeId owner, NodeId subject, double score,
+                     TimePoint at) override;
 
   // --- sim::MessageTap ---------------------------------------------------
   void on_message(NodeId from, NodeId to, const sim::Message& message,
@@ -122,6 +152,10 @@ class AuditCollector final : public proto::ProtocolObserver,
     bool terminal{false};       // completed / unschedulable / abandoned
     std::size_t completions{0};
     std::size_t recoveries{0};  // recovery events seen (watchdog + ACK paths)
+    std::size_t hedges{0};      // distinct hedged delegations on the wire
+    /// Hedge assign_ids already counted (ACK retransmissions reuse the id,
+    /// so retries never double-bill the budget).
+    std::vector<Uuid> hedge_ids;
     /// Every (collector, bidder) offer pair seen; a delegation from → to
     /// must match one (ASSIGN-without-ACCEPT check).
     std::vector<std::pair<NodeId, NodeId>> offers;
@@ -152,6 +186,16 @@ class AuditCollector final : public proto::ProtocolObserver,
   /// Last digest epoch seen per aggregator (monotonicity check; duplicated
   /// deliveries repeat an epoch, so the check is non-strict).
   std::unordered_map<NodeId, std::uint64_t> digest_epochs_;
+  /// (originator, region, epoch) keys of digests that failed a conservation
+  /// check on the wire. The tap fires at send, the defense clamp at
+  /// delivery, so every *justified* on_digest_clamped finds its key here —
+  /// a clamp without one rejected an honest digest.
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>>
+      bad_digests_;
+  /// Last reputation score per (owner, subject) pair, packed owner<<32 |
+  /// subject; the per-update movement bound is checked against it.
+  std::unordered_map<std::uint64_t, double> rep_scores_;
+  std::uint64_t expected_adversary_digests_{0};
 
   std::uint64_t violation_count_{0};
   std::vector<Violation> violations_;

@@ -144,6 +144,45 @@ struct HierarchyParams {
   std::size_t silent_backoff_factor_cap{0};
 };
 
+/// Adversarial-defense plane (docs/adversary.md): a promise-vs-delivery
+/// reputation ledger at every initiator, credibility-discounted bid ranking,
+/// suspicion-driven neighbor eviction, straggler detection with revoke-then-
+/// hedge re-dispatch, and digest sanity clamping. Off by default — with the
+/// plane off no ledger exists, rankings are the plain lowest-cost rule, and
+/// runs stay byte-identical to the undefended protocol.
+struct DefenseParams {
+  bool enabled{false};
+  /// EWMA weight of one promise-vs-delivery observation. Also the auditor's
+  /// per-update movement bound (reputation-monotonicity check). 0.3 lets two
+  /// broken promises (score 1.0 -> 0.7 -> 0.49) cross the default suspicion
+  /// threshold — fast enough that a black hole is distrusted well inside the
+  /// failsafe recovery budget, slow enough that one unlucky overrun is not a
+  /// conviction.
+  double reputation_alpha{0.3};
+  /// Score assumed for nodes never observed (fresh grids are trusted).
+  double initial_reputation{1.0};
+  /// Discount floor: bid ranking divides quoted cost by
+  /// max(reputation, floor), so a zero-reputation node is penalized
+  /// 1/floor-fold instead of infinitely (it may still win an empty round).
+  double reputation_floor{0.05};
+  /// Below this score a node's offers are skipped outright and, when the
+  /// healing plane runs, the offender is evicted from the flood overlay.
+  double suspicion_threshold{0.5};
+  /// Straggler deadline = assignment time + quoted cost * straggler_factor
+  /// + straggler_min_overdue: how far past its own quote an assignee may run
+  /// before the initiator revokes and hedges. The additive term keeps short
+  /// jobs from being revoked over scheduling jitter.
+  double straggler_factor{3.0};
+  Duration straggler_min_overdue{Duration::minutes(10)};
+  /// Hedged re-dispatches allowed per job (0 disables hedging). The auditor
+  /// enforces this bound on the wire (hedge-budget check).
+  std::size_t hedge_budget{1};
+  /// Reject REGION_DIGESTs that violate member-report conservation (members
+  /// beyond the region population, idle > members, negative backlog) instead
+  /// of folding them into the digest table.
+  bool digest_clamp{true};
+};
+
 struct AriaConfig {
   // --- submission phase -----------------------------------------------
   std::size_t request_hops{9};
@@ -194,6 +233,13 @@ struct AriaConfig {
   /// After this many recovery re-floods the initiator stops watching the
   /// job (prevents an unbounded retry loop for unschedulable work).
   std::size_t failsafe_max_recoveries{8};
+  /// How long an executor keeps a completion receipt (completed_here_)
+  /// before the periodic sweep drops it. Receipts exist to answer failsafe
+  /// recovery floods with a replay instead of a second execution, and no
+  /// recovery flood can arrive once the initiator's watchdog budget is
+  /// exhausted — 12 h comfortably exceeds failsafe_max_recoveries watchdog
+  /// spans plus margins. Zero = keep forever (the pre-TTL behavior).
+  Duration completion_receipt_ttl{Duration::hours(12)};
 
   // --- acknowledged delegation (lossy-network hardening) -----------------
   /// When on, every ASSIGN carries an attempt UUID and the receiver replies
@@ -236,6 +282,12 @@ struct AriaConfig {
   /// keeping aggregator super-peers. Off by default with the same
   /// byte-identity contract as every other plane.
   HierarchyParams hierarchy{};
+
+  // --- adversarial-defense plane (docs/adversary.md) ---------------------
+  /// Reputation-weighted bidding, straggler revoke-then-hedge, and digest
+  /// clamping against misbehaving nodes. Off by default with the same
+  /// byte-identity contract as every other plane.
+  DefenseParams defense{};
 };
 
 }  // namespace aria::proto

@@ -167,11 +167,15 @@ struct AssignMsg final : sim::Message {
   /// (AriaConfig::assign_ack): retransmissions of the same attempt reuse it,
   /// so the receiver can deduplicate. Nil when ACKs are off.
   Uuid assign_id{};
+  /// Hedged re-dispatch (docs/adversary.md): this delegation duplicates a
+  /// revoked straggler onto the runner-up bid. One flag bit so the auditor
+  /// can meter hedges against DefenseParams::hedge_budget on the wire.
+  bool hedge{false};
 
   AssignMsg(NodeId initiator_, grid::JobSpec job_, bool reschedule_ = false,
-            Uuid assign_id_ = Uuid{})
+            Uuid assign_id_ = Uuid{}, bool hedge_ = false)
       : initiator{initiator_}, job{std::move(job_)}, reschedule{reschedule_},
-        assign_id{assign_id_} {}
+        assign_id{assign_id_}, hedge{hedge_} {}
   std::size_t wire_size() const override { return kAssignWireBytes; }
   std::unique_ptr<sim::Message> clone() const override {
     return std::make_unique<AssignMsg>(*this);
@@ -187,7 +191,13 @@ struct AssignMsg final : sim::Message {
 /// Optional tracking notification to the initiator (paper §III-D:
 /// "rescheduling actions may be notified to the job's initiator").
 struct NotifyMsg final : sim::Message {
-  enum class Kind { kQueued, kRescheduled, kStarted, kCompleted };
+  /// kRevoke / kRevokeAck extend the failsafe vocabulary for the adversarial
+  /// defense plane (docs/adversary.md): an initiator revokes a straggling
+  /// delegation before granting the job to the runner-up bid, and the
+  /// assignee confirms it gave the (still queued) job back. Same 128 B
+  /// control-message framing as the lifecycle kinds.
+  enum class Kind { kQueued, kRescheduled, kStarted, kCompleted, kRevoke,
+                    kRevokeAck };
   Kind kind;
   JobId job_id;
   NodeId current_assignee;

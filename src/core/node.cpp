@@ -21,6 +21,15 @@ std::uint64_t plane_seed(NodeId self, std::uint64_t tag) {
 }
 constexpr std::uint64_t kProbePlane = 0;
 constexpr std::uint64_t kHierarchyPlane = 1;
+
+// Exact member count of region r under the stateless `n mod R` partition —
+// the same ground truth the audit plane checks digests against; the defense
+// plane's conservation clamp reuses it (docs/adversary.md).
+std::size_t region_population(std::size_t node_count, std::uint32_t regions,
+                              std::uint32_t r) {
+  if (regions == 0) return 0;
+  return node_count / regions + (r < node_count % regions ? 1 : 0);
+}
 }  // namespace
 
 AriaNode::AriaNode(NodeContext ctx, NodeId self, grid::NodeProfile profile,
@@ -32,12 +41,19 @@ AriaNode::AriaNode(NodeContext ctx, NodeId self, grid::NodeProfile profile,
       sched_{std::move(scheduler)},
       rng_{rng},
       vo_{std::move(virtual_org)},
+      reputation_{ctx.config->defense.reputation_alpha,
+                  ctx.config->defense.initial_reputation},
       probe_rng_{plane_seed(self, kProbePlane)},
       hier_rng_{plane_seed(self, kHierarchyPlane)} {
   assert(ctx_.sim && ctx_.net && ctx_.topo && ctx_.relay && ctx_.config &&
          ctx_.ert_error);
   assert(!ctx_.config->healing.enabled || ctx_.healing_topo != nullptr);
   assert(sched_);
+  if (ctx_.faults != nullptr) {
+    // Stateless designation — no RNG draws, so honest runs stay
+    // byte-identical whether or not an (inert) adversary plan is configured.
+    adv_role_ = ctx_.faults->adversary_role(self_);
+  }
   if (ctx_.config->overload.enabled) {
     // Queue bound scales with the machine's speed: a 2x performance index
     // drains twice as fast, so it may hold twice the work.
@@ -115,7 +131,11 @@ void AriaNode::stop() {
   for (auto& [id, pending] : pending_requests_) pending.timeout.cancel();
   for (auto& [id, p] : pending_assigns_) p.timer.cancel();
   for (auto& [id, s] : shed_jobs_) s.timer.cancel();
-  for (auto& [id, w] : watched_) w.timer.cancel();
+  for (auto& [id, w] : watched_) {
+    w.timer.cancel();
+    w.straggler_timer.cancel();
+    w.revoke_timer.cancel();
+  }
   ctx_.net->detach(self_);
 }
 
@@ -171,6 +191,9 @@ void AriaNode::restart() {
         w.deadline, ctx_.sim->now() + ctx_.config->failsafe_margin);
     w.timer.cancel();
     w.deadline = due;
+    // Straggler/revoke timers died with the crash; the plain watchdog covers
+    // the job until the next defended decision records a fresh promise.
+    w.revoke_pending = false;
     const JobId job = id;
     w.timer = ctx_.sim->schedule_after(
         due - ctx_.sim->now(), [this, job] { watchdog_expired(job); });
@@ -255,7 +278,7 @@ void AriaNode::flood_request(const grid::JobSpec& spec, std::size_t attempt) {
     if (overload_on() && bid_gate_closed()) {
       ++counters_.bids_suppressed;  // saturated: don't bid on own job either
     } else {
-      const double cost = my_cost(spec);
+      const double cost = bid_cost(spec);
       it->second.offers.emplace_back(self_, spec.id, cost);
       if (ctx_.observer) {
         ctx_.observer->on_bid_received(spec.id, self_, self_, cost,
@@ -294,6 +317,22 @@ void AriaNode::decide_assignment(const JobId& id) {
   auto it = pending_requests_.find(id);
   if (it == pending_requests_.end()) return;  // already decided
   PendingRequest& pending = it->second;
+
+  if (defense_on() && !pending.offers.empty()) {
+    // Suspicion filter: offers from nodes whose promise-vs-delivery score
+    // fell below the threshold are dropped outright — before the empty-round
+    // check, so a round carried only by distrusted bids goes into retry
+    // instead of rewarding a known liar.
+    const double thr = ctx_.config->defense.suspicion_threshold;
+    const auto first_bad = std::remove_if(
+        pending.offers.begin(), pending.offers.end(),
+        [this, thr](const AcceptMsg& o) {
+          return reputation_.score(o.node) < thr;
+        });
+    counters_.offers_distrusted += static_cast<std::uint64_t>(
+        std::distance(first_bad, pending.offers.end()));
+    pending.offers.erase(first_bad, pending.offers.end());
+  }
 
   if (pending.offers.empty()) {
     ++pending.silent_rounds;  // feeds early wide-flood escalation
@@ -338,10 +377,15 @@ void AriaNode::decide_assignment(const JobId& id) {
     return;
   }
 
-  // Lowest cost wins; arrival order breaks ties (deterministic).
+  // Lowest cost wins; arrival order breaks ties (deterministic). Under the
+  // defense plane the ranking cost is credibility-discounted (quoted cost /
+  // reputation) — discounted_cost is the identity when the plane is off, so
+  // this is exactly `a.cost < b.cost` for undefended runs.
   const auto best = std::min_element(
       pending.offers.begin(), pending.offers.end(),
-      [](const AcceptMsg& a, const AcceptMsg& b) { return a.cost < b.cost; });
+      [this](const AcceptMsg& a, const AcceptMsg& b) {
+        return discounted_cost(a) < discounted_cost(b);
+      });
 
   // Hierarchy: a round whose best offer is poor counts as unsatisfied too.
   // Solicit one cross-region window (digest-guided) before committing —
@@ -363,6 +407,36 @@ void AriaNode::decide_assignment(const JobId& id) {
   const bool reschedule = pending.recovery_reschedule;
   const NodeId initiator =
       pending.on_behalf_of.valid() ? pending.on_behalf_of : self_;
+  if (defense_on()) {
+    // Record the promise this decision extracts: the winning quote, the
+    // grant time, and the runner-up bid the hedge falls back to. Only the
+    // watching initiator holds this state — rounds run on another node's
+    // behalf leave the real initiator's plain watchdog in charge.
+    if (const auto wit = watched_.find(id); wit != watched_.end()) {
+      Watchdog& w = wit->second;
+      w.quoted_cost = best->cost;
+      w.assigned_at = ctx_.sim->now();
+      w.last_known = winner;  // attributable even if the assignee goes dark
+                              // before its first NOTIFY (black holes do)
+      w.revoke_pending = false;
+      w.revoke_sends = 0;
+      w.runner_up = NodeId{};
+      w.runner_up_cost = 0.0;
+      const AcceptMsg* second = nullptr;
+      for (const AcceptMsg& o : pending.offers) {
+        if (o.node == winner) continue;
+        if (second == nullptr ||
+            discounted_cost(o) < discounted_cost(*second)) {
+          second = &o;
+        }
+      }
+      if (second != nullptr) {
+        w.runner_up = second->node;
+        w.runner_up_cost = second->cost;
+      }
+      arm_straggler(id);
+    }
+  }
   pending_requests_.erase(it);
   send_assign(winner, spec, initiator, reschedule);
 }
@@ -381,7 +455,7 @@ bool AriaNode::remove_queued(const JobId& id) {
 }
 
 void AriaNode::send_assign(NodeId target, const grid::JobSpec& spec,
-                           NodeId initiator, bool reschedule) {
+                           NodeId initiator, bool reschedule, bool hedge) {
   if (target == self_) {
     if (overload_on() && admission_over()) {
       // The backlog crossed the watermark between the self-bid and this
@@ -408,7 +482,8 @@ void AriaNode::send_assign(NodeId target, const grid::JobSpec& spec,
   }
   if (!ctx_.config->assign_ack) {
     ctx_.net->send(self_, target,
-                   std::make_unique<AssignMsg>(initiator, spec, reschedule));
+                   std::make_unique<AssignMsg>(initiator, spec, reschedule,
+                                               Uuid{}, hedge));
     return;
   }
   // Acknowledged delegation: remember the attempt and retransmit until the
@@ -419,13 +494,15 @@ void AriaNode::send_assign(NodeId target, const grid::JobSpec& spec,
   p.target = target;
   p.initiator = initiator;
   p.reschedule = reschedule;
+  p.hedge = hedge;
   p.assign_id = Uuid::generate(rng_);
   p.sends = 1;
   const JobId id = spec.id;
   p.timer = ctx_.sim->schedule_after(ctx_.config->assign_ack_timeout,
                                      [this, id] { assign_ack_expired(id); });
-  ctx_.net->send(self_, target, std::make_unique<AssignMsg>(
-                                    initiator, spec, reschedule, p.assign_id));
+  ctx_.net->send(self_, target,
+                 std::make_unique<AssignMsg>(initiator, spec, reschedule,
+                                             p.assign_id, hedge));
 }
 
 void AriaNode::assign_ack_expired(const JobId& id) {
@@ -437,7 +514,8 @@ void AriaNode::assign_ack_expired(const JobId& id) {
     ++counters_.assign_retries;
     ctx_.net->send(self_, p.target,
                    std::make_unique<AssignMsg>(p.initiator, p.spec,
-                                               p.reschedule, p.assign_id));
+                                               p.reschedule, p.assign_id,
+                                               p.hedge));
     p.timer = ctx_.sim->schedule_after(ctx_.config->assign_ack_timeout,
                                        [this, id] { assign_ack_expired(id); });
     return;
@@ -465,6 +543,16 @@ void AriaNode::assign_ack_expired(const JobId& id) {
 
 void AriaNode::accept_job(const grid::JobSpec& spec, NodeId initiator,
                           bool reschedule) {
+  if (adv_is(sim::FaultConfig::Adversary::Role::kBlackhole)) {
+    // Black hole: the ASSIGN was ACKed upstream (on_assign) but the job is
+    // silently dropped before any bookkeeping — no kQueued, no heartbeats,
+    // no queue entry. With an always-empty queue this node keeps quoting an
+    // attractive idle-machine cost, so undefended grids feed it forever; the
+    // initiator's straggler revoke (ignored here) and failsafe watchdog are
+    // the recovery paths.
+    ++counters_.adv_assigns_swallowed;
+    return;
+  }
   // Nodes may not decline jobs they offered to take (paper §III-A). Under
   // the overload plane the bounded queue may still evict — the job (or a
   // policy-chosen victim) is then shed-and-forwarded, never dropped.
@@ -553,7 +641,7 @@ void AriaNode::on_request(NodeId from, const RequestMsg& msg) {
       ++counters_.bids_suppressed;
     } else {
       ++counters_.accepts_sent;
-      const double cost = my_cost(msg.job);
+      const double cost = bid_cost(msg.job);
       ctx_.net->send(self_, msg.initiator,
                      std::make_unique<AcceptMsg>(self_, msg.job.id, cost));
       if (ctx_.observer) {
@@ -586,7 +674,8 @@ void AriaNode::on_inform(NodeId from, const InformMsg& msg) {
 
   bool replied = false;
   if (msg.assignee != self_ && can_bid(msg.job)) {
-    const double cost = my_cost(msg.job);
+    // An underbidder's lie also lets it falsely "improve" on advertisements.
+    const double cost = bid_cost(msg.job);
     // Reply only when the improvement clears the threshold (paper §III-D).
     if (cost < msg.cost - ctx_.config->reschedule_threshold.to_seconds()) {
       if (overload_on() && bid_gate_closed()) {
@@ -765,6 +854,10 @@ void AriaNode::notify_initiator_of(const JobId& id, NotifyMsg::Kind kind) {
 }
 
 void AriaNode::on_notify(const NotifyMsg& msg) {
+  if (msg.kind == NotifyMsg::Kind::kRevoke) {
+    handle_revoke(msg);  // assignee side; the job is not watched here
+    return;
+  }
   const auto it = watched_.find(msg.job_id);
   if (it == watched_.end()) return;  // not failsafe-tracking this job
   Watchdog& w = it->second;
@@ -776,16 +869,50 @@ void AriaNode::on_notify(const NotifyMsg& msg) {
       break;
     case NotifyMsg::Kind::kRescheduled:
     case NotifyMsg::Kind::kStarted:
+      if (w.revoke_pending) {
+        // The assignee defended the revoke (it is executing, or the job
+        // legitimately moved): stand down — no hedge, no duplicate.
+        w.revoke_pending = false;
+        w.revoke_timer.cancel();
+      }
+      if (msg.kind == NotifyMsg::Kind::kRescheduled) {
+        // The promise chain broke (a new assignee, a quote this watcher
+        // never saw): the straggler deadline is void; the plain watchdog
+        // keeps covering the job.
+        w.straggler_timer.cancel();
+        w.quoted_cost = 0.0;
+      }
       arm_watchdog(msg.job_id);
       break;
     case NotifyMsg::Kind::kCompleted:
       w.timer.cancel();
+      w.straggler_timer.cancel();
+      w.revoke_timer.cancel();
+      if (defense_on() && w.quoted_cost > 0.0) {
+        // Promise vs delivery: on-time completions score ~1, a lie_factor
+        // overrun scores ~1/lie_factor (clamped into [0, 1] by the ledger).
+        const double elapsed = (ctx_.sim->now() - w.assigned_at).to_seconds();
+        observe_reputation(msg.current_assignee,
+                           elapsed <= 0.0 ? 1.0 : w.quoted_cost / elapsed);
+      }
       watched_.erase(it);
       // A recovery round may already be in flight (the watchdog re-flooded
       // before this receipt arrived); drop it — assigning a job that is
       // known-completed would only re-execute it.
       pending_requests_.erase(msg.job_id);
       break;
+    case NotifyMsg::Kind::kRevokeAck:
+      if (w.revoke_pending) {
+        // The straggler handed the job back while it was still queued: the
+        // promise is void, the job is homeless, and the hedge window opens.
+        w.revoke_pending = false;
+        w.revoke_timer.cancel();
+        observe_reputation(msg.current_assignee, 0.0);
+        dispatch_hedge(msg.job_id);
+      }
+      break;
+    case NotifyMsg::Kind::kRevoke:
+      break;  // dispatched before the watched_ lookup; unreachable
   }
 }
 
@@ -835,6 +962,18 @@ void AriaNode::watchdog_expired(const JobId& id) {
   }
   ++w.recoveries;
   ++counters_.recoveries;
+  if (defense_on()) {
+    // The assignee went silent past every heartbeat tolerance: the promise
+    // is broken outright. Score zero so repeat offenders (black holes,
+    // crashed-and-restarted liars) lose the next rounds they underbid.
+    if (w.last_known.valid() && w.last_known != self_) {
+      observe_reputation(w.last_known, 0.0);
+    }
+    w.straggler_timer.cancel();
+    w.revoke_timer.cancel();
+    w.revoke_pending = false;
+    w.quoted_cost = 0.0;  // the recovery round records a fresh promise
+  }
   if (ctx_.observer) {
     ctx_.observer->on_recovery(id, w.recoveries, ctx_.sim->now());
   }
@@ -847,6 +986,214 @@ void AriaNode::watchdog_expired(const JobId& id) {
 }
 
 // ---------------------------------------------------------------------------
+// Adversary injection + defense plane (docs/adversary.md)
+// ---------------------------------------------------------------------------
+
+double AriaNode::lie_factor() const {
+  if (!adv_role_ || ctx_.faults == nullptr ||
+      !ctx_.faults->config().adversary) {
+    return 1.0;
+  }
+  return std::max(1.0, ctx_.faults->config().adversary->lie_factor);
+}
+
+double AriaNode::bid_cost(const grid::JobSpec& job) {
+  const double honest = my_cost(job);
+  if (adv_is(sim::FaultConfig::Adversary::Role::kUnderbid)) {
+    ++counters_.adv_underbids;
+    return honest / lie_factor();
+  }
+  return honest;
+}
+
+double AriaNode::advertised_cost(double true_cost) {
+  if (adv_is(sim::FaultConfig::Adversary::Role::kFreeride)) {
+    // A deflated advertisement claims the job is already well placed, so
+    // would-be rescuers fail the improvement threshold and the job stays
+    // trapped behind this node's (honestly slow) backlog.
+    ++counters_.adv_informs_deflated;
+    return true_cost / lie_factor();
+  }
+  return true_cost;
+}
+
+double AriaNode::discounted_cost(const AcceptMsg& offer) const {
+  if (!defense_on()) return offer.cost;
+  const double rep = std::max(reputation_.score(offer.node),
+                              ctx_.config->defense.reputation_floor);
+  return offer.cost / rep;
+}
+
+void AriaNode::observe_reputation(NodeId subject, double outcome) {
+  if (!defense_on() || !subject.valid() || subject == self_) return;
+  const double thr = ctx_.config->defense.suspicion_threshold;
+  const double before = reputation_.score(subject);
+  const double after = reputation_.observe(subject, outcome);
+  if (ctx_.observer) {
+    ctx_.observer->on_reputation(self_, subject, after, ctx_.sim->now());
+  }
+  if (ctx_.config->healing.enabled && before >= thr && after < thr &&
+      ctx_.topo->has_link(self_, subject)) {
+    // Crossing into suspicion: cut the overlay link, so this node's floods
+    // stop handing the offender fresh bidding opportunities. The healing
+    // plane's repair path keeps the degree up with honest peers.
+    ++counters_.reputation_evictions;
+    evict_neighbor(subject);
+  }
+}
+
+void AriaNode::arm_straggler(const JobId& id) {
+  if (!defense_on()) return;
+  const auto it = watched_.find(id);
+  if (it == watched_.end()) return;
+  Watchdog& w = it->second;
+  w.straggler_timer.cancel();
+  const DefenseParams& d = ctx_.config->defense;
+  // Deadline = quoted cost * factor + slack: how far past its own promise
+  // the assignee may run. Scales with the quote (unlike the heartbeat-based
+  // watchdog) because the promise is exactly what is being policed.
+  const Duration span =
+      Duration::seconds_f(std::max(0.0, w.quoted_cost) * d.straggler_factor) +
+      d.straggler_min_overdue;
+  w.straggler_timer =
+      ctx_.sim->schedule_after(span, [this, id] { straggler_expired(id); });
+}
+
+void AriaNode::straggler_expired(const JobId& id) {
+  const auto it = watched_.find(id);
+  if (it == watched_.end()) return;
+  Watchdog& w = it->second;
+  if (w.revoke_pending) return;  // already mid-revoke
+  // The job is demonstrably in motion here (held, re-discovering, or being
+  // re-advertised): the failsafe machinery owns it; a revoke would race.
+  if (holds(id) || pending_requests_.contains(id) ||
+      pending_assigns_.contains(id) || shedding(id)) {
+    return;
+  }
+  if (w.hedges >= ctx_.config->defense.hedge_budget) return;  // budget spent
+  if (!w.last_known.valid() || w.last_known == self_) return;
+  if (!w.runner_up.valid() || w.runner_up == w.last_known) {
+    return;  // single-offer round: nothing to hedge onto; watchdog covers
+  }
+  ++counters_.stragglers_detected;
+  // Revoke-before-grant: never duplicate the ASSIGN while the straggler
+  // might still legitimately hold (or finish) the job. The hedge waits for
+  // the kRevokeAck — or for the retry budget to decide the node is a black
+  // hole or a corpse.
+  w.revoke_pending = true;
+  w.revoke_sends = 0;
+  send_revoke(id);
+}
+
+void AriaNode::send_revoke(const JobId& id) {
+  const auto it = watched_.find(id);
+  if (it == watched_.end()) return;
+  Watchdog& w = it->second;
+  ++w.revoke_sends;
+  ++counters_.revokes_sent;
+  // current_assignee carries the *revoker's* address here, so the assignee
+  // knows where to answer (the initiator field of its bookkeeping may be a
+  // third node for on-behalf delegations).
+  ctx_.net->send(self_, w.last_known,
+                 std::make_unique<NotifyMsg>(NotifyMsg::Kind::kRevoke, id,
+                                             self_));
+  w.revoke_timer = ctx_.sim->schedule_after(
+      ctx_.config->assign_ack_timeout, [this, id] { revoke_expired(id); });
+}
+
+void AriaNode::revoke_expired(const JobId& id) {
+  const auto it = watched_.find(id);
+  if (it == watched_.end()) return;
+  Watchdog& w = it->second;
+  if (!w.revoke_pending) return;  // answered (ack or defense) meanwhile
+  if (w.revoke_sends <= ctx_.config->assign_max_retries) {
+    send_revoke(id);  // same retransmission discipline as ASSIGN_ACK
+    return;
+  }
+  // Ignored revoke: a live node would have answered *something* (ack,
+  // started-defense, or a completion replay). Presume black hole or corpse,
+  // score the silence, and hedge — the ASSIGN dedup and completion-receipt
+  // replay make the duplicate safe if the node was merely slow.
+  w.revoke_pending = false;
+  observe_reputation(w.last_known, 0.0);
+  dispatch_hedge(id);
+}
+
+void AriaNode::dispatch_hedge(const JobId& id) {
+  const auto it = watched_.find(id);
+  if (it == watched_.end()) return;
+  Watchdog& w = it->second;
+  if (w.hedges >= ctx_.config->defense.hedge_budget) return;
+  if (!w.runner_up.valid() || w.runner_up == w.last_known) return;
+  if (holds(id) || pending_requests_.contains(id) ||
+      pending_assigns_.contains(id)) {
+    return;  // the job found (or is finding) a home since the revoke opened
+  }
+  ++w.hedges;
+  ++counters_.hedges_dispatched;
+  const NodeId target = w.runner_up;
+  // The runner-up's quote becomes the new promise; the spent runner-up slot
+  // is cleared so a second hedge (budget permitting) needs a fresh round.
+  w.last_known = target;
+  w.quoted_cost = w.runner_up_cost;
+  w.assigned_at = ctx_.sim->now();
+  w.runner_up = NodeId{};
+  w.runner_up_cost = 0.0;
+  arm_watchdog(id);  // fresh heartbeat window for the new assignee
+  arm_straggler(id);
+  send_assign(target, w.spec, self_, /*reschedule=*/w.assign_confirmed,
+              /*hedge=*/true);
+}
+
+void AriaNode::handle_revoke(const NotifyMsg& msg) {
+  if (!defense_on()) return;  // knob off: nobody legitimately sends these
+  if (adv_is(sim::FaultConfig::Adversary::Role::kBlackhole)) {
+    return;  // swallows revokes like everything else; retries will exhaust
+  }
+  const JobId& id = msg.job_id;
+  const NodeId revoker = msg.current_assignee;  // see send_revoke
+  if (!revoker.valid() || revoker == self_) return;
+  if (ctx_.config->failsafe && completed_here_.contains(id)) {
+    // Already ran it: the completion NOTIFY was lost. Replay the receipt —
+    // hedging a finished job would be the double-run this protocol exists
+    // to prevent.
+    ++counters_.completion_replays;
+    ctx_.net->send(self_, revoker,
+                   std::make_unique<NotifyMsg>(NotifyMsg::Kind::kCompleted,
+                                               id, self_));
+    return;
+  }
+  if (running_ && running_->job.spec.id == id) {
+    // Mid-execution there is no preemption (paper §III-A): defend the
+    // assignment; the initiator cancels the revoke on this heartbeat.
+    ctx_.net->send(self_, revoker,
+                   std::make_unique<NotifyMsg>(NotifyMsg::Kind::kStarted, id,
+                                               self_));
+    return;
+  }
+  // Still queued (or unknown — e.g. receipt already swept): hand the job
+  // back. remove_queued keeps the gauge, informs, and initiator map clean.
+  remove_queued(id);
+  ++counters_.revoke_acks_sent;
+  ctx_.net->send(self_, revoker,
+                 std::make_unique<NotifyMsg>(NotifyMsg::Kind::kRevokeAck, id,
+                                             self_));
+}
+
+void AriaNode::sweep_completion_receipts() {
+  const Duration ttl = ctx_.config->completion_receipt_ttl;
+  if (ttl.is_zero() || completed_here_.empty()) return;
+  const TimePoint now = ctx_.sim->now();
+  for (auto it = completed_here_.begin(); it != completed_here_.end();) {
+    if (it->second + ttl <= now) {
+      it = completed_here_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Dynamic rescheduling phase
 // ---------------------------------------------------------------------------
 
@@ -855,6 +1202,10 @@ void AriaNode::inform_tick() {
   // initiator's watchdog — queue waits are unbounded, so a one-shot
   // kQueued notification would not prevent false recoveries.
   if (ctx_.config->failsafe) {
+    // Receipt TTL rides the existing periodic tick (a lazy sweep, like
+    // flood-dedup GC): no new events, so arming the TTL keeps failsafe
+    // runs byte-identical.
+    sweep_completion_receipts();
     for (const auto& q : sched_->queue()) {
       notify_initiator_of(q.spec.id, NotifyMsg::Kind::kQueued);
     }
@@ -872,8 +1223,8 @@ void AriaNode::inform_tick() {
   for (const JobId& id : candidates) {
     const sched::QueuedJob* held = sched_->find(id);
     if (held == nullptr) continue;
-    const double cost =
-        sched_->current_cost(id, running_remaining(), ctx_.sim->now());
+    const double cost = advertised_cost(
+        sched_->current_cost(id, running_remaining(), ctx_.sim->now()));
 
     const Uuid flood_id = Uuid::generate(rng_);
     ctx_.relay->mark_seen(self_, flood_id, ctx_.sim->now());
@@ -936,7 +1287,9 @@ void AriaNode::complete_running() {
   const Duration art = running_->art;
   if (ctx_.config->failsafe) {
     notify_initiator_of(id, NotifyMsg::Kind::kCompleted);
-    completed_here_.insert(id);  // durable receipt, see completed_here_
+    // Durable receipt (see completed_here_); the timestamp feeds the TTL
+    // sweep riding the inform tick.
+    completed_here_[id] = ctx_.sim->now();
   }
   initiator_of_.erase(id);
   ++counters_.jobs_executed;
@@ -1030,10 +1383,11 @@ void AriaNode::shed_job(sched::QueuedJob&& victim) {
 
   // Shed-and-forward: an immediate out-of-cycle INFORM burst advertising the
   // job at the cost it would incur by *staying* here, so any less-loaded
-  // neighbor outbids it.
-  const double cost = sched_->cost_of_adding(victim.spec, victim.ertp,
-                                             running_remaining(),
-                                             ctx_.sim->now());
+  // neighbor outbids it (a free-rider deflates even this, starving its own
+  // shed bursts of rescuers).
+  const double cost = advertised_cost(
+      sched_->cost_of_adding(victim.spec, victim.ertp, running_remaining(),
+                             ctx_.sim->now()));
   const Uuid flood_id = Uuid::generate(rng_);
   ctx_.relay->mark_seen(self_, flood_id, ctx_.sim->now());
   schedule_flood_gc(flood_id);
@@ -1285,8 +1639,24 @@ void AriaNode::region_digest_tick() {
   std::vector<overlay::MemberLoad> loads;
   loads.reserve(fresh.size());
   for (const auto& [n, l] : fresh) loads.push_back(l);
-  const overlay::RegionDigest digest =
+  overlay::RegionDigest digest =
       overlay::aggregate_loads(my_region(), ++digest_epoch_, loads);
+  if (adv_is(sim::FaultConfig::Adversary::Role::kPoison)) {
+    // Byzantine aggregator: the digest claims an inflated, fully idle,
+    // backlog-free region, so remote aggregators steer cross-region
+    // delegations here. The inflation deliberately exceeds the region's
+    // true population — exactly the conservation bound the defense clamp
+    // and the audit plane check.
+    ++counters_.adv_digests_poisoned;
+    const double lie = lie_factor();
+    digest.members = static_cast<std::uint32_t>(std::max(
+        1.0, std::ceil(static_cast<double>(std::max(
+                           digest.members, std::uint32_t{1})) *
+                       lie)));
+    digest.idle = digest.members;
+    digest.backlog_seconds = 0.0;
+    digest.queue_len = 0;
+  }
   // Staleness hard bound: drop remote digests past the age-out instead of
   // merely skipping them at serve time, so a region severed for hours can
   // never resurface through region_digest_of or a future code path that
@@ -1316,6 +1686,29 @@ void AriaNode::on_region_load(const RegionLoadMsg& msg) {
 }
 
 void AriaNode::on_region_digest(const RegionDigestMsg& msg) {
+  if (defense_on() && ctx_.config->defense.digest_clamp) {
+    // Conservation clamp: a digest is a sum of member reports, so it can
+    // never claim more members than the region holds, more idle machines
+    // than members, or negative backlog. Violations are rejected whole —
+    // "clamping" to a sane value would still let a poisoner steer
+    // delegations — and surfaced to the audit plane.
+    const overlay::RegionDigest& d = msg.digest;
+    const std::uint32_t regions =
+        static_cast<std::uint32_t>(ctx_.config->hierarchy.region_count);
+    bool bad = d.region >= regions || d.idle > d.members ||
+               d.backlog_seconds < 0.0;
+    if (!bad && ctx_.grid_size > 0) {
+      bad = d.members > region_population(ctx_.grid_size, regions, d.region);
+    }
+    if (bad) {
+      ++counters_.digests_clamped;
+      if (ctx_.observer) {
+        ctx_.observer->on_digest_clamped(self_, msg.from, d.region, d.epoch,
+                                         ctx_.sim->now());
+      }
+      return;
+    }
+  }
   ++counters_.digests_received;
   // Last received wins: primaries and standbys broadcast independently, and
   // a later arrival is always at least as fresh a view of that region.
@@ -1440,7 +1833,7 @@ void AriaNode::on_region_fwd(const RegionFwdMsg& msg) {
       ++counters_.bids_suppressed;
     } else {
       ++counters_.accepts_sent;
-      const double cost = my_cost(msg.job);
+      const double cost = bid_cost(msg.job);
       ctx_.net->send(self_, msg.initiator,
                      std::make_unique<AcceptMsg>(self_, msg.job.id, cost));
       if (ctx_.observer) {

@@ -27,7 +27,9 @@
 #include "overlay/flooding.hpp"
 #include "overlay/liveness.hpp"
 #include "overlay/topology.hpp"
+#include "sched/reputation.hpp"
 #include "sched/scheduler.hpp"
+#include "sim/fault.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 
@@ -53,6 +55,17 @@ struct NodeContext {
   /// their local neighbor sets, which the simulation stores as their union
   /// (see overlay/topology.hpp).
   overlay::Topology* healing_topo{nullptr};
+  /// Fault plane handle for adversary-role designation (docs/adversary.md):
+  /// the node asks once at construction whether it misbehaves, and how. May
+  /// be null (fault-free runs) — the node is then honest.
+  const sim::FaultPlane* faults{nullptr};
+  /// Upper bound on the grid size (initial nodes plus any expansion
+  /// target), for the defense plane's digest conservation clamp — the same
+  /// ground truth the audit plane checks against. A deployment would learn
+  /// an approximate grid size through membership gossip; the engine hands
+  /// the exact one. 0 disables the population bound (idle/backlog sanity
+  /// checks still apply).
+  std::size_t grid_size{0};
 };
 
 class AriaNode {
@@ -166,6 +179,19 @@ class AriaNode {
     std::uint64_t region_handoffs{0};    // queries bounced while cold/empty
     std::uint64_t early_wide_escalations{0};  // wide floods forced by
                                               // sustained aggregator silence
+    // --- adversary injection (zero when this node is honest) -------------
+    std::uint64_t adv_underbids{0};      // ACCEPT quotes scaled by the lie
+    std::uint64_t adv_informs_deflated{0};  // INFORM ads at deflated cost
+    std::uint64_t adv_assigns_swallowed{0};  // ASSIGNs ACKed then dropped
+    std::uint64_t adv_digests_poisoned{0};   // REGION_DIGESTs inflated
+    // --- defense plane (all zero when the plane is off) ------------------
+    std::uint64_t offers_distrusted{0};  // bids skipped: rep < suspicion
+    std::uint64_t stragglers_detected{0};  // quotes overrun past the deadline
+    std::uint64_t revokes_sent{0};       // kRevoke NOTIFYs (incl. retries)
+    std::uint64_t revoke_acks_sent{0};   // assignee side: jobs handed back
+    std::uint64_t hedges_dispatched{0};  // hedged ASSIGNs to runner-up bids
+    std::uint64_t digests_clamped{0};    // non-conserving digests rejected
+    std::uint64_t reputation_evictions{0};  // overlay evictions on suspicion
   };
   const Counters& counters() const { return counters_; }
 
@@ -210,6 +236,18 @@ class AriaNode {
   Duration backlog_duration() const {
     return running_remaining() + sched_->backlog();
   }
+  /// Adversary plane: this node's designated misbehavior, if any (cached
+  /// from the fault plane at construction; nullopt = honest).
+  std::optional<sim::FaultConfig::Adversary::Role> adversary_role() const {
+    return adv_role_;
+  }
+  /// Defense plane: the promise-vs-delivery score this node holds for
+  /// `subject` (initial_reputation when never observed).
+  double reputation_of(NodeId subject) const {
+    return reputation_.score(subject);
+  }
+  /// Failsafe: completion receipts currently held (TTL-sweep test hook).
+  std::size_t completion_receipts() const { return completed_here_.size(); }
 
  private:
   struct PendingRequest {
@@ -249,6 +287,23 @@ class AriaNode {
     NodeId last_known{};       // most recent assignee we heard from
     bool assign_confirmed{false};  // some node confirmed queueing the job
     std::size_t recoveries{0};
+    // --- defense plane (docs/adversary.md; untouched when it is off) -----
+    /// The winning quote and when it was granted: the promise the straggler
+    /// deadline and the reputation ledger hold the assignee to.
+    double quoted_cost{0.0};
+    TimePoint assigned_at{};
+    /// Runner-up of the deciding round — the hedge target. Invalid when the
+    /// round had a single offer.
+    NodeId runner_up{};
+    double runner_up_cost{0.0};
+    /// Hedged re-dispatches already spent (bounded by hedge_budget).
+    std::size_t hedges{0};
+    /// Revoke-before-grant state: a kRevoke is in flight to last_known and
+    /// the hedge waits for its kRevokeAck (or retry exhaustion).
+    bool revoke_pending{false};
+    std::size_t revoke_sends{0};
+    sim::EventHandle straggler_timer;
+    sim::EventHandle revoke_timer;
   };
   struct Running {
     sched::QueuedJob job;
@@ -271,6 +326,9 @@ class AriaNode {
     NodeId initiator{};
     bool reschedule{false};
     Uuid assign_id{};
+    /// Defense plane: this attempt is a hedged re-dispatch; retransmissions
+    /// must keep the wire flag so the auditor's hedge meter sees them.
+    bool hedge{false};
     std::size_t sends{1};
     sim::EventHandle timer;
   };
@@ -364,6 +422,49 @@ class AriaNode {
   void notify_initiator_of(const JobId& id, NotifyMsg::Kind kind);
   void arm_watchdog(const JobId& id);
   void watchdog_expired(const JobId& id);
+  /// Failsafe: lazy TTL sweep of completion receipts (completion_receipt_ttl;
+  /// called from the periodic inform tick, mirroring flood-dedup GC).
+  void sweep_completion_receipts();
+
+  // --- adversary + defense planes (docs/adversary.md) ---------------------
+  bool defense_on() const { return ctx_.config->defense.enabled; }
+  bool adv_is(sim::FaultConfig::Adversary::Role role) const {
+    return adv_role_ == role;
+  }
+  /// The configured lie magnitude (1.0 when no adversary plan is armed, so
+  /// honest paths dividing by it are no-ops).
+  double lie_factor() const;
+  /// The cost this node *claims* when bidding (ACCEPT quote sites):
+  /// my_cost for honest nodes, my_cost / lie_factor for underbidders.
+  double bid_cost(const grid::JobSpec& job);
+  /// The cost this node *advertises* for a held job (INFORM sites):
+  /// truthful for honest nodes, deflated for free-riders.
+  double advertised_cost(double true_cost);
+  /// Reputation-discounted ranking cost of an offer: quoted cost divided by
+  /// the bidder's credibility (floored). Identity when the defense is off.
+  double discounted_cost(const AcceptMsg& offer) const;
+  /// Folds a promise-vs-delivery outcome for `subject` into the ledger,
+  /// fires on_reputation, and evicts the peer on crossing the suspicion
+  /// threshold. No-op when the defense plane is off.
+  void observe_reputation(NodeId subject, double outcome);
+  /// Arms (or re-arms) the straggler deadline of a watched job from its
+  /// recorded quote. No-op unless the defense plane is on.
+  void arm_straggler(const JobId& id);
+  /// Straggler deadline fired: open the revoke-before-grant window.
+  void straggler_expired(const JobId& id);
+  /// kRevoke retransmission timer fired: retry or treat as an ignored
+  /// revoke (score 0) and hedge anyway.
+  void revoke_expired(const JobId& id);
+  /// Sends one kRevoke NOTIFY to the last known assignee and arms the
+  /// retransmission timer.
+  void send_revoke(const JobId& id);
+  /// Revoke window closed (kRevokeAck or retries exhausted): duplicate the
+  /// ASSIGN to the recorded runner-up, within hedge_budget.
+  void dispatch_hedge(const JobId& id);
+  /// Assignee side of a kRevoke NOTIFY: replay the receipt if completed,
+  /// defend with kStarted if running, hand the job back with kRevokeAck if
+  /// queued (or unknown).
+  void handle_revoke(const NotifyMsg& msg);
 
   /// Re-syncs this node's contribution to ctx_.idle_gauge after any queue
   /// or executor transition.
@@ -372,7 +473,7 @@ class AriaNode {
   void flood_request(const grid::JobSpec& spec, std::size_t attempt);
   void decide_assignment(const JobId& id);
   void send_assign(NodeId target, const grid::JobSpec& spec, NodeId initiator,
-                   bool reschedule);
+                   bool reschedule, bool hedge = false);
   void accept_job(const grid::JobSpec& spec, NodeId initiator, bool reschedule);
   void inform_tick();
   void kick_executor();
@@ -399,12 +500,17 @@ class AriaNode {
   std::unordered_set<Uuid> acked_assigns_;
   /// Initiator address for every job currently queued or running here.
   std::unordered_map<JobId, NodeId> initiator_of_;
-  /// Jobs this node ran to completion (failsafe only). Like watched_ on the
-  /// initiator side, the receipt models stable storage and survives
-  /// crashes: a failsafe recovery flood for one of these jobs means the
-  /// completion NOTIFY never landed, and the answer is a replayed receipt,
-  /// not a bid for a second execution.
-  std::unordered_set<JobId> completed_here_;
+  /// Jobs this node ran to completion (failsafe only), with the completion
+  /// time. Like watched_ on the initiator side, the receipt models stable
+  /// storage and survives crashes: a failsafe recovery flood for one of
+  /// these jobs means the completion NOTIFY never landed, and the answer is
+  /// a replayed receipt, not a bid for a second execution. Receipts older
+  /// than completion_receipt_ttl are dropped by a lazy sweep inside the
+  /// periodic inform tick (no extra events, so enabling the TTL keeps
+  /// failsafe runs byte-identical) — no recovery flood can arrive once the
+  /// initiator's watchdog budget is spent, so expired receipts are dead
+  /// weight.
+  std::unordered_map<JobId, TimePoint> completed_here_;
   /// Overload plane: shed jobs waiting out their INFORM burst.
   std::unordered_map<JobId, ShedJob> shed_jobs_;
   /// REJECT ids already acted on, so network duplicates of one refusal do
@@ -419,6 +525,14 @@ class AriaNode {
   /// Overload-plane hysteresis: true while this node withholds ACCEPTs.
   bool bids_suppressed_{false};
   Counters counters_;
+
+  // --- adversary + defense plane state ------------------------------------
+  /// This node's designated misbehavior, asked of the fault plane once at
+  /// construction (stateless hash — no RNG draws). nullopt = honest.
+  std::optional<sim::FaultConfig::Adversary::Role> adv_role_{};
+  /// Promise-vs-delivery ledger over past delegation targets. Constructed
+  /// from config but only written when the defense plane is on.
+  sched::ReputationLedger reputation_;
 
   // --- self-healing plane state (all inert when healing is off) ----------
   overlay::NeighborView view_;

@@ -108,6 +108,23 @@ class ProtocolObserver {
                                    std::uint32_t to_region, TimePoint at) {
     (void)id; (void)aggregator; (void)from_region; (void)to_region; (void)at;
   }
+
+  /// Defense plane (docs/adversary.md): `owner` rejected a REGION_DIGEST
+  /// from `from` claiming `region`/`epoch` because it violated member-report
+  /// conservation bounds; the digest was not folded into the table.
+  virtual void on_digest_clamped(NodeId owner, NodeId from,
+                                 std::uint32_t region, std::uint64_t epoch,
+                                 TimePoint at) {
+    (void)owner; (void)from; (void)region; (void)epoch; (void)at;
+  }
+
+  /// Defense plane: `owner`'s reputation ledger re-scored `subject` after a
+  /// promise-vs-delivery observation; `score` is the post-update EWMA in
+  /// [0, 1]. The auditor checks the per-update movement bound on this stream.
+  virtual void on_reputation(NodeId owner, NodeId subject, double score,
+                             TimePoint at) {
+    (void)owner; (void)subject; (void)score; (void)at;
+  }
 };
 
 }  // namespace aria::proto

@@ -1,0 +1,55 @@
+// Promise-vs-delivery reputation ledger (docs/adversary.md).
+//
+// Every initiator keeps one: a per-node EWMA of how well past delegations
+// honored their quoted cost. An assignee that completes a job within its
+// quote scores 1; one that takes lie_factor times longer scores
+// 1/lie_factor; one that strands the job (watchdog recovery, ignored or
+// acknowledged revoke) scores 0. The protocol layer feeds observations and
+// reads scores — the ledger itself is policy-free bookkeeping, so it lives
+// in sched next to the cost functions it discounts.
+//
+// Scores stay in [0, 1] by construction (observations are clamped), and one
+// update moves a score by at most `alpha` — the invariant the audit plane's
+// reputation-monotonicity check enforces on the observer stream.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+
+namespace aria::sched {
+
+class ReputationLedger {
+ public:
+  ReputationLedger(double alpha, double initial)
+      : alpha_{std::clamp(alpha, 0.0, 1.0)},
+        initial_{std::clamp(initial, 0.0, 1.0)} {}
+
+  /// Current score for `subject`; nodes never observed hold the initial
+  /// (trusting) score.
+  double score(NodeId subject) const {
+    const auto it = scores_.find(subject);
+    return it == scores_.end() ? initial_ : it->second;
+  }
+
+  /// Folds one promise-vs-delivery observation (clamped to [0, 1]) into
+  /// `subject`'s EWMA and returns the post-update score.
+  double observe(NodeId subject, double outcome) {
+    outcome = std::clamp(outcome, 0.0, 1.0);
+    auto [it, inserted] = scores_.try_emplace(subject, initial_);
+    it->second = (1.0 - alpha_) * it->second + alpha_ * outcome;
+    return it->second;
+  }
+
+  /// Nodes with at least one observation.
+  std::size_t tracked() const { return scores_.size(); }
+
+ private:
+  double alpha_;
+  double initial_;
+  std::unordered_map<NodeId, double> scores_;
+};
+
+}  // namespace aria::sched

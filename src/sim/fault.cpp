@@ -82,6 +82,21 @@ bool FaultPlane::churn_target(NodeId node) const {
          tc.regions.end();
 }
 
+std::optional<FaultConfig::Adversary::Role> FaultPlane::adversary_role(
+    NodeId node) const {
+  if (!config_.adversary) return std::nullopt;
+  const auto& adv = *config_.adversary;
+  if (adv.fraction <= 0.0 || adv.roles.empty()) return std::nullopt;
+  // Same stateless designation scheme as minority_side: one hash decides
+  // membership, a second (domain-separated) hash picks the role, so the
+  // fraction draw and the role draw are independent.
+  const std::uint64_t h = mix64(mix64(adv.seed ^ 0xAD5E11ULL) ^ node.value());
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (u >= adv.fraction) return std::nullopt;
+  const std::uint64_t r = mix64(mix64(adv.seed ^ 0xAD701EULL) ^ node.value());
+  return adv.roles[r % adv.roles.size()];
+}
+
 std::pair<double, double> FaultPlane::biased_rates(MessageTypeId type) const {
   double loss = config_.loss;
   double dup = config_.duplicate;

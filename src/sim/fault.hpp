@@ -117,6 +117,37 @@ struct FaultConfig {
   /// the hierarchy plane is off (region-targeted faults are then inert).
   std::uint32_t region_count{0};
 
+  // --- adversarial nodes (docs/adversary.md) ------------------------------
+  /// Byzantine misbehavior: a deterministic fraction of the grid *lies*
+  /// instead of crashing. Role designation is a stateless hash of
+  /// (adversary seed, node id) — like `minority_side` — so it needs no RNG
+  /// draws, survives expansion joiners, and the engine, the nodes, and the
+  /// auditor all agree on who misbehaves without sharing state. The plane
+  /// only designates; the lies themselves live in AriaNode (the protocol
+  /// knows what to lie about), keyed off `FaultPlane::adversary_role`.
+  struct Adversary {
+    /// Fraction of nodes acting adversarially (drawn statelessly per node).
+    double fraction{0.0};
+    /// Magnitude of every lie: underbidders quote cost / lie_factor,
+    /// free-riders advertise held jobs at cost / lie_factor, digest
+    /// poisoners inflate member counts by it.
+    double lie_factor{4.0};
+    enum class Role {
+      kUnderbid,   // ACCEPT quotes scaled down by lie_factor
+      kBlackhole,  // ACKs ASSIGNs, then silently drops the job
+      kFreeride,   // INFORM-advertises held jobs at deflated cost (traps them)
+      kPoison,     // aggregator: REGION_DIGESTs claim an idle, inflated region
+    };
+    /// Roles in play; a designated adversary picks one by a second stateless
+    /// hash. Empty = plan inert (no adversaries regardless of fraction).
+    std::vector<Role> roles{};
+    /// Seed of the designation hash. 0 = the engine derives one from the
+    /// (already run-mixed) fault seed, so repeated runs draw different
+    /// adversary sets while staying individually reproducible.
+    std::uint64_t seed{0};
+  };
+  std::optional<Adversary> adversary{};
+
   // --- message-class fault bias ------------------------------------------
   /// Loss/duplication multipliers keyed on a message type name, resolved to
   /// interned MessageTypeIds when the plane is built. A bias lets one
@@ -192,6 +223,14 @@ class FaultPlane {
   /// config (candidate designation is stateless), so the engine's schedule
   /// builder and tests agree without sharing state.
   bool churn_target(NodeId node) const;
+
+  /// `node`'s adversary role, if it is one. Pure function of the config
+  /// (stateless hash, no RNG draws), so nodes cache it at construction, the
+  /// engine counts adversaries, and the auditor's expected-adversary
+  /// predicate all agree. nullopt when the plan is absent/inert or the node
+  /// is honest.
+  std::optional<FaultConfig::Adversary::Role> adversary_role(
+      NodeId node) const;
 
   /// Effective (loss, duplicate) probabilities for a message type after the
   /// class bias; equals the base rates for unbiased types.

@@ -231,6 +231,50 @@ SweepMatrix SweepMatrix::preset(const std::string& name, std::size_t seeds,
     }
     return matrix;
   }
+  if (name == "adversary") {
+    // Adversarial certification at 2 000 nodes (same grid and workload as
+    // chaos-hier): an honest control, each misbehavior role alone, the
+    // four-role cocktail, and the cocktail with the defense plane armed.
+    // Every row runs the invariant auditor; the acceptance bar is zero
+    // stranded jobs and zero violations on every row, with the defended
+    // cocktail recovering the honest profile (docs/adversary.md).
+    auto base = [&](const char* label) {
+      MatrixEntry e = row("iMixed");
+      e.label = label;
+      e.options.nodes = 2000;
+      e.options.jobs = 400;
+      e.options.horizon_min = 16.0 * 60.0;
+      e.options.hierarchy = true;
+      e.options.audit = true;
+      return e;
+    };
+    matrix.add(base("adv-control"));
+    using Role = sim::FaultConfig::Adversary::Role;
+    const std::pair<const char*, Role> roles[] = {
+        {"adv-underbid", Role::kUnderbid},
+        {"adv-blackhole", Role::kBlackhole},
+        {"adv-freeride", Role::kFreeride},
+        {"adv-poison", Role::kPoison},
+    };
+    for (const auto& [label, role] : roles) {
+      MatrixEntry e = base(label);
+      e.options.adversaries = 0.1;
+      e.options.adversary_roles = {role};
+      matrix.add(std::move(e));
+    }
+    {
+      MatrixEntry e = base("adv-cocktail");
+      e.options.adversaries = 0.1;
+      matrix.add(std::move(e));
+    }
+    {
+      MatrixEntry e = base("adv-cocktail-defended");
+      e.options.adversaries = 0.1;
+      e.options.defenses = true;
+      matrix.add(std::move(e));
+    }
+    return matrix;
+  }
   if (name == "scale10k-hier") {
     // 10 000 nodes under the fault cocktail — hierarchy only (flat flooding
     // at this scale is global-fanout-bound and takes hours of wall clock).
@@ -253,7 +297,7 @@ SweepMatrix SweepMatrix::preset(const std::string& name, std::size_t seeds,
 const std::vector<std::string>& SweepMatrix::preset_names() {
   static const std::vector<std::string> names{
       "table2", "table2-smoke", "quick", "scale2k", "scale10k-hier",
-      "chaos-hier"};
+      "chaos-hier", "adversary"};
   return names;
 }
 

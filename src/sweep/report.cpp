@@ -93,6 +93,9 @@ SweepReport SweepReport::build(
     run.region_pulls = r.region_pulls;
     run.wide_floods = r.wide_floods;
     run.early_wide_escalations = r.early_wide_escalations;
+    run.adv_assigns_swallowed = r.adv_assigns_swallowed;
+    run.hedges_dispatched = r.hedges_dispatched;
+    run.digests_clamped = r.digests_clamped;
     run.audit_violations = r.audit_violations;
     report.runs.push_back(std::move(run));
 
@@ -130,6 +133,9 @@ SweepReport SweepReport::build(
     row.region_pulls += r.region_pulls;
     row.wide_floods += r.wide_floods;
     row.early_wide_escalations += r.early_wide_escalations;
+    row.adv_assigns_swallowed += r.adv_assigns_swallowed;
+    row.hedges_dispatched += r.hedges_dispatched;
+    row.digests_clamped += r.digests_clamped;
     row.audit_violations += r.audit_violations;
     for (const auto& [kind, count] : r.audit_by_kind) {
       row.audit_by_kind[kind] += count;
@@ -175,6 +181,10 @@ void SweepReport::write_json(std::ostream& out) const {
         << ",\"region_pulls\":" << row.region_pulls
         << ",\"wide_floods\":" << row.wide_floods
         << ",\"early_wide_escalations\":" << row.early_wide_escalations
+        << "},\"adversary\":{\"assigns_swallowed\":"
+        << row.adv_assigns_swallowed
+        << ",\"hedges_dispatched\":" << row.hedges_dispatched
+        << ",\"digests_clamped\":" << row.digests_clamped
         << "},\"audit\":{\"violations\":" << row.audit_violations
         << ",\"by_kind\":";
     write_audit_by_kind(out, row.audit_by_kind);
@@ -202,7 +212,8 @@ void SweepReport::write_summary_csv(std::ostream& out) const {
          "stranded,violations,traffic_mib_mean,"
          "digests_sent,region_queries_served,region_forwards,"
          "region_handoffs,region_pulls,wide_floods,"
-         "early_wide_escalations,audit_violations\n";
+         "early_wide_escalations,adv_assigns_swallowed,hedges_dispatched,"
+         "digests_clamped,audit_violations\n";
   for (const RowSummary& row : rows) {
     out << row.label << ',' << row.scenario << ',' << row.runs << ','
         << row.nodes << ',' << row.jobs << ',' << row.base_seed << ','
@@ -217,7 +228,9 @@ void SweepReport::write_summary_csv(std::ostream& out) const {
         << row.digests_sent << ',' << row.region_queries_served << ','
         << row.region_forwards << ',' << row.region_handoffs << ','
         << row.region_pulls << ',' << row.wide_floods << ','
-        << row.early_wide_escalations << ',' << row.audit_violations << '\n';
+        << row.early_wide_escalations << ',' << row.adv_assigns_swallowed
+        << ',' << row.hedges_dispatched << ',' << row.digests_clamped << ','
+        << row.audit_violations << '\n';
   }
 }
 
@@ -227,6 +240,7 @@ void SweepReport::write_runs_csv(std::ostream& out) const {
          "violations,traffic_messages,traffic_bytes,events_fired,"
          "final_nodes,digests_sent,region_queries_served,region_forwards,"
          "region_handoffs,region_pulls,wide_floods,early_wide_escalations,"
+         "adv_assigns_swallowed,hedges_dispatched,digests_clamped,"
          "audit_violations\n";
   for (const RunRow& run : runs) {
     out << run.label << ',' << run.scenario << ',' << run.seed << ','
@@ -239,7 +253,9 @@ void SweepReport::write_runs_csv(std::ostream& out) const {
         << run.digests_sent << ',' << run.region_queries_served << ','
         << run.region_forwards << ',' << run.region_handoffs << ','
         << run.region_pulls << ',' << run.wide_floods << ','
-        << run.early_wide_escalations << ',' << run.audit_violations << '\n';
+        << run.early_wide_escalations << ',' << run.adv_assigns_swallowed
+        << ',' << run.hedges_dispatched << ',' << run.digests_clamped << ','
+        << run.audit_violations << '\n';
   }
 }
 

@@ -47,6 +47,10 @@ struct RunRow {
   std::uint64_t region_pulls{0};
   std::uint64_t wide_floods{0};
   std::uint64_t early_wide_escalations{0};
+  // Adversary/defense planes (zero on honest / undefended runs).
+  std::uint64_t adv_assigns_swallowed{0};
+  std::uint64_t hedges_dispatched{0};
+  std::uint64_t digests_clamped{0};
   // Invariant auditor (zero when --audit is off; see docs/audit.md).
   std::uint64_t audit_violations{0};
 };
@@ -80,6 +84,10 @@ struct RowSummary {
   std::uint64_t region_pulls{0};
   std::uint64_t wide_floods{0};
   std::uint64_t early_wide_escalations{0};
+  // Adversary/defense planes, summed over the row's runs.
+  std::uint64_t adv_assigns_swallowed{0};
+  std::uint64_t hedges_dispatched{0};
+  std::uint64_t digests_clamped{0};
   // Auditor violations, summed plus per-kind (std::map => name-sorted).
   std::uint64_t audit_violations{0};
   std::map<std::string, std::uint64_t> audit_by_kind;

@@ -131,6 +131,37 @@ bool parse_msg_bias(const std::string& text, sim::FaultConfig::MessageBias& out)
   return true;
 }
 
+/// Comma-separated adversary role list. On failure returns an error message
+/// naming the offending token and its position — a role list is a little
+/// source file, and "parse error" without a location is useless at 2am.
+std::optional<std::string> parse_adversary_roles(
+    const std::string& text,
+    std::vector<sim::FaultConfig::Adversary::Role>& out) {
+  using Role = sim::FaultConfig::Adversary::Role;
+  std::string rest = text;
+  std::size_t entry = 1;
+  while (true) {
+    const auto comma = rest.find(',');
+    const std::string token = rest.substr(0, comma);
+    if (token == "underbid") {
+      out.push_back(Role::kUnderbid);
+    } else if (token == "blackhole") {
+      out.push_back(Role::kBlackhole);
+    } else if (token == "freeride") {
+      out.push_back(Role::kFreeride);
+    } else if (token == "poison") {
+      out.push_back(Role::kPoison);
+    } else {
+      return "--adversary-roles: bad role \"" + token + "\" at entry " +
+             std::to_string(entry) +
+             " (want underbid|blackhole|freeride|poison)";
+    }
+    if (comma == std::string::npos) return std::nullopt;
+    rest = rest.substr(comma + 1);
+    ++entry;
+  }
+}
+
 }  // namespace
 
 std::optional<std::string> parse_cli(const std::vector<std::string>& args,
@@ -321,6 +352,37 @@ std::optional<std::string> parse_cli(const std::vector<std::string>& args,
                "(e.g. REGION_DIGEST:25,1)";
       }
       out.msg_fault_bias.push_back(bias);
+    } else if (a == "--adversaries") {
+      const auto v = next("--adversaries");
+      if (!v || !parse_probability(*v, out.adversaries)) {
+        return "--adversaries requires a node fraction in [0,1]";
+      }
+    } else if (a == "--lie-factor") {
+      const auto v = next("--lie-factor");
+      char* end = nullptr;
+      const double f = v ? std::strtod(v->c_str(), &end) : 0.0;
+      if (!v || end == nullptr || *end != '\0' || f < 1.0) {
+        return "--lie-factor requires a factor >= 1";
+      }
+      out.lie_factor = f;
+    } else if (a == "--adversary-roles") {
+      const auto v = next("--adversary-roles");
+      if (!v) {
+        return "--adversary-roles requires a comma-separated list "
+               "(underbid|blackhole|freeride|poison)";
+      }
+      if (auto err = parse_adversary_roles(*v, out.adversary_roles)) {
+        return err;
+      }
+    } else if (a == "--adversary-seed") {
+      const auto v = next("--adversary-seed");
+      std::size_t n = 0;
+      if (!v || !parse_size(*v, n)) {
+        return "--adversary-seed requires an integer";
+      }
+      out.adversary_seed = n;
+    } else if (a == "--defenses") {
+      out.defenses = true;
     } else if (a == "--audit") {
       out.audit = true;
     } else {
@@ -402,6 +464,25 @@ hierarchy's weak points instead of sampling uniformly):
                       for messages of TYPE only (repeatable; e.g.
                       REGION_DIGEST:25,1 starves digests; a modifier — it
                       never enables the fault plane by itself)
+
+adversarial nodes (docs/adversary.md; --adversaries arms the fault plane,
+acknowledged delegation and the failsafe):
+  --adversaries F     designate fraction F of the nodes as adversaries via a
+                      stateless hash (expansion joiners included); each gets
+                      one role from the --adversary-roles pool
+  --adversary-roles L comma-separated role pool (default: all four):
+                      underbid (quote costs /LIE), blackhole (ACK ASSIGNs,
+                      never run), freeride (advertise deflated INFORM
+                      costs), poison (inflate REGION_DIGEST idle claims)
+  --lie-factor X      how hard adversaries lie (default: 4)
+  --adversary-seed S  designation seed (default: derived from the fault
+                      stream; set it to pin the same cast across scenarios)
+  --defenses          enable the defense plane: promise-vs-delivery
+                      reputation with credibility-discounted bid ranking,
+                      suspicion-based offer filtering and overlay eviction,
+                      straggler revoke + hedged re-dispatch, digest sanity
+                      clamping (implies the failsafe and acknowledged
+                      delegation; docs/adversary.md)
 
 auditing (docs/audit.md):
   --audit             run the online invariant auditor: exactly-once
@@ -496,8 +577,33 @@ ScenarioConfig resolve_scenario(const CliOptions& options) {
     // Message-class bias modifies the loss/dup sources above; attaching it
     // only when the plane is armed keeps a bias-only invocation inert.
     cfg.faults.message_bias = options.msg_fault_bias;
+    if (options.adversaries > 0.0) {
+      sim::FaultConfig::Adversary adv;
+      adv.fraction = options.adversaries;
+      if (options.lie_factor > 0.0) adv.lie_factor = options.lie_factor;
+      if (!options.adversary_roles.empty()) {
+        adv.roles = options.adversary_roles;
+      } else {
+        using Role = sim::FaultConfig::Adversary::Role;
+        adv.roles = {Role::kUnderbid, Role::kBlackhole, Role::kFreeride,
+                     Role::kPoison};
+      }
+      adv.seed = options.adversary_seed;
+      cfg.faults.adversary = adv;
+      // Black holes ACK and swallow; only the initiator's watchdog gets
+      // those jobs back.
+      cfg.aria.failsafe = true;
+    }
     // A lossy wire can eat an ASSIGN outright; acknowledged delegation is
     // the matching protocol hardening.
+    cfg.aria.assign_ack = true;
+  }
+  if (options.defenses) {
+    // The defenses ride the same machinery the fault flags arm: straggler
+    // revoke/hedge needs the failsafe's watchdog table and per-attempt
+    // assign ids, and reputation observations come off NOTIFY + ACK paths.
+    cfg.aria.defense.enabled = true;
+    cfg.aria.failsafe = true;
     cfg.aria.assign_ack = true;
   }
   if (options.any_faults() && cfg.aria.hierarchy.enabled) {

@@ -94,6 +94,22 @@ struct CliOptions {
   /// 1,1 entries are draw-for-draw inert.
   std::vector<sim::FaultConfig::MessageBias> msg_fault_bias;
 
+  // --- adversarial nodes (docs/adversary.md) ------------------------------
+  /// Fraction of nodes designated as adversaries (0 = plane off). Implies
+  /// the fault plane, acknowledged delegation and the failsafe.
+  double adversaries{0.0};
+  /// How hard adversaries lie (cost divisor / digest multiplier). 0 = keep
+  /// the FaultConfig default.
+  double lie_factor{0.0};
+  /// Roles the designation hash draws from; empty = all four.
+  std::vector<sim::FaultConfig::Adversary::Role> adversary_roles;
+  /// Designation seed; 0 = derive from the fault stream (the engine mixes
+  /// the run seed in), so an explicit seed pins the cast across scenarios.
+  std::uint64_t adversary_seed{0};
+  /// Defense plane: reputation-weighted bidding, suspicion filtering,
+  /// straggler revoke + hedged re-dispatch, digest clamping.
+  bool defenses{false};
+
   // --- invariant auditing (docs/audit.md) ---------------------------------
   /// Online invariant auditor; metrics stay byte-identical, violations make
   /// aria_sim exit nonzero.
@@ -109,7 +125,7 @@ struct CliOptions {
   bool any_faults() const {
     return loss > 0.0 || duplicate > 0.0 || spike > 0.0 || churn ||
            !partitions.empty() || target_churn_ranks > 0 ||
-           any_region_partitions();
+           any_region_partitions() || adversaries > 0.0;
   }
 };
 

@@ -205,6 +205,13 @@ void GridSimulation::build() {
     // nothing.
     sim::FaultConfig fc = config_.faults;
     fc.seed = fc.seed ^ (seed_ * 0x9E3779B97F4A7C15ULL);
+    // The adversary designation hash gets its own seed: by default it is
+    // derived from the (already run-mixed) fault seed so repeated runs cast
+    // different nodes, while an explicit --adversary-seed pins the cast
+    // across scenarios for A/B comparisons.
+    if (fc.adversary && fc.adversary->seed == 0) {
+      fc.adversary->seed = fc.seed ^ 0xADC0DEULL;
+    }
     // Region-targeted faults (region partitions, role-targeted churn) need
     // the resolved R; with the hierarchy off there are no regions or roles
     // to aim at and both modes stay inert.
@@ -239,6 +246,20 @@ void GridSimulation::build() {
                             : 0u;
     actx.failsafe_max_recoveries =
         config_.aria.failsafe ? config_.aria.failsafe_max_recoveries : 0;
+    if (config_.aria.defense.enabled) {
+      actx.hedge_budget = config_.aria.defense.hedge_budget;
+      actx.reputation_alpha = config_.aria.defense.reputation_alpha;
+      actx.reputation_initial = config_.aria.defense.initial_reputation;
+    }
+    if (faults_ && faults_->config().adversary) {
+      // The fault plane outlives the auditor (declared first in the
+      // engine), so capturing it by pointer is safe; the predicate lets the
+      // auditor tell an injected lie from a protocol bug.
+      const sim::FaultPlane* fp = faults_.get();
+      actx.expected_adversary = [fp](NodeId id) {
+        return fp->adversary_role(id).has_value();
+      };
+    }
     auditor_ = std::make_unique<audit::AuditCollector>(
         config_.audit, actx,
         tracer_ ? static_cast<proto::ProtocolObserver*>(tracer_.get())
@@ -336,6 +357,16 @@ void GridSimulation::spawn_node() {
                      : &tracker_);
   ctx.idle_gauge = &idle_nodes_;
   if (config_.aria.healing.enabled) ctx.healing_topo = &topo_;
+  // Adversary-plane wiring: nodes ask the fault plane for their role at
+  // construction (a stateless hash — expansion joiners hash consistently),
+  // and the digest sanity clamp needs the final grid size to bound
+  // per-region member counts. Null/zero on honest runs, and the node ctor
+  // draws no RNG from either, so fault-free streams are untouched.
+  ctx.faults = faults_.get();
+  ctx.grid_size = config_.expansion
+                      ? std::max(config_.node_count,
+                                 config_.expansion->target_node_count)
+                      : config_.node_count;
 
   std::string vo;
   if (config_.vo_count > 1) {
@@ -642,6 +673,32 @@ RunResult GridSimulation::run() {
     r.queue_depth_series = queue_depth_series_;
     r.shed_series = shed_series_;
     r.reject_series = reject_series_;
+  }
+  if (faults_ && faults_->config().adversary &&
+      faults_->config().adversary->fraction > 0.0 &&
+      !faults_->config().adversary->roles.empty()) {
+    r.adversaries_enabled = true;
+    for (const auto& n : nodes_) {
+      if (n->adversary_role()) ++r.adversary_count;
+      const auto& c = n->counters();
+      r.adv_underbids += c.adv_underbids;
+      r.adv_informs_deflated += c.adv_informs_deflated;
+      r.adv_assigns_swallowed += c.adv_assigns_swallowed;
+      r.adv_digests_poisoned += c.adv_digests_poisoned;
+    }
+  }
+  if (config_.aria.defense.enabled) {
+    r.defense_enabled = true;
+    for (const auto& n : nodes_) {
+      const auto& c = n->counters();
+      r.offers_distrusted += c.offers_distrusted;
+      r.stragglers_detected += c.stragglers_detected;
+      r.revokes_sent += c.revokes_sent;
+      r.revoke_acks_sent += c.revoke_acks_sent;
+      r.hedges_dispatched += c.hedges_dispatched;
+      r.digests_clamped += c.digests_clamped;
+      r.reputation_evictions += c.reputation_evictions;
+    }
   }
   if (config_.aria.hierarchy.enabled) {
     r.hierarchy_enabled = true;

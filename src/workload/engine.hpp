@@ -101,6 +101,26 @@ struct RunResult {
   std::uint64_t intra_region_bytes{0};
   std::uint64_t cross_region_bytes{0};
 
+  // --- adversary plane (all zero when no adversaries designated) --------
+  bool adversaries_enabled{false};
+  /// Nodes the stateless designation hash marked as adversaries (over the
+  /// final grid, expansion joiners included).
+  std::size_t adversary_count{0};
+  std::uint64_t adv_underbids{0};         // ACCEPT bids quoted below true cost
+  std::uint64_t adv_informs_deflated{0};  // INFORM/shed ads at deflated cost
+  std::uint64_t adv_assigns_swallowed{0}; // ASSIGNs black-holed
+  std::uint64_t adv_digests_poisoned{0};  // REGION_DIGESTs inflated
+
+  // --- defense plane (all zero when defenses are off) -------------------
+  bool defense_enabled{false};
+  std::uint64_t offers_distrusted{0};     // ACCEPTs dropped below suspicion
+  std::uint64_t stragglers_detected{0};   // quoted-ETTC deadline expiries
+  std::uint64_t revokes_sent{0};          // REVOKE notifies (incl. retries)
+  std::uint64_t revoke_acks_sent{0};      // assignee-side surrendered jobs
+  std::uint64_t hedges_dispatched{0};     // duplicate ASSIGNs to runner-ups
+  std::uint64_t digests_clamped{0};       // digests rejected by sanity clamp
+  std::uint64_t reputation_evictions{0};  // overlay evictions on distrust
+
   // --- audit plane (all empty when auditing is off) ---------------------
   bool audit_enabled{false};
   /// Total invariant violations detected (docs/audit.md). Must be 0 on

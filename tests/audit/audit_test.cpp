@@ -209,8 +209,136 @@ TEST(Audit, DigestEpochMayRepeatButNeverRegress) {
 }
 
 // ---------------------------------------------------------------------------
+// Unit: adversary-plane checks (docs/adversary.md)
+// ---------------------------------------------------------------------------
+
+TEST(Audit, DesignatedPoisonerDigestsAreReattributedNotViolations) {
+  // With an expected-adversary predicate, a poisoned digest from a
+  // designated liar is the injection working as configured: it lands in the
+  // informational counter, not the violation total. Honest senders still
+  // get flagged.
+  AuditContext ctx;
+  ctx.node_count = 100;
+  ctx.region_count = 4;
+  ctx.expected_adversary = [](NodeId n) { return n == NodeId{1}; };
+  AuditCollector a = make_collector(ctx);
+  tap_digest(a, NodeId{1}, {1, 3, /*members=*/80, 0, 0.0, 0});  // designated
+  EXPECT_EQ(a.violation_count(), 0u);
+  EXPECT_EQ(a.expected_adversary_digests(), 1u);
+  tap_digest(a, NodeId{2}, {2, 3, /*members=*/80, 0, 0.0, 0});  // honest!
+  ASSERT_EQ(a.violation_count(), 1u);
+  EXPECT_EQ(a.violations()[0].kind, "digest-overcount");
+}
+
+TEST(Audit, ClampWithoutAPoisonedDigestIsFlagged) {
+  // A defender may only clamp digests the wire actually saw misbehave;
+  // clamping a clean one would silently blind the hierarchy.
+  AuditContext ctx;
+  ctx.node_count = 100;
+  ctx.region_count = 4;
+  AuditCollector a = make_collector(ctx);
+  a.on_digest_clamped(NodeId{9}, NodeId{1}, /*region=*/1, /*epoch=*/3, at(10));
+  ASSERT_EQ(a.violation_count(), 1u);
+  EXPECT_EQ(a.violations()[0].kind, "clamp-without-cause");
+}
+
+TEST(Audit, ClampOfAPoisonedDigestIsLegitimate) {
+  AuditContext ctx;
+  ctx.node_count = 100;
+  ctx.region_count = 4;
+  ctx.expected_adversary = [](NodeId n) { return n == NodeId{1}; };
+  AuditCollector a = make_collector(ctx);
+  tap_digest(a, NodeId{1}, {1, 3, /*members=*/80, 0, 0.0, 0});
+  // The send tap recorded the bad (from, region, epoch); the receiver's
+  // clamp of exactly that digest is cause-backed.
+  a.on_digest_clamped(NodeId{9}, NodeId{1}, 1, 3, at(11));
+  EXPECT_EQ(a.violation_count(), 0u);
+}
+
+TEST(Audit, ReputationMovesAreBoundedByAlpha) {
+  AuditContext ctx;
+  ctx.reputation_alpha = 0.3;
+  AuditCollector a = make_collector(ctx);
+  // Never-observed peers start at reputation_initial (1.0): one EWMA step
+  // can move the score by at most alpha.
+  a.on_reputation(NodeId{0}, NodeId{7}, 0.79, at(1));  // |1.0 - 0.79| <= 0.3
+  EXPECT_EQ(a.violation_count(), 0u);
+  a.on_reputation(NodeId{0}, NodeId{7}, 0.20, at(2));  // 0.59 jump: flagged
+  ASSERT_EQ(a.violation_count(), 1u);
+  EXPECT_EQ(a.violations()[0].kind, "reputation-jump");
+}
+
+TEST(Audit, ReputationOutsideTheUnitIntervalIsFlagged) {
+  AuditContext ctx;
+  ctx.reputation_alpha = 0.3;
+  AuditCollector a = make_collector(ctx);
+  a.on_reputation(NodeId{0}, NodeId{7}, 1.25, at(1));  // step is legal, range not
+  ASSERT_EQ(a.violation_count(), 1u);
+  EXPECT_EQ(a.violations()[0].kind, "reputation-out-of-range");
+
+  // Alpha 0 = defense plane off = reputation checks skipped entirely.
+  AuditCollector off = make_collector();
+  off.on_reputation(NodeId{0}, NodeId{7}, 42.0, at(1));
+  EXPECT_EQ(off.violation_count(), 0u);
+}
+
+TEST(Audit, HedgeBudgetIsMeteredOnTheWire) {
+  AuditContext ctx;
+  ctx.hedge_budget = 1;
+  AuditCollector a = make_collector(ctx);
+  Rng rng{99};
+  const JobId id = job_id(30);
+  const proto::AssignMsg first{NodeId{0}, spec(id), false,
+                               Uuid::generate(rng), /*hedge=*/true};
+  a.on_message(NodeId{0}, NodeId{5}, first, at(1), at(1), false);
+  // Retransmission of the same attempt reuses the assign id: still 1 hedge.
+  a.on_message(NodeId{0}, NodeId{5}, first, at(2), at(2), false);
+  EXPECT_EQ(a.violation_count(), 0u);
+  // A second distinct hedged attempt blows the budget of 1.
+  const proto::AssignMsg second{NodeId{0}, spec(id), false,
+                                Uuid::generate(rng), /*hedge=*/true};
+  a.on_message(NodeId{0}, NodeId{6}, second, at(3), at(3), false);
+  ASSERT_EQ(a.violation_count(), 1u);
+  EXPECT_EQ(a.violations()[0].kind, "hedge-budget-exceeded");
+}
+
+TEST(Audit, AHedgeExplainsASecondCompletion) {
+  // Revoke-before-grant cannot always stop a racing straggler from
+  // finishing after the hedge landed; completions up to
+  // 1 + recoveries + hedges are accounted for, one more is not.
+  AuditContext ctx;
+  ctx.hedge_budget = 1;
+  AuditCollector a = make_collector(ctx);
+  Rng rng{7};
+  const JobId id = job_id(31);
+  const proto::AssignMsg hedge{NodeId{0}, spec(id), false,
+                               Uuid::generate(rng), /*hedge=*/true};
+  a.on_message(NodeId{0}, NodeId{5}, hedge, at(1), at(1), false);
+  a.on_completed(id, NodeId{5}, at(10), 10_min);
+  a.on_completed(id, NodeId{6}, at(11), 10_min);  // the hedge pair: fine
+  EXPECT_EQ(a.violation_count(), 0u);
+  a.on_completed(id, NodeId{7}, at(12), 10_min);  // a third is not
+  ASSERT_EQ(a.violation_count(), 1u);
+  EXPECT_EQ(a.violations()[0].kind, "duplicate-completion");
+}
+
+// ---------------------------------------------------------------------------
 // Unit: decorator + recording cap
 // ---------------------------------------------------------------------------
+
+TEST(Audit, DefaultRecordingCapSurvivesAViolationFlood) {
+  // The shipped default (max_recorded 64): flood well past it and the
+  // stored records plateau while the count and by-kind totals keep going.
+  AuditCollector a = make_collector();
+  for (int i = 0; i < 100; ++i) {
+    const JobId id = job_id(1000 + i);
+    a.on_completed(id, NodeId{1}, at(10), 10_min);
+    a.on_completed(id, NodeId{2}, at(11), 10_min);  // one duplicate each
+  }
+  EXPECT_EQ(a.violation_count(), 100u);
+  EXPECT_EQ(a.violations().size(), AuditConfig{}.max_recorded);
+  EXPECT_EQ(a.by_kind().at("duplicate-completion"), 100u);
+}
 
 TEST(Audit, ForwardsEveryCallbackToTheWrappedObserver) {
   struct Recorder : proto::ProtocolObserver {

@@ -350,5 +350,73 @@ TEST(Cli, ResolveThrowsForUnknownScenario) {
   EXPECT_THROW(resolve_scenario(o), std::out_of_range);
 }
 
+TEST(Cli, ParsesAdversaryFlags) {
+  CliOptions o;
+  const auto err = parse_cli(
+      {"--adversaries", "0.1", "--lie-factor", "8", "--adversary-roles",
+       "underbid,poison", "--adversary-seed", "42", "--defenses"},
+      o);
+  EXPECT_FALSE(err.has_value()) << *err;
+  EXPECT_DOUBLE_EQ(o.adversaries, 0.1);
+  EXPECT_DOUBLE_EQ(o.lie_factor, 8.0);
+  ASSERT_EQ(o.adversary_roles.size(), 2u);
+  EXPECT_EQ(o.adversary_roles[0], sim::FaultConfig::Adversary::Role::kUnderbid);
+  EXPECT_EQ(o.adversary_roles[1], sim::FaultConfig::Adversary::Role::kPoison);
+  EXPECT_EQ(o.adversary_seed, 42u);
+  EXPECT_TRUE(o.defenses);
+  EXPECT_TRUE(o.any_faults());  // adversaries arm the fault plane
+}
+
+TEST(Cli, BadAdversaryRoleNamesTheOffendingToken) {
+  CliOptions o;
+  const auto err =
+      parse_cli({"--adversary-roles", "underbid,blackhol,poison"}, o);
+  ASSERT_TRUE(err.has_value());
+  // The diagnostic pinpoints which entry of the list is broken.
+  EXPECT_NE(err->find("blackhol"), std::string::npos) << *err;
+  EXPECT_NE(err->find("entry 2"), std::string::npos) << *err;
+}
+
+TEST(Cli, RejectsBadAdversaryFlags) {
+  CliOptions o;
+  EXPECT_TRUE(parse_cli({"--adversaries", "1.5"}, o).has_value());
+  EXPECT_TRUE(parse_cli({"--adversaries", "-0.1"}, o).has_value());
+  EXPECT_TRUE(parse_cli({"--lie-factor", "0.5"}, o).has_value());  // < 1 dilutes
+  EXPECT_TRUE(parse_cli({"--adversary-roles", ""}, o).has_value());
+  EXPECT_TRUE(parse_cli({"--adversary-roles"}, o).has_value());
+}
+
+TEST(Cli, ResolveArmsTheAdversaryPlan) {
+  CliOptions o;
+  o.scenario = "iMixed";
+  o.adversaries = 0.1;
+  o.lie_factor = 6.0;
+  o.adversary_seed = 9;
+  const ScenarioConfig cfg = resolve_scenario(o);
+  EXPECT_TRUE(cfg.faults.enabled);
+  ASSERT_TRUE(cfg.faults.adversary.has_value());
+  EXPECT_DOUBLE_EQ(cfg.faults.adversary->fraction, 0.1);
+  EXPECT_DOUBLE_EQ(cfg.faults.adversary->lie_factor, 6.0);
+  EXPECT_EQ(cfg.faults.adversary->seed, 9u);
+  // No explicit role list = the full cocktail.
+  EXPECT_EQ(cfg.faults.adversary->roles.size(), 4u);
+  // A lying grid needs the crash-recovery machinery armed.
+  EXPECT_TRUE(cfg.aria.failsafe);
+}
+
+TEST(Cli, ResolveArmsTheDefensePlane) {
+  CliOptions o;
+  o.scenario = "iMixed";
+  o.defenses = true;
+  const ScenarioConfig cfg = resolve_scenario(o);
+  EXPECT_TRUE(cfg.aria.defense.enabled);
+  // Revoke-then-hedge rides the failsafe watchdog and acknowledged
+  // delegation; --defenses arms both.
+  EXPECT_TRUE(cfg.aria.failsafe);
+  EXPECT_TRUE(cfg.aria.assign_ack);
+  // Defenses alone do not arm fault injection.
+  EXPECT_FALSE(cfg.faults.enabled);
+}
+
 }  // namespace
 }  // namespace aria::workload

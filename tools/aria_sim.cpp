@@ -244,6 +244,50 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Printed only when adversaries were designated (same byte-identity
+  // contract: honest runs never reach this block).
+  if (!results.empty() && results.front().adversaries_enabled) {
+    std::size_t cast = 0;
+    std::uint64_t underbids = 0, deflated = 0, swallowed = 0, poisoned = 0;
+    for (const auto& r : results) {
+      cast += r.adversary_count;
+      underbids += r.adv_underbids;
+      deflated += r.adv_informs_deflated;
+      swallowed += r.adv_assigns_swallowed;
+      poisoned += r.adv_digests_poisoned;
+    }
+    std::cout << "\nadversaries (totals over " << results.size()
+              << " run(s), " << cast << " designated):\n"
+              << "  bids underquoted: " << underbids
+              << ", INFORMs deflated: " << deflated
+              << ", ASSIGNs swallowed: " << swallowed
+              << ", digests poisoned: " << poisoned
+              << ", jobs stranded: " << stranded << "\n";
+  }
+
+  // Printed only when the defense plane ran (same byte-identity contract).
+  if (cfg.aria.defense.enabled) {
+    std::uint64_t distrusted = 0, stragglers = 0, revokes = 0, acks = 0;
+    std::uint64_t hedges = 0, clamped = 0, evicted = 0;
+    for (const auto& r : results) {
+      distrusted += r.offers_distrusted;
+      stragglers += r.stragglers_detected;
+      revokes += r.revokes_sent;
+      acks += r.revoke_acks_sent;
+      hedges += r.hedges_dispatched;
+      clamped += r.digests_clamped;
+      evicted += r.reputation_evictions;
+    }
+    std::cout << "\ndefenses (totals over " << results.size() << " run(s)):\n"
+              << "  offers distrusted: " << distrusted
+              << ", reputation evictions: " << evicted << "\n"
+              << "  stragglers detected: " << stragglers << ", revokes sent: "
+              << revokes << ", surrendered: " << acks
+              << ", hedges dispatched: " << hedges << "\n"
+              << "  digests clamped: " << clamped
+              << ", jobs stranded: " << stranded << "\n";
+  }
+
   // Printed only when the tracing plane ran (same byte-identity contract):
   // the per-job critical-path summary from the first run's trace.
   if (cfg.trace.enabled && !results.empty() && results.front().trace) {

@@ -41,7 +41,7 @@ const char kUsage[] = R"(aria_sweep: parallel scenario sweeps with deterministic
 usage: aria_sweep (--preset NAME | --matrix FILE) [options]
 
   --preset NAME       built-in matrix: table2, table2-smoke, quick,
-                      scale2k, scale10k-hier
+                      scale2k, scale10k-hier, chaos-hier, adversary
   --matrix FILE       matrix file: one row per line of aria_sim flags
                       (plus --label NAME); '#' comments
   --seeds N           seeds per preset row (default: 1; matrix rows use
