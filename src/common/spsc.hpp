@@ -1,0 +1,118 @@
+// Bounded single-producer/single-consumer channel with a lock-free ring
+// and a mutex-guarded overflow lane.
+//
+// Built for the sharded PDES executor (sim/pdes, docs/pdes.md): during a
+// parallel window exactly one worker thread pushes cross-shard messages
+// into each channel, and the coordinator drains them at the next barrier,
+// when every producer is quiescent. The common case is therefore the
+// wait-free ring; the overflow deque only exists so that a burst larger
+// than the ring never blocks a producer (the consumer runs *only* at
+// barriers, so waiting for space would deadlock the window) and never
+// drops a message (which would break determinism).
+//
+// FIFO contract: drain() yields items in push order, provided pushes and
+// the drain do not overlap in time — which the barrier protocol
+// guarantees. Overlapping push/drain is memory-safe (the ring is SPSC
+// lock-free, the overflow lane is locked) but the ring/overflow
+// interleaving is then unspecified. Once one push overflows, every later
+// push follows it into the overflow lane until the next drain, so order is
+// preserved across the spill.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace aria {
+
+template <typename T>
+class SpscChannel {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2) so the ring
+  /// index reduces to a mask.
+  explicit SpscChannel(std::size_t capacity = 1024) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    ring_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscChannel(const SpscChannel&) = delete;
+  SpscChannel& operator=(const SpscChannel&) = delete;
+
+  /// Producer side. Never blocks, never fails: a full ring spills to the
+  /// overflow lane instead.
+  void push(T v) {
+    if (!overflowed_.load(std::memory_order_relaxed) && try_push(v)) return;
+    const std::lock_guard<std::mutex> lock{mu_};
+    overflow_.push_back(std::move(v));
+    overflowed_.store(true, std::memory_order_relaxed);
+    ++overflow_count_;
+  }
+
+  /// Consumer side: pops everything currently in the channel, in FIFO
+  /// order (see the class contract), invoking `fn(T&&)` per item. Returns
+  /// the number of items drained.
+  template <typename Fn>
+  std::size_t drain(Fn&& fn) {
+    std::size_t n = 0;
+    std::size_t h = head_.load(std::memory_order_relaxed);
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    while (h != t) {
+      fn(std::move(ring_[h & mask_]));
+      ++h;
+      ++n;
+    }
+    head_.store(h, std::memory_order_release);
+    const std::lock_guard<std::mutex> lock{mu_};
+    while (!overflow_.empty()) {
+      fn(std::move(overflow_.front()));
+      overflow_.pop_front();
+      ++n;
+    }
+    overflowed_.store(false, std::memory_order_relaxed);
+    return n;
+  }
+
+  bool empty() const {
+    if (head_.load(std::memory_order_acquire) !=
+        tail_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    const std::lock_guard<std::mutex> lock{mu_};
+    return overflow_.empty();
+  }
+
+  std::size_t ring_capacity() const { return ring_.size(); }
+
+  /// Items that missed the ring and took the slow lane — telemetry for
+  /// sizing the ring (docs/pdes.md "Channel protocol").
+  std::uint64_t overflow_count() const { return overflow_count_; }
+
+ private:
+  bool try_push(T& v) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) == ring_.size()) {
+      return false;
+    }
+    ring_[t & mask_] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::vector<T> ring_;
+  std::size_t mask_{0};
+  std::atomic<std::size_t> head_{0};
+  std::atomic<std::size_t> tail_{0};
+  std::atomic<bool> overflowed_{false};
+  mutable std::mutex mu_;
+  std::deque<T> overflow_;
+  std::uint64_t overflow_count_{0};  // consumer/producer-quiescent reads only
+};
+
+}  // namespace aria

@@ -40,7 +40,7 @@ std::vector<NodeId> FloodRelay::pick_targets(NodeId node, std::size_t fanout,
     candidates.push_back(n);
   }
   if (candidates.size() <= fanout) return candidates;
-  return rng_.sample(candidates, fanout);
+  return pick_rng(node).sample(candidates, fanout);
 }
 
 std::vector<NodeId> FloodRelay::pick_targets_in_region(
@@ -53,7 +53,7 @@ std::vector<NodeId> FloodRelay::pick_targets_in_region(
     candidates.push_back(n);
   }
   if (candidates.size() <= fanout) return candidates;
-  return rng_.sample(candidates, fanout);
+  return pick_rng(node).sample(candidates, fanout);
 }
 
 }  // namespace aria::overlay

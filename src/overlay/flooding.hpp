@@ -50,9 +50,9 @@ class FloodRelay {
   /// Region-scoped variant (hierarchical plane, docs/hierarchy.md): same
   /// contract, but only neighbors in `region` under an R-way mod partition
   /// are candidates — a flood relayed through this picker can never leak
-  /// across a region boundary. Draws from the same RNG stream; with the
-  /// hierarchy plane off this is never called, so flat runs see identical
-  /// draw sequences.
+  /// across a region boundary. Draws from the same per-node stream as
+  /// pick_targets; with the hierarchy plane off this is never called, so
+  /// flat runs see identical draw sequences.
   std::vector<NodeId> pick_targets_in_region(NodeId node, std::size_t fanout,
                                              std::size_t region_count,
                                              std::uint32_t region,
@@ -77,8 +77,21 @@ class FloodRelay {
 
   void sweep(TimePoint now);
 
+  /// Target picks draw from a per-relaying-node stream (rng_ forked on the
+  /// node id, cached lazily) — the PDES determinism-contract rule
+  /// (docs/pdes.md): each node's pick sequence must depend only on its own
+  /// relay order, which is identical under sequential and sharded execution.
+  Rng& pick_rng(NodeId node) {
+    auto it = node_rng_.find(node);
+    if (it == node_rng_.end()) {
+      it = node_rng_.emplace(node, rng_.fork(node.value())).first;
+    }
+    return it->second;
+  }
+
   const Topology* topo_;
   Rng rng_;
+  std::unordered_map<NodeId, Rng> node_rng_;
   Duration ttl_{Duration::zero()};
   std::unordered_map<Uuid, Entry> seen_;
   // (first_seen, id) in insertion order; a stale record whose first_seen no

@@ -17,8 +17,7 @@ std::uint64_t mix64(std::uint64_t x) {
 
 }  // namespace
 
-FaultPlane::FaultPlane(FaultConfig config)
-    : config_{std::move(config)}, rng_{config_.seed} {
+FaultPlane::FaultPlane(FaultConfig config) : config_{std::move(config)} {
   // Resolve the message-class bias table to interned ids once. Interning
   // here is idempotent with the function-local statics the message structs
   // use — a name biased before its first wire appearance still lands on the
@@ -108,6 +107,16 @@ std::pair<double, double> FaultPlane::biased_rates(MessageTypeId type) const {
   return {loss, dup};
 }
 
+Rng& FaultPlane::verdict_rng(NodeId from) {
+  auto it = verdict_rng_.find(from);
+  if (it == verdict_rng_.end()) {
+    it = verdict_rng_
+             .emplace(from, Rng{config_.seed}.fork(0xFA17u).fork(from.value()))
+             .first;
+  }
+  return it->second;
+}
+
 FaultPlane::Verdict FaultPlane::on_send(NodeId from, NodeId to,
                                         MessageTypeId type, TimePoint now) {
   Verdict v;
@@ -119,20 +128,20 @@ FaultPlane::Verdict FaultPlane::on_send(NodeId from, NodeId to,
     return v;
   }
   const auto [loss, duplicate] = biased_rates(type);
-  if (loss > 0.0 && rng_.bernoulli(loss)) {
+  Rng& rng = verdict_rng(from);
+  if (loss > 0.0 && rng.bernoulli(loss)) {
     v.drop = true;
     ++counters_.lost;
     return v;
   }
-  if (duplicate > 0.0 && rng_.bernoulli(duplicate)) {
+  if (duplicate > 0.0 && rng.bernoulli(duplicate)) {
     v.duplicate = true;
     v.duplicate_lag =
-        rng_.uniform_duration(Duration::millis(1), config_.duplicate_lag_max);
+        rng.uniform_duration(Duration::millis(1), config_.duplicate_lag_max);
     ++counters_.duplicated;
   }
-  if (config_.spike > 0.0 && rng_.bernoulli(config_.spike)) {
-    v.extra_delay =
-        rng_.uniform_duration(config_.spike_min, config_.spike_max);
+  if (config_.spike > 0.0 && rng.bernoulli(config_.spike)) {
+    v.extra_delay = rng.uniform_duration(config_.spike_min, config_.spike_max);
     ++counters_.delayed;
   }
   return v;

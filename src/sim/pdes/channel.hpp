@@ -1,0 +1,98 @@
+// Cross-shard message transport (docs/pdes.md "Channel protocol").
+//
+// Every ordered shard pair (src, dst) gets one bounded SPSC channel.
+// Messages enter at send time — after the sender-side fault verdict and
+// latency draw, stamped with their absolute delivery instant — and leave at
+// the next barrier, when the coordinator drains all channels in canonical
+// order (destination-major, source ascending, FIFO within a channel) and
+// schedules each message on the owning shard's simulator under its
+// sender-stamped ordering key, so same-instant deliveries fire in
+// (sender, per-sender seq) order exactly as they would sequentially —
+// never in thread-timing or drain order.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/spsc.hpp"
+#include "common/time.hpp"
+#include "sim/network.hpp"
+#include "sim/pdes/shard_map.hpp"
+
+namespace aria::sim::pdes {
+
+/// One in-flight cross-shard message. `deliver_at` was fixed on the sender
+/// side; the conservative window bound guarantees it is still in the
+/// destination shard's future when the envelope is drained.
+struct CrossShardEnvelope {
+  NodeId from{};
+  NodeId to{};
+  TimePoint deliver_at{};
+  /// Sender-side delivery ordering key (Network::next_delivery_key);
+  /// reapplied verbatim when the destination shard schedules the delivery.
+  std::uint64_t key{0};
+  std::unique_ptr<Message> message;
+};
+
+/// The full shards x shards channel fabric (diagonal unused).
+class ChannelMatrix {
+ public:
+  explicit ChannelMatrix(std::size_t shards, std::size_t ring_capacity = 1024)
+      : shards_{shards} {
+    channels_.reserve(shards * shards);
+    for (std::size_t i = 0; i < shards * shards; ++i) {
+      channels_.push_back(
+          std::make_unique<SpscChannel<CrossShardEnvelope>>(ring_capacity));
+    }
+  }
+
+  SpscChannel<CrossShardEnvelope>& at(std::size_t src, std::size_t dst) {
+    assert(src < shards_ && dst < shards_);
+    return *channels_[src * shards_ + dst];
+  }
+
+  std::size_t shards() const { return shards_; }
+
+  std::uint64_t total_overflows() const {
+    std::uint64_t n = 0;
+    for (const auto& c : channels_) n += c->overflow_count();
+    return n;
+  }
+
+ private:
+  std::size_t shards_;
+  std::vector<std::unique_ptr<SpscChannel<CrossShardEnvelope>>> channels_;
+};
+
+/// The sender-side half of the transport: one per shard, attached to that
+/// shard's Network via set_remote_route(). During a window only the shard's
+/// own worker sends through it; during engine phases only the coordinator
+/// does — there is never more than one producer at a time per channel,
+/// which is exactly the SPSC contract.
+class ShardRoute final : public RemoteRoute {
+ public:
+  ShardRoute(ShardMap map, std::size_t self, ChannelMatrix& channels)
+      : map_{map}, self_{self}, channels_{&channels} {}
+
+  bool is_remote(NodeId to) const override {
+    return map_.shard_of(to) != self_;
+  }
+
+  void forward(NodeId from, NodeId to, TimePoint deliver_at,
+               std::uint64_t key, std::unique_ptr<Message> message) override {
+    channels_->at(self_, map_.shard_of(to))
+        .push(CrossShardEnvelope{from, to, deliver_at, key,
+                                 std::move(message)});
+  }
+
+ private:
+  ShardMap map_;
+  std::size_t self_;
+  ChannelMatrix* channels_;
+};
+
+}  // namespace aria::sim::pdes

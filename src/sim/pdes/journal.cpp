@@ -1,0 +1,71 @@
+#include "sim/pdes/journal.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace aria::sim::pdes {
+
+std::string JournalEntry::to_string() const {
+  std::ostringstream out;
+  out << "t=+" << sent.count_micros() << "us n" << from.value() << " -> n"
+      << to.value() << " " << MessageTypeRegistry::name(type);
+  if (faulted) {
+    out << " FAULTED";
+  } else {
+    out << " deliver=+" << deliver.count_micros() << "us";
+  }
+  out << " seq=" << sender_seq;
+  return out.str();
+}
+
+void EventJournal::on_message(NodeId from, NodeId to, const Message& message,
+                              TimePoint sent, TimePoint deliver,
+                              bool faulted) {
+  entries_.push_back(JournalEntry{sent, from, to, message.type_id(), deliver,
+                                  faulted, sender_seq_[from]++});
+}
+
+std::vector<JournalEntry> merge_journals(
+    const std::vector<const EventJournal*>& journals) {
+  std::vector<JournalEntry> merged;
+  std::size_t total = 0;
+  for (const EventJournal* j : journals) total += j->entries().size();
+  merged.reserve(total);
+  for (const EventJournal* j : journals) {
+    merged.insert(merged.end(), j->entries().begin(), j->entries().end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const JournalEntry& a, const JournalEntry& b) {
+              if (a.sent != b.sent) return a.sent < b.sent;
+              if (a.from != b.from) return a.from.value() < b.from.value();
+              return a.sender_seq < b.sender_seq;
+            });
+  return merged;
+}
+
+std::optional<Divergence> first_divergence(
+    const std::vector<JournalEntry>& expected,
+    const std::vector<JournalEntry>& actual) {
+  const std::size_t common = std::min(expected.size(), actual.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (expected[i] == actual[i]) continue;
+    std::ostringstream out;
+    out << "first divergent event at canonical index " << i
+        << ":\n  sequential: " << expected[i].to_string()
+        << "\n  sharded:    " << actual[i].to_string();
+    return Divergence{i, out.str()};
+  }
+  if (expected.size() != actual.size()) {
+    std::ostringstream out;
+    const bool longer = actual.size() > expected.size();
+    const JournalEntry& extra = longer ? actual[common] : expected[common];
+    out << "journals agree on the first " << common << " events, then the "
+        << (longer ? "sharded" : "sequential") << " run has "
+        << (longer ? actual.size() - common : expected.size() - common)
+        << " extra event(s); first extra: " << extra.to_string();
+    return Divergence{common, out.str()};
+  }
+  return std::nullopt;
+}
+
+}  // namespace aria::sim::pdes

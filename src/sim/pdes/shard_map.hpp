@@ -1,0 +1,32 @@
+// Node-to-shard assignment for the sharded PDES executor (docs/pdes.md).
+//
+// The partition is stateless — a pure function of (node id, region count,
+// shard count) — so every component (engine, channels, routes, tests)
+// agrees on ownership without sharing state, and a node's shard never
+// changes mid-run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/ids.hpp"
+
+namespace aria::sim::pdes {
+
+struct ShardMap {
+  std::size_t shards{1};
+  /// Resolved hierarchy region count R; 0 or 1 when the hierarchy plane is
+  /// off. With regions, shards own whole regions ((id mod R) mod S, i.e.
+  /// regions round-robin across shards) so region-scoped floods and
+  /// digest traffic stay shard-local and only cross-region messages pay
+  /// the channel hop. Without regions there is no locality structure to
+  /// exploit and nodes round-robin directly (id mod S).
+  std::size_t region_count{0};
+
+  std::size_t shard_of(NodeId n) const {
+    const auto v = static_cast<std::size_t>(n.value());
+    return region_count > 1 ? (v % region_count) % shards : v % shards;
+  }
+};
+
+}  // namespace aria::sim::pdes

@@ -7,8 +7,9 @@
 namespace aria::sim {
 
 namespace {
-// 4-ary beats binary here: the heap holds 24-byte PODs, so one cache line
-// covers more than two children and the shallower tree wins on sift depth.
+// 4-ary beats binary here: the heap holds 32-byte PODs, so one cache line
+// covers a parent's whole child group and the shallower tree wins on sift
+// depth.
 constexpr std::size_t kArity = 4;
 }  // namespace
 
@@ -51,7 +52,7 @@ void Simulator::cancel(std::uint32_t slot, std::uint32_t generation) {
 }
 
 // ---------------------------------------------------------------------------
-// 4-ary heap over (at, seq)
+// 4-ary heap over (at, key, seq)
 // ---------------------------------------------------------------------------
 
 void Simulator::heap_push(HeapEntry entry) {
@@ -109,6 +110,11 @@ void Simulator::maybe_compact() {
 // ---------------------------------------------------------------------------
 
 EventHandle Simulator::schedule_at(TimePoint at, Callback fn) {
+  return schedule_at_keyed(at, 0, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at_keyed(TimePoint at, std::uint64_t key,
+                                         Callback fn) {
   assert(fn);
   if (at < now_) at = now_;  // never schedule into the past
   const std::uint32_t slot = alloc_slot();
@@ -116,7 +122,7 @@ EventHandle Simulator::schedule_at(TimePoint at, Callback fn) {
   s.fn = std::move(fn);
   s.in_heap = true;
   const std::uint32_t generation = s.generation;
-  heap_push(HeapEntry{at, next_seq_++, slot, generation});
+  heap_push(HeapEntry{at, key, next_seq_++, slot, generation});
   return EventHandle{this, slot, generation};
 }
 
@@ -136,7 +142,7 @@ EventHandle Simulator::schedule_periodic(Duration phase, Duration period,
   s.period = period;
   s.in_heap = true;
   const std::uint32_t generation = s.generation;
-  heap_push(HeapEntry{now_ + phase, next_seq_++, slot, generation});
+  heap_push(HeapEntry{now_ + phase, 0, next_seq_++, slot, generation});
   return EventHandle{this, slot, generation};
 }
 
@@ -174,7 +180,7 @@ bool Simulator::step() {
       if (s.generation == top.generation) {
         s.fn = std::move(fn);
         s.in_heap = true;
-        heap_push(HeapEntry{now_ + s.period, next_seq_++, top.slot,
+        heap_push(HeapEntry{now_ + s.period, 0, next_seq_++, top.slot,
                             top.generation});
       }
     } else {
@@ -206,6 +212,24 @@ std::uint64_t Simulator::run_until(TimePoint deadline) {
   }
   if (now_ < deadline) now_ = deadline;
   return n;
+}
+
+std::uint64_t Simulator::run_until_before(TimePoint bound) {
+  stop_requested_ = false;
+  std::uint64_t n = 0;
+  while (!stop_requested_) {
+    const std::optional<TimePoint> next = peek();
+    if (!next || *next >= bound) break;
+    step();
+    ++n;
+  }
+  return n;
+}
+
+void Simulator::advance_to(TimePoint at) {
+  if (at <= now_) return;
+  assert(!peek() || *peek() >= at);
+  now_ = at;
 }
 
 }  // namespace aria::sim

@@ -1,14 +1,21 @@
 // Deterministic discrete-event simulation kernel.
 //
-// Events are (time, sequence) ordered: two events at the same instant fire
-// in scheduling order, which makes whole runs bit-reproducible.
+// Events are (time, key, sequence) ordered: two events at the same instant
+// fire in key order, then scheduling order, which makes whole runs
+// bit-reproducible. The key defaults to 0; message deliveries pass an
+// explicit (sender, per-sender seq) key via schedule_at_keyed so that
+// same-instant deliveries fire in an order independent of *when* each one
+// was scheduled — the property that lets the sharded PDES executor
+// (sim/pdes, docs/pdes.md) reproduce sequential runs byte-for-byte even
+// though cross-shard messages are enqueued at window boundaries rather
+// than at their senders' send instants.
 //
 // Storage layout (see docs/kernel.md for the full design):
 //   - Event records live in a slab (std::vector<Slot>) with a free list;
 //     after warm-up, scheduling allocates nothing beyond what the closure
 //     itself needs (small closures are stored inline in the slot).
-//   - The ready queue is a 4-ary heap of 24-byte PODs {time, seq, slot,
-//     generation} — sift swaps move three words, never a closure.
+//   - The ready queue is a 4-ary heap of 32-byte PODs {time, key, seq,
+//     slot, generation} — sift swaps move four words, never a closure.
 //   - EventHandle is a POD {simulator, slot, generation} triple. Cancelling
 //     frees the slot immediately (bumping the generation so the handle and
 //     any stale heap entry are recognized as dead) and counts the orphaned
@@ -68,6 +75,16 @@ class Simulator {
   /// Schedules `fn` at absolute time `at`; `at` must not precede now().
   EventHandle schedule_at(TimePoint at, Callback fn);
 
+  /// Like schedule_at, but with an explicit same-instant ordering key:
+  /// events at equal times fire in ascending key order (ties by scheduling
+  /// order). Key 0 — what schedule_at uses — sorts before every nonzero
+  /// key, so timers and engine-plane events keep firing ahead of
+  /// same-instant deliveries. The Network keys deliveries by
+  /// (sender, per-sender wire seq), making same-instant delivery order a
+  /// pure function of message identity (docs/pdes.md "Determinism
+  /// contract").
+  EventHandle schedule_at_keyed(TimePoint at, std::uint64_t key, Callback fn);
+
   /// Schedules `fn` after `delay` (clamped to zero if negative).
   EventHandle schedule_after(Duration delay, Callback fn);
 
@@ -82,6 +99,21 @@ class Simulator {
   /// the clock is left at min(deadline, last event time). Events scheduled
   /// exactly at `deadline` do fire.
   std::uint64_t run_until(TimePoint deadline);
+
+  /// Runs every event strictly before `bound` and leaves events at or after
+  /// it in the queue; the clock stays at the last fired event (never bumped
+  /// to `bound`). This is the shard-side primitive of the conservative PDES
+  /// executor (sim/pdes): a shard granted the window [now, bound) may fire
+  /// exactly the events run_until_before(bound) fires. Events scheduled
+  /// exactly at `bound` do NOT fire.
+  std::uint64_t run_until_before(TimePoint bound);
+
+  /// Advances the clock to `at` without firing anything. Requires that no
+  /// live event is scheduled before `at` (asserted) — i.e. the caller knows
+  /// the interval [now, at) is empty, which is exactly what the PDES
+  /// barrier protocol establishes before running engine-plane events at
+  /// `at`. A no-op when `at` is in the past.
+  void advance_to(TimePoint at);
 
   /// Fires at most one event. Returns false if the queue was empty.
   bool step();
@@ -120,9 +152,10 @@ class Simulator {
     Duration period{};
   };
 
-  /// 24-byte POD the heap orders by (at, seq).
+  /// 32-byte POD the heap orders by (at, key, seq).
   struct HeapEntry {
     TimePoint at;
+    std::uint64_t key;
     std::uint64_t seq;
     std::uint32_t slot;
     std::uint32_t generation;
@@ -130,6 +163,7 @@ class Simulator {
 
   static bool earlier(const HeapEntry& a, const HeapEntry& b) {
     if (a.at != b.at) return a.at < b.at;
+    if (a.key != b.key) return a.key < b.key;
     return a.seq < b.seq;
   }
 

@@ -144,20 +144,6 @@ metrics::LoadBalance RunResult::busy_time_balance() const {
 // GridSimulation
 // ---------------------------------------------------------------------------
 
-GridSimulation::GridSimulation(ScenarioConfig config, std::uint64_t seed)
-    : config_{std::move(config)},
-      seed_{seed},
-      rng_{seed},
-      ert_error_{config_.ert_error},
-      submit_rng_{0},
-      idle_series_{"idle"},
-      node_count_series_{"nodes"},
-      queue_depth_series_{"queue-depth"},
-      shed_series_{"sheds"},
-      reject_series_{"rejects"} {}
-
-GridSimulation::~GridSimulation() = default;
-
 proto::AriaNode* GridSimulation::node(NodeId id) {
   const std::size_t i = id.index();
   return i < nodes_.size() ? nodes_[i] : nullptr;
@@ -277,6 +263,10 @@ void GridSimulation::build() {
   relay_->set_ttl(config_.aria.flood_gc_delay);
   submit_rng_ = rng_.fork(3);
   jobgen_ = std::make_unique<JobGenerator>(config_.jobs, rng_.fork(4));
+  // Sharded execution (docs/pdes.md): validates the plane combination,
+  // then stands up the per-shard simulators/networks/relays the node
+  // contexts below are redirected at. Null fabric when shards == 1.
+  build_shard_fabric();
 
   build_overlay();
   build_nodes();
@@ -367,6 +357,7 @@ void GridSimulation::spawn_node() {
                       ? std::max(config_.node_count,
                                  config_.expansion->target_node_count)
                       : config_.node_count;
+  if (fabric_) fill_shard_context(ctx, id);
 
   std::string vo;
   if (config_.vo_count > 1) {
@@ -615,7 +606,12 @@ void GridSimulation::sample_overload() {
 RunResult GridSimulation::run() {
   build();
   const auto wall_start = std::chrono::steady_clock::now();
-  sim_.run_until(TimePoint::origin() + config_.horizon);
+  std::uint64_t shard_events = 0;
+  if (fabric_) {
+    shard_events = run_sharded();
+  } else {
+    sim_.run_until(TimePoint::origin() + config_.horizon);
+  }
   const auto wall_end = std::chrono::steady_clock::now();
 
   RunResult r;
@@ -739,11 +735,14 @@ RunResult GridSimulation::run() {
                  << r.violations.front().detail;
     }
   }
+  fill_pdes_result(r);
   r.final_node_count = nodes_.size();
   r.overlay_links = topo_.link_count();
   r.overlay_avg_degree = topo_.average_degree();
   r.overlay_avg_path_length = topo_.average_path_length();
-  r.events_fired = sim_.fired_events();
+  // In sharded mode events split across the engine and shard simulators;
+  // the sum reproduces the sequential count exactly.
+  r.events_fired = sim_.fired_events() + shard_events;
   r.wall_seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();
   if (!r.tracker.violations().empty()) {

@@ -1,6 +1,6 @@
 // Golden-value determinism regression. The event kernel promises bit-exact
-// reproducibility for a fixed seed: ties break on (time, sequence) and the
-// sequence allocation order is part of the public contract. These constants
+// reproducibility for a fixed seed: ties break on (time, key, sequence) and
+// the key/sequence allocation order is part of the public contract. These constants
 // were captured from the original shared_ptr/string-keyed kernel and must
 // survive any rewrite of the queue or the traffic ledger — if a change to
 // src/sim shifts them, it reordered events, which silently invalidates every
@@ -22,14 +22,18 @@ ScenarioConfig golden_scenario() {
   return c;
 }
 
+// Re-pinned when latency jitter, fault verdicts and flood target picks
+// moved from shared to per-entity RNG streams (the PDES determinism
+// contract, docs/pdes.md): the draws themselves changed, so message counts
+// and event totals shifted, but completions stayed at the same plateau.
 constexpr std::uint64_t kGoldenSeed = 42;
 constexpr std::size_t kGoldenCompleted = 80;
-constexpr std::uint64_t kGoldenEventsFired = 93101;
-constexpr std::uint64_t kGoldenTotalMessages = 68386;
-constexpr std::uint64_t kGoldenTotalBytes = 69187712;
-constexpr std::uint64_t kGoldenReschedules = 48;
-constexpr std::uint64_t kGoldenRequestMessages = 7814;
-constexpr std::uint64_t kGoldenInformBytes = 60936192;
+constexpr std::uint64_t kGoldenEventsFired = 91929;
+constexpr std::uint64_t kGoldenTotalMessages = 67226;
+constexpr std::uint64_t kGoldenTotalBytes = 68025856;
+constexpr std::uint64_t kGoldenReschedules = 37;
+constexpr std::uint64_t kGoldenRequestMessages = 7877;
+constexpr std::uint64_t kGoldenInformBytes = 59724800;
 
 TEST(Determinism, GoldenRunMatchesRecordedKernelBehaviour) {
   const RunResult r = run_scenario(golden_scenario(), kGoldenSeed);
